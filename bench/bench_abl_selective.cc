@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Ablation: selective vs full deduplication with identical ECC
+ * fingerprints. ESD_Full keeps a complete fingerprint index in NVMM
+ * (like Dedup_SHA1/DeWrite) while ESD keeps fingerprints only on
+ * chip. This isolates what the *selective* half of the design buys:
+ * no fingerprint NVMM lookups/stores and less metadata, at the cost
+ * of some missed duplicates.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "metrics/report.hh"
+
+int
+main()
+{
+    using namespace esd;
+    bench::printHeader("Ablation: selective vs full dedup",
+                       "ESD (cache-only EFIT) vs ESD_Full (same ECC "
+                       "fingerprints, full NVMM index)");
+
+    TablePrinter table({"app", "red(ESD)", "red(Full)", "wlat(ESD)",
+                        "wlat(Full)", "fpNVMM-lookups", "meta(ESD)KB",
+                        "meta(Full)KB"});
+    double w_esd = 0, w_full = 0;
+    for (const std::string &app : bench::appNames()) {
+        SyntheticWorkload t1(findApp(app), 1);
+        RunResult esd = runWorkload(bench::benchConfig(), SchemeKind::Esd,
+                                    t1, bench::benchRecords(),
+                                    bench::benchWarmup());
+        SyntheticWorkload t2(findApp(app), 1);
+        RunResult full =
+            runWorkload(bench::benchConfig(), SchemeKind::EsdFull, t2,
+                        bench::benchRecords(), bench::benchWarmup());
+        w_esd += esd.writeLatency.mean();
+        w_full += full.writeLatency.mean();
+        // fp NVMM lookups happen only in the full variant; derive the
+        // count from its breakdown-backed counter via nvmReads delta.
+        table.addRow(
+            {app, TablePrinter::pct(esd.writeReduction()),
+             TablePrinter::pct(full.writeReduction()),
+             TablePrinter::num(esd.writeLatency.mean(), 1),
+             TablePrinter::num(full.writeLatency.mean(), 1),
+             std::to_string(full.nvmReadsTotal - esd.nvmReadsTotal),
+             TablePrinter::num(esd.metadataNvmBytes / 1024.0, 1),
+             TablePrinter::num(full.metadataNvmBytes / 1024.0, 1)});
+    }
+    table.print();
+    std::size_t n = bench::appNames().size();
+    std::cout << "\nmean write latency: ESD="
+              << TablePrinter::num(w_esd / n, 1)
+              << "ns  ESD_Full=" << TablePrinter::num(w_full / n, 1)
+              << "ns\nexpected: ESD_Full removes slightly more "
+                 "duplicates but pays fingerprint NVMM lookups/stores "
+                 "and a larger metadata footprint\n";
+    return 0;
+}

@@ -1,0 +1,96 @@
+#include "bench_common.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+namespace esd::bench
+{
+
+SimConfig
+benchConfig()
+{
+    SimConfig cfg;
+    cfg.pcm.channels = 1;
+    cfg.pcm.ranksPerChannel = 1;
+    cfg.pcm.banksPerRank = 4;
+    cfg.pcm.writeQueueDepth = 64;
+    return cfg;
+}
+
+namespace
+{
+
+std::uint64_t
+envOr(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v)
+        return fallback;
+    char *end = nullptr;
+    std::uint64_t parsed = std::strtoull(v, &end, 10);
+    return (end && *end == '\0' && parsed > 0) ? parsed : fallback;
+}
+
+} // namespace
+
+std::uint64_t
+benchRecords()
+{
+    static const std::uint64_t v = envOr("ESD_BENCH_RECORDS", 250000);
+    return v;
+}
+
+std::uint64_t
+benchWarmup()
+{
+    static const std::uint64_t v =
+        std::min(envOr("ESD_BENCH_WARMUP", 50000), benchRecords() / 2);
+    return v;
+}
+
+const RunResult &
+cachedRun(const std::string &app, SchemeKind kind)
+{
+    static std::map<std::pair<std::string, int>, RunResult> cache;
+    auto key = std::make_pair(app, static_cast<int>(kind));
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+    SyntheticWorkload trace(findApp(app), /*global_seed=*/1);
+    RunResult r = runWorkload(benchConfig(), kind, trace, benchRecords(),
+                              benchWarmup());
+    return cache.emplace(key, std::move(r)).first->second;
+}
+
+std::vector<std::string>
+appNames()
+{
+    std::vector<std::string> names;
+    for (const AppProfile &p : paperApps())
+        names.push_back(p.name);
+    return names;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double acc = 0;
+    for (double v : values)
+        acc += std::log(std::max(v, 1e-12));
+    return std::exp(acc / values.size());
+}
+
+void
+printHeader(const std::string &title, const std::string &what)
+{
+    std::cout << "==== " << title << " ====\n"
+              << what << "\n"
+              << "records/run=" << benchRecords()
+              << " warmup=" << benchWarmup() << "\n\n";
+}
+
+} // namespace esd::bench

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shared machinery for the figure benches: one simulated run per
+ * (application, scheme) pair, memoised within the binary, with record
+ * counts overridable through the environment:
+ *
+ *   ESD_BENCH_RECORDS  total trace records per run (default 60000)
+ *   ESD_BENCH_WARMUP   leading records excluded from stats (default 12000)
+ *
+ * Every bench prints the same rows/series as the corresponding paper
+ * figure; EXPERIMENTS.md records the paper-vs-measured comparison.
+ */
+
+#ifndef ESD_BENCH_BENCH_COMMON_HH
+#define ESD_BENCH_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "core/simulator.hh"
+#include "trace/workloads.hh"
+
+namespace esd::bench
+{
+
+/** The evaluation configuration used by all figure benches. */
+SimConfig benchConfig();
+
+/** Records per run (env-overridable). */
+std::uint64_t benchRecords();
+
+/** Warm-up records per run (env-overridable). */
+std::uint64_t benchWarmup();
+
+/** Run (or fetch the memoised run of) @p app under @p kind. */
+const RunResult &cachedRun(const std::string &app, SchemeKind kind);
+
+/** Names of all 20 paper applications, SPEC first. */
+std::vector<std::string> appNames();
+
+/** Geometric mean helper (speedup summaries). */
+double geomean(const std::vector<double> &values);
+
+/** Print the standard bench header. */
+void printHeader(const std::string &title, const std::string &what);
+
+} // namespace esd::bench
+
+#endif // ESD_BENCH_BENCH_COMMON_HH

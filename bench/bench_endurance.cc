@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Endurance extension (Section IV-B's motivation carried further):
+ * per-scheme NVMM write totals, per-line wear concentration, and the
+ * projected lifetime improvement — with and without Start-Gap wear
+ * leveling layered under the dedup scheme.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "metrics/report.hh"
+
+namespace
+{
+
+using namespace esd;
+
+RunResult
+run(const std::string &app, SchemeKind kind, bool start_gap)
+{
+    SimConfig cfg = bench::benchConfig();
+    cfg.pcm.startGapEnabled = start_gap;
+    // Accelerated leveling so a full region rotation fits in a bench
+    // run: production Start-Gap (period 100, 16 K-line regions) needs
+    // ~1.6 M writes per region to rotate once.
+    cfg.pcm.gapMovePeriod = 2;
+    cfg.pcm.startGapRegionLines = 64;
+    SyntheticWorkload trace(findApp(app), 1);
+    return runWorkload(cfg, kind, trace, bench::benchRecords(),
+                       bench::benchWarmup());
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace esd;
+    bench::printHeader("Endurance",
+                       "NVMM write totals, wear concentration "
+                       "(max/mean line writes), and relative lifetime "
+                       "(suite aggregate)");
+
+    constexpr double kCellEndurance = 1e7;  // PCM, Section I
+
+    TablePrinter table({"scheme", "start-gap", "NVMM-writes",
+                        "max-line-wear", "imbalance", "rel-lifetime"});
+
+    double base_life = 0;
+    for (SchemeKind k : allSchemeKinds()) {
+        for (bool sg : {false, true}) {
+            std::uint64_t writes = 0, max_wear = 0;
+            double imbalance = 0;
+            auto apps = bench::appNames();
+            for (const std::string &app : apps) {
+                RunResult r = run(app, k, sg);
+                writes += r.nvmWritesTotal;
+                max_wear = std::max(max_wear, r.wear.maxLineWrites);
+                imbalance += r.wear.imbalance();
+            }
+            imbalance /= apps.size();
+            double life =
+                max_wear ? kCellEndurance / max_wear : 0;
+            if (k == SchemeKind::Baseline && !sg)
+                base_life = life;
+            table.addRow(
+                {schemeName(k), sg ? "on" : "off",
+                 std::to_string(writes), std::to_string(max_wear),
+                 TablePrinter::num(imbalance, 1),
+                 TablePrinter::num(base_life ? life / base_life : 1.0,
+                                   2) +
+                     "x"});
+        }
+    }
+    table.print();
+    std::cout << "\nexpected: dedup cuts total writes (endurance via "
+                 "volume), but full-dedup schemes shift the wear "
+                 "hotspot to their fingerprint/AMT metadata lines — "
+                 "their max-line wear exceeds Baseline's. Start-Gap "
+                 "shaves that hotspot (at the cost of internal "
+                 "copies); ESD, with no fingerprint region at all, "
+                 "keeps the flattest wear profile.\n";
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fig. 3 — content locality: (a) unique-line distribution by reference
+ * count and (b) pre-dedup write volume by reference-count bucket,
+ * per app and aggregated over the 20 applications. Paper headline:
+ * lines with >1000 refs are ~0.08% of uniques but ~42.7% of the
+ * pre-dedup volume.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "dedup/analyzer.hh"
+#include "metrics/report.hh"
+
+int
+main()
+{
+    using namespace esd;
+    constexpr std::size_t kN = RefCountBuckets::kNumBuckets;
+    bench::printHeader("Figure 3",
+                       "Reference-count distribution (a: unique lines, "
+                       "b: occupied pre-dedup volume)");
+
+    std::uint64_t agg_lines[kN] = {};
+    std::uint64_t agg_volume[kN] = {};
+
+    TablePrinter per_app({"app", "num1", "num10", "num100", "num1000",
+                          "num1000+", "vol1000+%"});
+
+    for (const std::string &app : bench::appNames()) {
+        SyntheticWorkload w(findApp(app), 1);
+        DedupAnalyzer an;
+        TraceRecord rec;
+        std::uint64_t writes = 0;
+        while (writes < bench::benchRecords()) {
+            if (!w.next(rec))
+                break;
+            if (rec.op != OpType::Write)
+                continue;
+            an.addWrite(rec.data);
+            ++writes;
+        }
+        RefCountBuckets b = an.buckets();
+        for (std::size_t i = 0; i < kN; ++i) {
+            agg_lines[i] += b.lines(i);
+            agg_volume[i] += b.volume(i);
+        }
+        per_app.addRow(
+            {app, std::to_string(b.lines(0)), std::to_string(b.lines(1)),
+             std::to_string(b.lines(2)), std::to_string(b.lines(3)),
+             std::to_string(b.lines(4)),
+             TablePrinter::pct(
+                 static_cast<double>(b.volume(4)) /
+                 std::max<std::uint64_t>(b.totalVolume(), 1))});
+    }
+    per_app.print();
+
+    std::uint64_t total_lines = 0, total_volume = 0;
+    for (std::size_t i = 0; i < kN; ++i) {
+        total_lines += agg_lines[i];
+        total_volume += agg_volume[i];
+    }
+
+    std::cout << "\nAggregate across the 20 applications:\n";
+    TablePrinter aggt(
+        {"bucket", "unique-lines", "lines-frac", "volume-frac"});
+    for (std::size_t i = 0; i < kN; ++i) {
+        aggt.addRow({RefCountBuckets::bucketName(i),
+                     std::to_string(agg_lines[i]),
+                     TablePrinter::pct(
+                         static_cast<double>(agg_lines[i]) / total_lines,
+                         3),
+                     TablePrinter::pct(static_cast<double>(agg_volume[i]) /
+                                       total_volume)});
+    }
+    aggt.print();
+    std::cout << "\npaper: num1000+ is ~0.08% of unique lines and "
+                 "~42.7% of pre-dedup volume\n";
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fig. 5 — in a full-deduplication system, how many duplicates are
+ * filtered by fingerprints resident in the memory cache vs fetched
+ * from NVMM, and how much of the write latency the fingerprint
+ * NVMM_lookup costs (paper: cache filters 51.0%, NVMM adds only 13.7%
+ * more, but the lookups cost up to 90.7% / avg ~49% of write latency).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "metrics/report.hh"
+
+int
+main()
+{
+    using namespace esd;
+    bench::printHeader("Figure 5",
+                       "Duplicates filtered via cached vs NVMM "
+                       "fingerprints (Dedup_SHA1, full dedup) and the "
+                       "fp NVMM_lookup share of non-hash write latency");
+
+    TablePrinter table({"app", "dup-via-cache", "dup-via-NVMM",
+                        "fp-lookup-lat-share"});
+    double s_cache = 0, s_nvm = 0, s_share = 0;
+
+    for (const std::string &app : bench::appNames()) {
+        const RunResult &r = bench::cachedRun(app, SchemeKind::DedupSha1);
+        // Latency share excludes the (scheme-specific) hash compute so
+        // the lookup overhead is visible the way the paper frames it.
+        double non_hash =
+            r.breakdown.total() - r.breakdown.fpCompute;
+        double share =
+            non_hash > 0 ? r.breakdown.fpNvmLookup / non_hash : 0;
+        s_cache += r.dedupViaFpCacheFrac;
+        s_nvm += r.dedupViaFpNvmFrac;
+        s_share += share;
+        table.addRow({app, TablePrinter::pct(r.dedupViaFpCacheFrac),
+                      TablePrinter::pct(r.dedupViaFpNvmFrac),
+                      TablePrinter::pct(share)});
+    }
+    std::size_t n = bench::appNames().size();
+    table.addRow({"average", TablePrinter::pct(s_cache / n),
+                  TablePrinter::pct(s_nvm / n),
+                  TablePrinter::pct(s_share / n)});
+    table.print();
+    std::cout << "\npaper: avg 51.0% filtered via cache, 13.7% via "
+                 "NVMM; the NVMM lookups cost ~49% of write latency — "
+                 "the inefficiency selective dedup removes\n";
+    return 0;
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Fig. 8 — fingerprint collision probability comparison, normalised to
+ * the CRC-based method. We measure empirical collision rates of
+ * CRC32C, the 64-bit line ECC, a 64-bit SHA-1 prefix, and full SHA-1,
+ * over two corpora:
+ *   - random lines (independent contents),
+ *   - "similar" lines (single-word perturbations of a base line, the
+ *     adversarial case for linear codes like CRC/ECC).
+ */
+
+#include <iostream>
+#include <unordered_set>
+
+#include "bench_common.hh"
+#include "common/random.hh"
+#include "crypto/crc.hh"
+#include "crypto/sha1.hh"
+#include "ecc/line_ecc.hh"
+#include "metrics/report.hh"
+
+namespace
+{
+
+using namespace esd;
+
+struct CollisionCounts
+{
+    std::uint64_t crc32 = 0;
+    std::uint64_t ecc64 = 0;
+    std::uint64_t sha1_64 = 0;
+    std::uint64_t sha1_full = 0;
+    std::uint64_t lines = 0;
+};
+
+/** Count fingerprint collisions among distinct lines in @p corpus. */
+CollisionCounts
+countCollisions(const std::vector<CacheLine> &corpus)
+{
+    CollisionCounts c;
+    std::unordered_set<std::uint64_t> content_seen;
+    std::unordered_set<std::uint32_t> crc_seen;
+    std::unordered_set<std::uint64_t> ecc_seen;
+    std::unordered_set<std::uint64_t> sha_seen;
+    std::unordered_set<std::string> sha_full_seen;
+
+    for (const CacheLine &l : corpus) {
+        if (!content_seen.insert(l.contentHash()).second)
+            continue;  // identical content is not a collision
+        ++c.lines;
+        c.crc32 += !crc_seen.insert(Crc32c::line(l)).second;
+        c.ecc64 += !ecc_seen.insert(LineEccCodec::encode(l)).second;
+        c.sha1_64 += !sha_seen.insert(Sha1::fingerprint64(l)).second;
+        c.sha1_full +=
+            !sha_full_seen.insert(Sha1::toHex(Sha1::digestLine(l))).second;
+    }
+    return c;
+}
+
+std::string
+rate(std::uint64_t collisions, std::uint64_t lines)
+{
+    if (collisions == 0)
+        return "0";
+    return TablePrinter::num(
+        static_cast<double>(collisions) / static_cast<double>(lines), 8);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace esd;
+    bench::printHeader("Figure 8",
+                       "Fingerprint collision rates (lower is better; "
+                       "normalised view: CRC is the reference)");
+
+    Pcg32 rng(2024);
+
+    // Corpus A: independent random lines.
+    std::vector<CacheLine> random_corpus(400000);
+    for (CacheLine &l : random_corpus)
+        rng.fillLine(l);
+
+    // Corpus B: similar lines — one random word of a shared base is
+    // re-rolled per line (stresses narrow/linear fingerprints).
+    std::vector<CacheLine> similar_corpus(400000);
+    CacheLine base;
+    rng.fillLine(base);
+    for (CacheLine &l : similar_corpus) {
+        l = base;
+        l.setWord(rng.below(kWordsPerLine), rng.next64());
+    }
+
+    TablePrinter table({"fingerprint", "bits", "random-collide",
+                        "similar-collide", "vs-CRC(random)"});
+    CollisionCounts ra = countCollisions(random_corpus);
+    CollisionCounts sa = countCollisions(similar_corpus);
+
+    auto ratio = [&](std::uint64_t v) {
+        if (ra.crc32 == 0)
+            return std::string("-");
+        return TablePrinter::num(static_cast<double>(v) / ra.crc32, 4);
+    };
+
+    table.addRow({"CRC32C (DeWrite)", "32", rate(ra.crc32, ra.lines),
+                  rate(sa.crc32, sa.lines), "1.0000"});
+    table.addRow({"ECC (ESD)", "64", rate(ra.ecc64, ra.lines),
+                  rate(sa.ecc64, sa.lines), ratio(ra.ecc64)});
+    table.addRow({"SHA-1/64", "64", rate(ra.sha1_64, ra.lines),
+                  rate(sa.sha1_64, sa.lines), ratio(ra.sha1_64)});
+    table.addRow({"SHA-1 full", "160", rate(ra.sha1_full, ra.lines),
+                  rate(sa.sha1_full, sa.lines), ratio(ra.sha1_full)});
+    table.print();
+
+    std::cout << "\nlines: random=" << ra.lines
+              << " similar=" << sa.lines
+              << "\npaper shape: on independent contents the 64-bit ECC "
+                 "collides orders of magnitude less than 32-bit CRC; "
+                 "cryptographic hashes never collide at this scale.\n"
+                 "Note the similar-corpus column: per-word ECC is "
+                 "linear, so lines differing in a single word exercise "
+                 "only that word's 8 check bits and collide heavily — "
+                 "this is exactly why ESD always verifies candidates "
+                 "with a byte-by-byte comparison (harmless there, but "
+                 "fatal for any hash-trusting scheme with a weak "
+                 "fingerprint).\n";
+    return 0;
+}

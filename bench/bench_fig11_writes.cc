@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fig. 11 — NVMM data-write reduction per scheme, normalised to the
+ * Baseline (paper: ESD removes 47.8% of writes on average, up to
+ * 99.9% on deepsjeng/roms; full dedup removes ~18% more than ESD).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "metrics/report.hh"
+
+int
+main()
+{
+    using namespace esd;
+    bench::printHeader("Figure 11",
+                       "Cache-line write reduction vs Baseline "
+                       "(fraction of logical writes eliminated)");
+
+    TablePrinter table({"app", "Dedup_SHA1", "DeWrite", "ESD"});
+    double sum[3] = {0, 0, 0};
+    const SchemeKind kinds[3] = {SchemeKind::DedupSha1, SchemeKind::DeWrite,
+                                 SchemeKind::Esd};
+
+    for (const std::string &app : bench::appNames()) {
+        std::vector<std::string> row{app};
+        for (int i = 0; i < 3; ++i) {
+            const RunResult &r = bench::cachedRun(app, kinds[i]);
+            double red = r.writeReduction();
+            sum[i] += red;
+            row.push_back(TablePrinter::pct(red));
+        }
+        table.addRow(row);
+    }
+    std::size_t n = bench::appNames().size();
+    table.addRow({"average", TablePrinter::pct(sum[0] / n),
+                  TablePrinter::pct(sum[1] / n),
+                  TablePrinter::pct(sum[2] / n)});
+    table.print();
+    std::cout << "\npaper: ESD 47.8% avg (up to 99.9%); full-dedup "
+                 "schemes remove ~18.3% more than ESD\n";
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fig. 14 — IPC normalised to Baseline (paper: ESD up to 2.4x vs
+ * Baseline; Dedup_SHA1 decreases IPC on most apps).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "metrics/report.hh"
+
+int
+main()
+{
+    using namespace esd;
+    bench::printHeader("Figure 14", "Relative IPC (scheme / Baseline)");
+
+    TablePrinter table({"app", "base-IPC", "Dedup_SHA1", "DeWrite",
+                        "ESD"});
+    std::vector<double> rel[3];
+    const SchemeKind kinds[3] = {SchemeKind::DedupSha1, SchemeKind::DeWrite,
+                                 SchemeKind::Esd};
+
+    for (const std::string &app : bench::appNames()) {
+        double base = bench::cachedRun(app, SchemeKind::Baseline).ipc;
+        std::vector<std::string> row{app, TablePrinter::num(base, 3)};
+        for (int i = 0; i < 3; ++i) {
+            double mine = bench::cachedRun(app, kinds[i]).ipc;
+            double s = base > 0 ? mine / base : 0;
+            rel[i].push_back(s);
+            row.push_back(TablePrinter::num(s, 2) + "x");
+        }
+        table.addRow(row);
+    }
+    table.addRow({"geomean", "-",
+                  TablePrinter::num(bench::geomean(rel[0]), 2) + "x",
+                  TablePrinter::num(bench::geomean(rel[1]), 2) + "x",
+                  TablePrinter::num(bench::geomean(rel[2]), 2) + "x"});
+    table.print();
+    std::cout << "\npaper shape: ESD improves IPC on all apps (up to "
+                 "2.4x); Dedup_SHA1 hurts IPC on most apps\n";
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fig. 16 — energy consumption normalised to Baseline, with the
+ * component decomposition (device read/write, fingerprint hashing,
+ * encryption, metadata).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "metrics/report.hh"
+
+int
+main()
+{
+    using namespace esd;
+    bench::printHeader("Figure 16",
+                       "Energy normalised to Baseline (< 1 is better)");
+
+    TablePrinter table({"app", "base(uJ)", "Dedup_SHA1", "DeWrite",
+                        "ESD"});
+    double sum[3] = {0, 0, 0};
+    const SchemeKind kinds[3] = {SchemeKind::DedupSha1, SchemeKind::DeWrite,
+                                 SchemeKind::Esd};
+
+    for (const std::string &app : bench::appNames()) {
+        double base =
+            bench::cachedRun(app, SchemeKind::Baseline).energy.total();
+        std::vector<std::string> row{
+            app, TablePrinter::num(base / 1e6, 1)};
+        for (int i = 0; i < 3; ++i) {
+            double mine = bench::cachedRun(app, kinds[i]).energy.total();
+            double s = base > 0 ? mine / base : 0;
+            sum[i] += s;
+            row.push_back(TablePrinter::num(s, 3));
+        }
+        table.addRow(row);
+    }
+    std::size_t n = bench::appNames().size();
+    table.addRow({"average", "-", TablePrinter::num(sum[0] / n, 3),
+                  TablePrinter::num(sum[1] / n, 3),
+                  TablePrinter::num(sum[2] / n, 3)});
+    table.print();
+
+    // Component decomposition, aggregated over the suite.
+    std::cout << "\nAggregate energy decomposition (uJ):\n";
+    TablePrinter comp({"scheme", "dev-read", "dev-write", "hash",
+                       "crypto", "metadata", "total"});
+    for (SchemeKind k : allSchemeKinds()) {
+        EnergyBreakdown e;
+        for (const std::string &app : bench::appNames()) {
+            const EnergyBreakdown &a = bench::cachedRun(app, k).energy;
+            e.deviceRead += a.deviceRead;
+            e.deviceWrite += a.deviceWrite;
+            e.hash += a.hash;
+            e.crypto += a.crypto;
+            e.metadata += a.metadata;
+        }
+        comp.addRow({schemeName(k), TablePrinter::num(e.deviceRead / 1e6, 1),
+                     TablePrinter::num(e.deviceWrite / 1e6, 1),
+                     TablePrinter::num(e.hash / 1e6, 1),
+                     TablePrinter::num(e.crypto / 1e6, 1),
+                     TablePrinter::num(e.metadata / 1e6, 1),
+                     TablePrinter::num(e.total() / 1e6, 1)});
+    }
+    comp.print();
+    std::cout << "\npaper shape: ESD lowest (no hash energy, no fp "
+                 "NVMM traffic); Dedup_SHA1 pays heavy hash energy\n";
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fig. 18 — sensitivity of the EFIT (with and without LRCU) and AMT
+ * cache hit rates to the cache size (64 KB .. 2 MB); the paper's
+ * saturation point around 512 KB motivates the default sizing.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "metrics/report.hh"
+
+namespace
+{
+
+using namespace esd;
+
+/** Average EFIT/AMT hit rates over the suite for one configuration. */
+struct SweepPoint
+{
+    double efit = 0;
+    double amt = 0;
+};
+
+SweepPoint
+sweep(std::uint64_t efit_bytes, std::uint64_t amt_bytes, bool lrcu)
+{
+    SimConfig cfg = bench::benchConfig();
+    cfg.metadata.efitCacheBytes = efit_bytes;
+    cfg.metadata.amtCacheBytes = amt_bytes;
+    cfg.metadata.useLrcu = lrcu;
+
+    SweepPoint p;
+    auto apps = bench::appNames();
+    for (const std::string &app : apps) {
+        SyntheticWorkload trace(findApp(app), 1);
+        RunResult r = runWorkload(cfg, SchemeKind::Esd, trace,
+                                  bench::benchRecords(),
+                                  bench::benchWarmup());
+        p.efit += r.fpCacheHitRate;
+        p.amt += r.amtCacheHitRate;
+    }
+    p.efit /= apps.size();
+    p.amt /= apps.size();
+    return p;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace esd;
+    bench::printHeader("Figure 18",
+                       "EFIT (w/ and w/o LRCU) and AMT cache hit rates "
+                       "vs cache size, averaged over the suite");
+
+    const std::uint64_t sizes[] = {64 << 10, 128 << 10, 256 << 10,
+                                   512 << 10, 1024 << 10, 2048 << 10};
+
+    TablePrinter table({"cache-size", "EFIT+LRCU", "EFIT(LRU)", "AMT"});
+    for (std::uint64_t s : sizes) {
+        SweepPoint with_lrcu = sweep(s, s, true);
+        SweepPoint without = sweep(s, s, false);
+        table.addRow({std::to_string(s >> 10) + "KB",
+                      TablePrinter::pct(with_lrcu.efit, 2),
+                      TablePrinter::pct(without.efit, 2),
+                      TablePrinter::pct(with_lrcu.amt, 2)});
+    }
+    table.print();
+    std::cout << "\npaper shape: hit rates saturate near 512KB; LRCU "
+                 "beats plain LRU at every size\n";
+    return 0;
+}

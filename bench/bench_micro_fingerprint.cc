@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) of the fingerprint and crypto
+ * primitives on 64 B cache lines — the host-side cost of each engine
+ * this library implements functionally (the *modelled* latencies are
+ * in CryptoCostConfig; these numbers document the simulator itself).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.hh"
+#include "crypto/aes.hh"
+#include "crypto/crc.hh"
+#include "crypto/ctr_mode.hh"
+#include "crypto/md5.hh"
+#include "crypto/sha1.hh"
+#include "ecc/line_ecc.hh"
+
+namespace
+{
+
+using namespace esd;
+
+CacheLine
+makeLine(std::uint64_t seed)
+{
+    Pcg32 rng(seed);
+    CacheLine l;
+    rng.fillLine(l);
+    return l;
+}
+
+void
+BM_Sha1Line(benchmark::State &state)
+{
+    CacheLine l = makeLine(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(Sha1::fingerprint64(l));
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            kLineSize);
+}
+BENCHMARK(BM_Sha1Line);
+
+void
+BM_Md5Line(benchmark::State &state)
+{
+    CacheLine l = makeLine(2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(Md5::fingerprint64(l));
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            kLineSize);
+}
+BENCHMARK(BM_Md5Line);
+
+void
+BM_Crc32cLine(benchmark::State &state)
+{
+    CacheLine l = makeLine(3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(Crc32c::line(l));
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            kLineSize);
+}
+BENCHMARK(BM_Crc32cLine);
+
+void
+BM_EccFingerprint(benchmark::State &state)
+{
+    CacheLine l = makeLine(4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(LineEccCodec::encode(l));
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            kLineSize);
+}
+BENCHMARK(BM_EccFingerprint);
+
+void
+BM_EccDecodeClean(benchmark::State &state)
+{
+    CacheLine l = makeLine(5);
+    LineEcc ecc = LineEccCodec::encode(l);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(LineEccCodec::decode(l, ecc));
+}
+BENCHMARK(BM_EccDecodeClean);
+
+void
+BM_AesCtrEncryptLine(benchmark::State &state)
+{
+    AesKey key{};
+    key.fill(0x42);
+    CtrModeEngine eng(key);
+    CacheLine l = makeLine(6);
+    Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(eng.encrypt(addr, l));
+        addr += kLineSize;
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            kLineSize);
+}
+BENCHMARK(BM_AesCtrEncryptLine);
+
+void
+BM_ByteCompare(benchmark::State &state)
+{
+    CacheLine a = makeLine(7);
+    CacheLine b = a;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a == b);
+}
+BENCHMARK(BM_ByteCompare);
+
+} // namespace
+
+BENCHMARK_MAIN();

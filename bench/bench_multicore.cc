@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Extension experiment: scheme behaviour under multi-core pressure
+ * (Table I's CPU is 8-core). Sweeps 1/2/4/8 cores, each replaying a
+ * different application, and reports system throughput and shared
+ * memory latencies per scheme. With more cores in flight the
+ * controller sees deeper queues, so deduplication's interference
+ * relief grows with core count — ESD's advantage over Baseline is
+ * larger at 8 cores than at 1.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/multicore.hh"
+#include "metrics/report.hh"
+
+namespace
+{
+
+using namespace esd;
+
+/** A mixed bag of apps so cores don't run in lockstep. */
+const char *kMix[8] = {"gcc", "lbm",  "x264",    "mcf",
+                       "wrf", "dedup", "facesim", "bodytrack"};
+
+MultiCoreRunResult
+run(SchemeKind kind, unsigned cores, std::uint64_t records)
+{
+    MultiCoreSimulator sim(bench::benchConfig(), kind);
+    std::vector<std::unique_ptr<TraceSource>> traces;
+    for (unsigned i = 0; i < cores; ++i)
+        traces.push_back(std::make_unique<SyntheticWorkload>(
+            findApp(kMix[i % 8]), 100 + i));
+    return sim.run(std::move(traces), records, records / 5);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace esd;
+    bench::printHeader("Extension: multi-core scaling",
+                       "1/2/4/8 cores sharing one controller; mixed "
+                       "application per core");
+
+    std::uint64_t records = bench::benchRecords() / 8;
+
+    TablePrinter table({"cores", "scheme", "sys-IPC", "wlat(ns)",
+                        "rlat(ns)", "write-red", "vs-Baseline-IPC"});
+    for (unsigned cores : {1u, 2u, 4u, 8u}) {
+        double base_ipc = 0;
+        for (SchemeKind k : allSchemeKinds()) {
+            MultiCoreRunResult r = run(k, cores, records);
+            if (k == SchemeKind::Baseline)
+                base_ipc = r.systemIpc;
+            table.addRow(
+                {std::to_string(cores), schemeName(k),
+                 TablePrinter::num(r.systemIpc, 3),
+                 TablePrinter::num(r.writeLatency.mean(), 1),
+                 TablePrinter::num(r.readLatency.mean(), 1),
+                 TablePrinter::pct(r.writeReduction()),
+                 TablePrinter::num(
+                     base_ipc > 0 ? r.systemIpc / base_ipc : 1.0, 2) +
+                     "x"});
+        }
+    }
+    table.print();
+    std::cout << "\nexpected: every scheme's latencies grow with core "
+                 "count; ESD holds a solid IPC lead through 4 cores, "
+                 "while hash/full-dedup schemes fall further behind. "
+                 "At full channel saturation (8 cores, 1 channel) "
+                 "even ESD's compare reads compete with demand "
+                 "traffic - the regime where the ESD+ content cache "
+                 "(bench_abl_content_cache) pays off most\n";
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Demonstrates the Section III-E consistency machinery: counter-mode
+ * encrypted memory with lazily persisted counters, a simulated power
+ * failure, and Osiris-style ECC-assisted counter recovery.
+ */
+
+#include <iostream>
+
+#include "common/random.hh"
+#include "crypto/secure_memory.hh"
+#include "metrics/report.hh"
+
+int
+main()
+{
+    using namespace esd;
+
+    AesKey key{};
+    key.fill(0x5c);
+    // Persist a line's counter only every 8th write.
+    SecureCounterMemory mem(key, 8);
+
+    Pcg32 rng(2026);
+    std::cout << "writing 2000 lines (heavy rewrites, counters "
+                 "persisted every 8th write)...\n";
+    std::unordered_map<Addr, CacheLine> expect;
+    for (int i = 0; i < 2000; ++i) {
+        Addr addr = static_cast<Addr>(rng.below(128)) * kLineSize;
+        CacheLine data;
+        rng.fillLine(data);
+        mem.write(addr, data);
+        expect[addr] = data;
+    }
+    std::cout << "counter persists issued: " << mem.counterPersists()
+              << " (vs 2000 with write-through counters)\n\n";
+
+    std::cout << "*** power failure: volatile counters lost ***\n\n";
+    mem.crash();
+
+    RecoveryReport rep = mem.recover();
+    TablePrinter t({"recovery metric", "value"});
+    t.addRow({"lines examined", std::to_string(rep.lines)});
+    t.addRow({"persisted counter was exact", std::to_string(rep.exact)});
+    t.addRow({"re-derived via ECC search",
+              std::to_string(rep.recovered)});
+    t.addRow({"re-derived despite media fault",
+              std::to_string(rep.recoveredScrubbed)});
+    t.addRow({"unrecoverable", std::to_string(rep.unrecoverable)});
+    t.addRow({"trial decryptions", std::to_string(rep.trialDecrypts)});
+    t.print();
+
+    std::cout << "\nverifying every line decrypts to its last-written "
+                 "content... ";
+    std::size_t bad = 0;
+    for (const auto &[addr, want] : expect) {
+        CacheLine out;
+        if (!mem.read(addr, out) || out != want)
+            ++bad;
+    }
+    std::cout << (bad == 0 ? "all good" : "MISMATCH") << " (" << bad
+              << " bad of " << expect.size() << ")\n";
+    return bad == 0 ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Full-stack demo: CPU loads/stores walk the L1/L2/L3 hierarchy, and
+ * the resulting LLC traffic drives the encrypted, deduplicating NVMM.
+ * Shows where data lives at each stage and that dedup happens on the
+ * eviction stream, not on CPU stores.
+ */
+
+#include <iostream>
+
+#include "common/random.hh"
+#include "core/cpu_system.hh"
+#include "metrics/report.hh"
+
+int
+main()
+{
+    using namespace esd;
+
+    SimConfig cfg;
+    // A small hierarchy so the demo evicts quickly.
+    cfg.cache.l1Size = 32 * kLineSize;
+    cfg.cache.l2Size = 128 * kLineSize;
+    cfg.cache.l3Size = 1024 * kLineSize;
+
+    CpuSystem sys(cfg, SchemeKind::Esd);
+    Pcg32 rng(11);
+
+    // Phase 1: write a duplicate-rich working set (16 distinct
+    // payloads over 8K lines) — typical zero/constant-fill behaviour.
+    std::cout << "storing 8192 lines with 16 distinct payloads...\n";
+    for (std::uint64_t i = 0; i < 8192; ++i) {
+        CacheLine data;
+        data.setWord(0, rng.below(16));
+        data.setWord(7, 0xA5A5A5A5ull);
+        sys.store(i * kLineSize, data);
+    }
+
+    const SchemeStats &s = sys.scheme().stats();
+    TablePrinter t({"stage", "count"});
+    t.addRow({"CPU stores", "8192"});
+    t.addRow({"LLC evictions reaching NVMM",
+              std::to_string(s.logicalWrites.value())});
+    t.addRow({"eliminated by dedup", std::to_string(s.dedupHits.value())});
+    t.addRow({"unique lines resident",
+              std::to_string(s.nvmDataWrites.value())});
+    t.print();
+
+    // Phase 2: read a line back through the whole stack.
+    std::cout << "\nloading line 0 back: ";
+    CpuAccessResult r = sys.load(0);
+    std::cout << "word[0]=" << r.data.word(0) << " served from level "
+              << r.hitLevel << " in " << TablePrinter::num(r.latencyNs, 1)
+              << " ns\n";
+
+    // Phase 3: flush far past every cache and observe a memory fill.
+    for (std::uint64_t i = 8192; i < 24576; ++i) {
+        CacheLine data;
+        data.setWord(0, 999);
+        sys.store(i * kLineSize, data);
+    }
+    CpuAccessResult far = sys.load(0);
+    std::cout << "after flushing the caches, line 0 loads from level "
+              << far.hitLevel << " (4 = NVMM) with word[0]="
+              << far.data.word(0) << "\n";
+
+    std::cout << "\nL1 hit rate "
+              << TablePrinter::pct(sys.hierarchy().l1().stats().hitRate())
+              << ", L3 hit rate "
+              << TablePrinter::pct(sys.hierarchy().l3().stats().hitRate())
+              << ", EFIT dedup caught "
+              << TablePrinter::pct(s.logicalWrites.value()
+                                       ? static_cast<double>(
+                                             s.dedupHits.value()) /
+                                             s.logicalWrites.value()
+                                       : 0)
+              << " of evictions\n";
+    return 0;
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Automated full evaluation, mirroring the artifact's run.sh: every
+# application under every scheme (0 Baseline, 1 Tra_sha1, 2 DeWrite,
+# 3 ESD), one result file per run.
+#
+# usage: scripts/run.sh [build-dir] [records] [out-dir]
+set -euo pipefail
+
+BUILD="${1:-build}"
+RECORDS="${2:-200000}"
+OUT="${3:-runs}"
+SIM="$BUILD/tools/esd_sim"
+
+[ -x "$SIM" ] || { echo "error: $SIM not built (cmake --build $BUILD)"; exit 1; }
+mkdir -p "$OUT"
+
+APPS="cactuBSSN deepsjeng gcc imagick lbm leela mcf nab namd roms wrf \
+xalancbmk blackscholes bodytrack dedup facesim fluidanimate rtview \
+swaptions x264"
+
+for app in $APPS; do
+    for scheme in 0 1 2 3; do
+        echo "== $app scheme=$scheme"
+        "$SIM" -scheme="$scheme" -app="$app" -records="$RECORDS" \
+               -warmup=$((RECORDS / 5)) \
+               > "$OUT/${app}_scheme${scheme}.txt"
+    done
+done
+echo "results in $OUT/"

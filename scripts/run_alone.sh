@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Single (app, scheme) run with a write-latency dump for CDF plotting,
+# mirroring the artifact's run_alone.sh.
+#
+# usage: scripts/run_alone.sh <app> <scheme 0..4|name> [records] [latency-file]
+set -euo pipefail
+
+APP="${1:?usage: run_alone.sh <app> <scheme> [records] [latency-file]}"
+SCHEME="${2:?need a scheme (0..4 or name)}"
+RECORDS="${3:-200000}"
+LATFILE="${4:-latency_${APP}_${SCHEME}.txt}"
+BUILD="${BUILD:-build}"
+
+"$BUILD/tools/esd_sim" -scheme="$SCHEME" -app="$APP" \
+    -records="$RECORDS" -warmup=$((RECORDS / 5)) \
+    -latency-out="$LATFILE"
+echo "write-latency samples: $LATFILE"

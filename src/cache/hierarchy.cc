@@ -1,0 +1,82 @@
+#include "cache/hierarchy.hh"
+
+namespace esd
+{
+
+CacheHierarchy::CacheHierarchy(const CacheConfig &cfg)
+    : cfg_(cfg),
+      l1_("L1", cfg.l1Size, cfg.l1Assoc),
+      l2_("L2", cfg.l2Size, cfg.l2Assoc),
+      l3_("L3", cfg.l3Size, cfg.l3Assoc)
+{
+}
+
+void
+CacheHierarchy::resetStats()
+{
+    l1_.resetStats();
+    l2_.resetStats();
+    l3_.resetStats();
+}
+
+HierarchyResult
+CacheHierarchy::access(Addr addr, bool is_write, const CacheLine &data,
+                       const CacheLine &fill)
+{
+    addr = lineAlign(addr);
+    HierarchyResult res;
+    res.cacheCycles = cfg_.l1Latency;
+
+    // L1.
+    if (l1_.access(addr, is_write, data, &res.data)) {
+        res.hitLevel = 1;
+        return res;
+    }
+
+    // L2.
+    res.cacheCycles += cfg_.l2Latency;
+    CacheLine line;
+    bool from_l2 = l2_.access(addr, false, line, &line);
+    if (!from_l2) {
+        // L3.
+        res.cacheCycles += cfg_.l3Latency;
+        bool from_l3 = l3_.access(addr, false, line, &line);
+        if (!from_l3) {
+            // Memory fill.
+            res.hitLevel = 4;
+            line = fill;
+            res.memOps.push_back({OpType::Read, addr, CacheLine{}});
+            CacheVictim v3 = l3_.fill(addr, line, false);
+            if (v3.valid && v3.dirty)
+                res.memOps.push_back({OpType::Write, v3.addr, v3.data});
+        } else {
+            res.hitLevel = 3;
+        }
+        // Fill into L2; displaced dirty L2 victim sinks into L3.
+        CacheVictim v2 = l2_.fill(addr, line, false);
+        if (v2.valid && v2.dirty) {
+            CacheVictim v3 = l3_.fill(v2.addr, v2.data, true);
+            if (v3.valid && v3.dirty)
+                res.memOps.push_back({OpType::Write, v3.addr, v3.data});
+        }
+    } else {
+        res.hitLevel = 2;
+    }
+
+    // Fill into L1 and apply the access.
+    CacheVictim v1 = l1_.fill(addr, line, false);
+    if (v1.valid && v1.dirty) {
+        CacheVictim v2 = l2_.fill(v1.addr, v1.data, true);
+        if (v2.valid && v2.dirty) {
+            CacheVictim v3 = l3_.fill(v2.addr, v2.data, true);
+            if (v3.valid && v3.dirty)
+                res.memOps.push_back({OpType::Write, v3.addr, v3.data});
+        }
+    }
+    l1_.access(addr, is_write, data, &res.data);
+    if (!is_write)
+        res.data = line;
+    return res;
+}
+
+} // namespace esd

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Three-level write-back cache hierarchy (Table I: 32 KB L1 / 256 KB
+ * L2 / 16 MB shared L3). CPU-level loads and stores enter at L1;
+ * everything that leaves L3 — dirty evictions and miss fills — is the
+ * memory traffic the ESD memory controller sees.
+ *
+ * The hierarchy is mostly-inclusive and keeps full payloads so the
+ * eviction stream carries true line contents for deduplication.
+ */
+
+#ifndef ESD_CACHE_HIERARCHY_HH
+#define ESD_CACHE_HIERARCHY_HH
+
+#include <vector>
+
+#include "cache/set_assoc_cache.hh"
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace esd
+{
+
+/** A memory-level operation emitted by the hierarchy. */
+struct MemOp
+{
+    OpType type = OpType::Read;
+    Addr addr = kInvalidAddr;
+
+    /** For writes: the evicted dirty line content. */
+    CacheLine data;
+};
+
+/** Outcome of one CPU access through the hierarchy. */
+struct HierarchyResult
+{
+    /** Level that hit: 1..3, or 4 for memory. */
+    unsigned hitLevel = 1;
+
+    /** Cache-pipeline cycles spent (excluding memory time, which the
+     * simulator obtains from the controller for the Read memOps). */
+    Cycles cacheCycles = 0;
+
+    /** Memory traffic triggered: at most one Read (the miss fill) and
+     * any number of dirty write-backs. */
+    std::vector<MemOp> memOps;
+
+    /** For loads: the returned data. */
+    CacheLine data;
+};
+
+/**
+ * L1/L2/L3 stack.
+ */
+class CacheHierarchy
+{
+  public:
+    explicit CacheHierarchy(const CacheConfig &cfg);
+
+    /**
+     * Perform a CPU load or store.
+     *
+     * On a full miss the returned memOps start with the L3 miss-fill
+     * Read; the caller must supply that line's content via
+     * completeFill() before the access result's data field is
+     * meaningful. For simplicity callers pass a fill payload up front.
+     *
+     * @param addr     byte address
+     * @param is_write true for a store
+     * @param data     store payload (writes) — full-line granularity
+     * @param fill     content memory would return on a miss
+     */
+    HierarchyResult access(Addr addr, bool is_write, const CacheLine &data,
+                           const CacheLine &fill);
+
+    const SetAssocCache &l1() const { return l1_; }
+    const SetAssocCache &l2() const { return l2_; }
+    const SetAssocCache &l3() const { return l3_; }
+
+    void resetStats();
+
+  private:
+    CacheConfig cfg_;
+    SetAssocCache l1_;
+    SetAssocCache l2_;
+    SetAssocCache l3_;
+};
+
+} // namespace esd
+
+#endif // ESD_CACHE_HIERARCHY_HH

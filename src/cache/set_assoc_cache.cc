@@ -1,0 +1,128 @@
+#include "cache/set_assoc_cache.hh"
+
+#include "common/logging.hh"
+
+namespace esd
+{
+
+SetAssocCache::SetAssocCache(std::string name, std::uint64_t size_bytes,
+                             unsigned assoc)
+    : name_(std::move(name)), assoc_(assoc)
+{
+    if (assoc == 0)
+        esd_fatal("%s: associativity must be positive", name_.c_str());
+    std::uint64_t lines = size_bytes / kLineSize;
+    if (lines == 0 || lines % assoc != 0)
+        esd_fatal("%s: size %llu is not a multiple of assoc * line size",
+                  name_.c_str(),
+                  static_cast<unsigned long long>(size_bytes));
+    sets_ = lines / assoc;
+    ways_.resize(lines);
+}
+
+std::uint64_t
+SetAssocCache::setOf(Addr addr) const
+{
+    return lineIndex(addr) % sets_;
+}
+
+SetAssocCache::Way *
+SetAssocCache::findWay(Addr addr)
+{
+    std::uint64_t base = setOf(addr) * assoc_;
+    Addr tag = tagOf(addr);
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Way &way = ways_[base + w];
+        if (way.valid && way.tag == tag)
+            return &way;
+    }
+    return nullptr;
+}
+
+const SetAssocCache::Way *
+SetAssocCache::findWay(Addr addr) const
+{
+    return const_cast<SetAssocCache *>(this)->findWay(addr);
+}
+
+bool
+SetAssocCache::probe(Addr addr) const
+{
+    return findWay(addr) != nullptr;
+}
+
+bool
+SetAssocCache::access(Addr addr, bool is_write, const CacheLine &data,
+                      CacheLine *out)
+{
+    Way *way = findWay(addr);
+    if (!way) {
+        stats_.misses.inc();
+        return false;
+    }
+    stats_.hits.inc();
+    way->lastUse = ++useClock_;
+    if (is_write) {
+        way->data = data;
+        way->dirty = true;
+    } else if (out) {
+        *out = way->data;
+    }
+    return true;
+}
+
+CacheVictim
+SetAssocCache::fill(Addr addr, const CacheLine &data, bool dirty)
+{
+    CacheVictim victim;
+    Way *way = findWay(addr);
+    if (!way) {
+        // Pick an invalid way or the LRU way of the set.
+        std::uint64_t base = setOf(addr) * assoc_;
+        Way *lru = &ways_[base];
+        for (unsigned w = 0; w < assoc_; ++w) {
+            Way &cand = ways_[base + w];
+            if (!cand.valid) {
+                lru = &cand;
+                break;
+            }
+            if (cand.lastUse < lru->lastUse)
+                lru = &cand;
+        }
+        if (lru->valid) {
+            stats_.evictions.inc();
+            if (lru->dirty)
+                stats_.dirtyEvictions.inc();
+            victim.valid = true;
+            victim.dirty = lru->dirty;
+            victim.addr = lru->tag * kLineSize;
+            victim.data = lru->data;
+        }
+        way = lru;
+        way->valid = true;
+        way->tag = tagOf(addr);
+        way->dirty = false;
+    }
+    way->lastUse = ++useClock_;
+    way->data = data;
+    way->dirty = way->dirty || dirty;
+    return victim;
+}
+
+CacheVictim
+SetAssocCache::invalidate(Addr addr)
+{
+    CacheVictim victim;
+    Way *way = findWay(addr);
+    if (!way)
+        return victim;
+    victim.valid = true;
+    victim.dirty = way->dirty;
+    victim.addr = way->tag * kLineSize;
+    victim.data = way->data;
+    way->valid = false;
+    way->dirty = false;
+    return victim;
+}
+
+} // namespace esd

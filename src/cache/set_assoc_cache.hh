@@ -1,0 +1,123 @@
+/**
+ * @file
+ * A generic set-associative, write-back, write-allocate data cache with
+ * LRU replacement — the building block of the L1/L2/L3 hierarchy that
+ * produces the LLC eviction stream ESD deduplicates.
+ */
+
+#ifndef ESD_CACHE_SET_ASSOC_CACHE_HH
+#define ESD_CACHE_SET_ASSOC_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace esd
+{
+
+/** A victim pushed out of the cache by an allocation. */
+struct CacheVictim
+{
+    bool valid = false;
+    bool dirty = false;
+    Addr addr = kInvalidAddr;
+    CacheLine data;
+};
+
+/** Per-cache hit/miss statistics. */
+struct CacheStats
+{
+    Counter hits;
+    Counter misses;
+    Counter evictions;
+    Counter dirtyEvictions;
+
+    double
+    hitRate() const
+    {
+        std::uint64_t total = hits.value() + misses.value();
+        return total == 0 ? 0.0
+                          : static_cast<double>(hits.value()) / total;
+    }
+};
+
+/**
+ * Set-associative cache storing full line payloads.
+ */
+class SetAssocCache
+{
+  public:
+    /**
+     * @param name       label used in error messages
+     * @param size_bytes total capacity; must be a multiple of
+     *                   assoc * kLineSize
+     * @param assoc      ways per set
+     */
+    SetAssocCache(std::string name, std::uint64_t size_bytes,
+                  unsigned assoc);
+
+    /** True when @p addr is resident (no LRU update, no stats). */
+    bool probe(Addr addr) const;
+
+    /**
+     * Look up @p addr; on a hit refresh LRU and, for writes, install
+     * @p data and set dirty.
+     *
+     * @param addr     line-aligned (or alignable) address
+     * @param is_write true for a store / incoming dirty line
+     * @param data     payload for writes (ignored for reads)
+     * @param out      on a read hit receives the line content
+     * @return true on hit
+     */
+    bool access(Addr addr, bool is_write, const CacheLine &data,
+                CacheLine *out);
+
+    /**
+     * Allocate @p addr with @p data (e.g. a miss fill or an eviction
+     * arriving from the level above).
+     *
+     * @return the victim displaced, valid+dirty when a write-back to
+     *         the next level is required
+     */
+    CacheVictim fill(Addr addr, const CacheLine &data, bool dirty);
+
+    /** Remove @p addr if present; returns the line as a victim. */
+    CacheVictim invalidate(Addr addr);
+
+    std::uint64_t numSets() const { return sets_; }
+    unsigned assoc() const { return assoc_; }
+    std::uint64_t sizeBytes() const { return sets_ * assoc_ * kLineSize; }
+
+    const CacheStats &stats() const { return stats_; }
+    void resetStats() { stats_ = CacheStats{}; }
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr tag = 0;
+        std::uint64_t lastUse = 0;
+        CacheLine data;
+    };
+
+    std::uint64_t setOf(Addr addr) const;
+    Addr tagOf(Addr addr) const { return lineIndex(addr); }
+
+    Way *findWay(Addr addr);
+    const Way *findWay(Addr addr) const;
+
+    std::string name_;
+    std::uint64_t sets_;
+    unsigned assoc_;
+    std::uint64_t useClock_ = 0;
+    std::vector<Way> ways_;
+    CacheStats stats_;
+};
+
+} // namespace esd
+
+#endif // ESD_CACHE_SET_ASSOC_CACHE_HH

@@ -1,0 +1,38 @@
+#include "common/config.hh"
+
+#include <sstream>
+
+namespace esd
+{
+
+std::string
+SimConfig::summary() const
+{
+    std::ostringstream os;
+    os << "Processor and Cache\n"
+       << "  CPU:            in-order, " << core.clockGhz << " GHz, base CPI "
+       << core.baseCpi << "\n"
+       << "  L1 cache:       " << cache.l1Size / 1024 << " KB, "
+       << cache.l1Assoc << "-way, " << cache.l1Latency << "-cycle\n"
+       << "  L2 cache:       " << cache.l2Size / 1024 << " KB, "
+       << cache.l2Assoc << "-way, " << cache.l2Latency << "-cycle\n"
+       << "  L3 cache:       " << cache.l3Size / (1024 * 1024) << " MB, "
+       << cache.l3Assoc << "-way, " << cache.l3Latency << "-cycle\n"
+       << "  Cache line:     " << kLineSize << " B\n"
+       << "Main Memory (PCM)\n"
+       << "  Capacity:       " << (pcm.capacityBytes >> 30) << " GB\n"
+       << "  Latency R/W:    " << pcm.readLatency << " ns / "
+       << pcm.writeLatency << " ns\n"
+       << "  Energy R/W:     " << pcm.readEnergy / 1000.0 << " nJ / "
+       << pcm.writeEnergy / 1000.0 << " nJ\n"
+       << "  Banks:          " << pcm.totalBanks() << " (" << pcm.channels
+       << " ch x " << pcm.ranksPerChannel << " rk x " << pcm.banksPerRank
+       << " bk)\n"
+       << "Metadata Cache\n"
+       << "  EFIT:           " << metadata.efitCacheBytes / 1024 << " KB ("
+       << (metadata.useLrcu ? "LRCU" : "LRU") << ")\n"
+       << "  AMT:            " << metadata.amtCacheBytes / 1024 << " KB\n";
+    return os.str();
+}
+
+} // namespace esd

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Central configuration for the simulated system.
+ *
+ * Defaults reproduce Table I of the ESD paper plus the latency/energy
+ * constants quoted in the text (Section II-B, III-C, IV-E):
+ *   - PCM read/write latency 75 ns / 150 ns, energy 1.49 nJ / 6.75 nJ,
+ *   - SHA-1 321 ns, MD5 312 ns per cache line,
+ *   - EFIT and AMT metadata caches of 512 KB each,
+ *   - 64 B cache lines, 16 GB PCM capacity.
+ */
+
+#ifndef ESD_COMMON_CONFIG_HH
+#define ESD_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace esd
+{
+
+/** Timing and energy parameters of the PCM main memory (Table I). */
+struct PcmConfig
+{
+    /** Total device capacity in bytes (Table I: 16 GB). */
+    std::uint64_t capacityBytes = 16ull << 30;
+
+    /** Array read latency per line in nanoseconds. */
+    Tick readLatency = 75;
+
+    /** Array write latency per line in nanoseconds (2x read: PCM
+     * asymmetry the selective-dedup tradeoff relies on). */
+    Tick writeLatency = 150;
+
+    /** Row-buffer geometry: consecutive lines per row (64 lines =
+     * 4 KB). 0 disables row-buffer modelling (every access pays the
+     * full array latency). */
+    std::uint64_t rowBufferLines = 64;
+
+    /** Read latency when the target row is already open. Writes
+     * always pay the full PCM array write. */
+    Tick rowHitReadLatency = 15;
+
+    /** Per-line read energy in picojoules (1.49 nJ). */
+    Energy readEnergy = 1490.0;
+
+    /** Per-line write energy in picojoules (6.75 nJ). */
+    Energy writeEnergy = 6750.0;
+
+    /** Bank parallelism: channels x ranks x banks service queues. */
+    unsigned channels = 2;
+    unsigned ranksPerChannel = 1;
+    unsigned banksPerRank = 8;
+
+    /** Depth of the per-controller write queue before backpressure
+     * stalls the core model. */
+    unsigned writeQueueDepth = 64;
+
+    /** When true, reads bypass *queued* writes at a bank (they wait
+     * for at most the write currently in service). When false the
+     * bank services requests strictly in arrival order, so reads
+     * queue behind write bursts — the read/write interference the
+     * deduplication evaluation exercises. */
+    bool readPriority = false;
+
+    /** Enable Start-Gap wear leveling (Qureshi MICRO'09): hot lines
+     * rotate across physical slots, bounding per-cell wear at the
+     * cost of one internal line copy per gapMovePeriod writes. */
+    bool startGapEnabled = false;
+
+    /** Writes between gap movements (original paper: 100). */
+    std::uint64_t gapMovePeriod = 100;
+
+    /** Lines per Start-Gap rotation region. */
+    std::uint64_t startGapRegionLines = 16384;
+
+    unsigned totalBanks() const { return channels * ranksPerChannel *
+                                         banksPerRank; }
+};
+
+/** CPU-side cache hierarchy parameters (Table I). */
+struct CacheConfig
+{
+    std::uint64_t l1Size = 32 * 1024;
+    unsigned l1Assoc = 8;
+    Cycles l1Latency = 2;
+
+    std::uint64_t l2Size = 256 * 1024;
+    unsigned l2Assoc = 8;
+    Cycles l2Latency = 8;
+
+    std::uint64_t l3Size = 16ull * 1024 * 1024;
+    unsigned l3Assoc = 8;
+    Cycles l3Latency = 25;
+};
+
+/** Latency/energy cost model for fingerprint and encryption engines.
+ * Latencies from Section III-C / DeWrite; energies follow the SHA-3
+ * round-2 power comparison study [56] scaled to a 64 B block. */
+struct CryptoCostConfig
+{
+    /** SHA-1 fingerprint of one cache line (Section III-C: 321 ns). */
+    Tick sha1Latency = 321;
+    Energy sha1Energy = 2900.0;  // pJ per line
+
+    /** MD5 fingerprint of one line (312 ns). */
+    Tick md5Latency = 312;
+    Energy md5Energy = 2700.0;
+
+    /** Lightweight CRC used by DeWrite. */
+    Tick crcLatency = 40;
+    Energy crcEnergy = 350.0;
+
+    /** AES-128 counter-mode encryption of one line. CME precomputes the
+     * pad off the critical path; the XOR apply cost is what is seen. */
+    Tick encryptLatency = 24;
+    Energy encryptEnergy = 900.0;
+
+    /** Obtaining the already-computed ECC from the controller is free
+     * (Section III-C: "the overhead of obtaining ECC is negligible"). */
+    Tick eccLatency = 0;
+    Energy eccEnergy = 0.0;
+
+    /** Metadata (EFIT/AMT) on-chip cache access. */
+    Tick metadataCacheLatency = 2;
+    Energy metadataCacheEnergy = 15.0;
+
+    /** Byte-by-byte comparison of a fetched candidate line in the
+     * controller (wide comparators, a few cycles). */
+    Tick compareLatency = 4;
+    Energy compareEnergy = 40.0;
+};
+
+/** Sizes of the two on-chip metadata caches (Table I: 512 KB each). */
+struct MetadataConfig
+{
+    std::uint64_t efitCacheBytes = 512 * 1024;
+    std::uint64_t amtCacheBytes = 512 * 1024;
+
+    /** Associativity of the on-chip metadata caches. */
+    unsigned efitAssoc = 8;
+    unsigned amtAssoc = 8;
+
+    /** EFIT entry size: ECC fp (8 B) + Addr_base (4 B) + Addr_offsets
+     * (1 B) + referH (1 B) = 14 B, padded to 16 B (Section III-B). */
+    std::uint64_t efitEntryBytes = 16;
+
+    /** AMT entry: initAddr tag (5 B) + Addr_base (4 B) + Addr_offsets
+     * (1 B) = 10 B, padded to 12 B. */
+    std::uint64_t amtEntryBytes = 12;
+
+    /** referH saturation: counts beyond this treat the line as new
+     * (Section III-B: 1 byte is enough; >99.9% of refs are < 1000). */
+    std::uint32_t referHMax = 255;
+
+    /** LRCU decay: every this many EFIT insertions, subtract
+     * decayDelta from every cached reference count. */
+    std::uint64_t decayPeriod = 4096;
+    std::uint32_t decayDelta = 1;
+
+    /** Use LRCU replacement (paper default); false falls back to LRU
+     * for the Fig. 18 "w/o LRCU" ablation. */
+    bool useLrcu = true;
+};
+
+/** Core timing model: in-order, 1 IPC peak, stalling on LLC misses and
+ * on memory-controller write-queue backpressure. */
+struct CoreConfig
+{
+    /** Core clock in GHz (Table I: 2 GHz) — converts cycles to ns. */
+    double clockGhz = 2.0;
+
+    /** Base cycles per instruction when not stalled on memory. */
+    double baseCpi = 1.0;
+};
+
+/** Top-level system configuration. */
+struct SimConfig
+{
+    PcmConfig pcm;
+    CacheConfig cache;
+    CryptoCostConfig crypto;
+    MetadataConfig metadata;
+    CoreConfig core;
+
+    /** Master random seed for any stochastic machinery. */
+    std::uint64_t seed = 1;
+
+    /** Render the Table I style configuration summary. */
+    std::string summary() const;
+};
+
+} // namespace esd
+
+#endif // ESD_COMMON_CONFIG_HH

@@ -1,0 +1,228 @@
+#include "common/config_io.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace esd
+{
+
+namespace
+{
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t a = s.find_first_not_of(" \t\r");
+    if (a == std::string::npos)
+        return "";
+    std::size_t b = s.find_last_not_of(" \t\r");
+    return s.substr(a, b - a + 1);
+}
+
+std::uint64_t
+asU64(const std::string &key, const std::string &v)
+{
+    try {
+        return std::stoull(v, nullptr, 0);
+    } catch (...) {
+        esd_fatal("config key '%s': '%s' is not an integer", key.c_str(),
+                  v.c_str());
+    }
+}
+
+double
+asDouble(const std::string &key, const std::string &v)
+{
+    try {
+        return std::stod(v);
+    } catch (...) {
+        esd_fatal("config key '%s': '%s' is not a number", key.c_str(),
+                  v.c_str());
+    }
+}
+
+bool
+asBool(const std::string &key, const std::string &v)
+{
+    if (v == "true" || v == "1" || v == "yes" || v == "on")
+        return true;
+    if (v == "false" || v == "0" || v == "no" || v == "off")
+        return false;
+    esd_fatal("config key '%s': '%s' is not a boolean", key.c_str(),
+              v.c_str());
+}
+
+} // namespace
+
+bool
+applyConfigKey(SimConfig &cfg, const std::string &key,
+               const std::string &value)
+{
+    const std::string &k = key;
+    const std::string &v = value;
+
+    // PCM.
+    if (k == "pcm.capacity_gb") {
+        cfg.pcm.capacityBytes = asU64(k, v) << 30;
+    } else if (k == "pcm.read_latency") {
+        cfg.pcm.readLatency = asU64(k, v);
+    } else if (k == "pcm.write_latency") {
+        cfg.pcm.writeLatency = asU64(k, v);
+    } else if (k == "pcm.read_energy_pj") {
+        cfg.pcm.readEnergy = asDouble(k, v);
+    } else if (k == "pcm.write_energy_pj") {
+        cfg.pcm.writeEnergy = asDouble(k, v);
+    } else if (k == "pcm.channels") {
+        cfg.pcm.channels = static_cast<unsigned>(asU64(k, v));
+    } else if (k == "pcm.ranks") {
+        cfg.pcm.ranksPerChannel = static_cast<unsigned>(asU64(k, v));
+    } else if (k == "pcm.banks") {
+        cfg.pcm.banksPerRank = static_cast<unsigned>(asU64(k, v));
+    } else if (k == "pcm.write_queue_depth") {
+        cfg.pcm.writeQueueDepth = static_cast<unsigned>(asU64(k, v));
+    } else if (k == "pcm.row_buffer_lines") {
+        cfg.pcm.rowBufferLines = asU64(k, v);
+    } else if (k == "pcm.row_hit_read_latency") {
+        cfg.pcm.rowHitReadLatency = asU64(k, v);
+    } else if (k == "pcm.read_priority") {
+        cfg.pcm.readPriority = asBool(k, v);
+    } else if (k == "pcm.start_gap") {
+        cfg.pcm.startGapEnabled = asBool(k, v);
+    } else if (k == "pcm.gap_move_period") {
+        cfg.pcm.gapMovePeriod = asU64(k, v);
+    } else if (k == "pcm.start_gap_region_lines") {
+        cfg.pcm.startGapRegionLines = asU64(k, v);
+    }
+    // Cache hierarchy.
+    else if (k == "cache.l1_kb") {
+        cfg.cache.l1Size = asU64(k, v) << 10;
+    } else if (k == "cache.l2_kb") {
+        cfg.cache.l2Size = asU64(k, v) << 10;
+    } else if (k == "cache.l3_kb") {
+        cfg.cache.l3Size = asU64(k, v) << 10;
+    } else if (k == "cache.l1_assoc") {
+        cfg.cache.l1Assoc = static_cast<unsigned>(asU64(k, v));
+    } else if (k == "cache.l2_assoc") {
+        cfg.cache.l2Assoc = static_cast<unsigned>(asU64(k, v));
+    } else if (k == "cache.l3_assoc") {
+        cfg.cache.l3Assoc = static_cast<unsigned>(asU64(k, v));
+    }
+    // Crypto cost model.
+    else if (k == "crypto.sha1_latency") {
+        cfg.crypto.sha1Latency = asU64(k, v);
+    } else if (k == "crypto.md5_latency") {
+        cfg.crypto.md5Latency = asU64(k, v);
+    } else if (k == "crypto.crc_latency") {
+        cfg.crypto.crcLatency = asU64(k, v);
+    } else if (k == "crypto.encrypt_latency") {
+        cfg.crypto.encryptLatency = asU64(k, v);
+    } else if (k == "crypto.compare_latency") {
+        cfg.crypto.compareLatency = asU64(k, v);
+    }
+    // Metadata.
+    else if (k == "metadata.efit_kb") {
+        cfg.metadata.efitCacheBytes = asU64(k, v) << 10;
+    } else if (k == "metadata.amt_kb") {
+        cfg.metadata.amtCacheBytes = asU64(k, v) << 10;
+    } else if (k == "metadata.refer_h_max") {
+        cfg.metadata.referHMax = static_cast<std::uint32_t>(asU64(k, v));
+    } else if (k == "metadata.decay_period") {
+        cfg.metadata.decayPeriod = asU64(k, v);
+    } else if (k == "metadata.decay_delta") {
+        cfg.metadata.decayDelta = static_cast<std::uint32_t>(asU64(k, v));
+    } else if (k == "metadata.use_lrcu") {
+        cfg.metadata.useLrcu = asBool(k, v);
+    }
+    // Core.
+    else if (k == "core.clock_ghz") {
+        cfg.core.clockGhz = asDouble(k, v);
+    } else if (k == "core.base_cpi") {
+        cfg.core.baseCpi = asDouble(k, v);
+    } else if (k == "seed") {
+        cfg.seed = asU64(k, v);
+    } else {
+        return false;
+    }
+    return true;
+}
+
+void
+loadConfigFile(SimConfig &cfg, const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        esd_fatal("cannot open config file '%s'", path.c_str());
+    std::string line;
+    std::uint64_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        std::string t = trim(line);
+        if (t.empty() || t[0] == '#')
+            continue;
+        std::size_t eq = t.find('=');
+        if (eq == std::string::npos)
+            esd_fatal("%s:%llu: expected 'key = value'", path.c_str(),
+                      static_cast<unsigned long long>(line_no));
+        std::string key = trim(t.substr(0, eq));
+        std::string value = trim(t.substr(eq + 1));
+        if (!applyConfigKey(cfg, key, value))
+            esd_warn("%s:%llu: unknown config key '%s' ignored",
+                     path.c_str(),
+                     static_cast<unsigned long long>(line_no),
+                     key.c_str());
+    }
+}
+
+std::string
+renderConfig(const SimConfig &cfg)
+{
+    std::ostringstream os;
+    os << "# ESD simulator configuration\n"
+       << "pcm.capacity_gb = " << (cfg.pcm.capacityBytes >> 30) << "\n"
+       << "pcm.read_latency = " << cfg.pcm.readLatency << "\n"
+       << "pcm.write_latency = " << cfg.pcm.writeLatency << "\n"
+       << "pcm.read_energy_pj = " << cfg.pcm.readEnergy << "\n"
+       << "pcm.write_energy_pj = " << cfg.pcm.writeEnergy << "\n"
+       << "pcm.channels = " << cfg.pcm.channels << "\n"
+       << "pcm.ranks = " << cfg.pcm.ranksPerChannel << "\n"
+       << "pcm.banks = " << cfg.pcm.banksPerRank << "\n"
+       << "pcm.write_queue_depth = " << cfg.pcm.writeQueueDepth << "\n"
+       << "pcm.row_buffer_lines = " << cfg.pcm.rowBufferLines << "\n"
+       << "pcm.row_hit_read_latency = " << cfg.pcm.rowHitReadLatency
+       << "\n"
+       << "pcm.read_priority = "
+       << (cfg.pcm.readPriority ? "true" : "false") << "\n"
+       << "pcm.start_gap = "
+       << (cfg.pcm.startGapEnabled ? "true" : "false") << "\n"
+       << "pcm.gap_move_period = " << cfg.pcm.gapMovePeriod << "\n"
+       << "pcm.start_gap_region_lines = " << cfg.pcm.startGapRegionLines
+       << "\n"
+       << "cache.l1_kb = " << (cfg.cache.l1Size >> 10) << "\n"
+       << "cache.l2_kb = " << (cfg.cache.l2Size >> 10) << "\n"
+       << "cache.l3_kb = " << (cfg.cache.l3Size >> 10) << "\n"
+       << "cache.l1_assoc = " << cfg.cache.l1Assoc << "\n"
+       << "cache.l2_assoc = " << cfg.cache.l2Assoc << "\n"
+       << "cache.l3_assoc = " << cfg.cache.l3Assoc << "\n"
+       << "crypto.sha1_latency = " << cfg.crypto.sha1Latency << "\n"
+       << "crypto.md5_latency = " << cfg.crypto.md5Latency << "\n"
+       << "crypto.crc_latency = " << cfg.crypto.crcLatency << "\n"
+       << "crypto.encrypt_latency = " << cfg.crypto.encryptLatency << "\n"
+       << "crypto.compare_latency = " << cfg.crypto.compareLatency << "\n"
+       << "metadata.efit_kb = " << (cfg.metadata.efitCacheBytes >> 10)
+       << "\n"
+       << "metadata.amt_kb = " << (cfg.metadata.amtCacheBytes >> 10)
+       << "\n"
+       << "metadata.refer_h_max = " << cfg.metadata.referHMax << "\n"
+       << "metadata.decay_period = " << cfg.metadata.decayPeriod << "\n"
+       << "metadata.decay_delta = " << cfg.metadata.decayDelta << "\n"
+       << "metadata.use_lrcu = "
+       << (cfg.metadata.useLrcu ? "true" : "false") << "\n"
+       << "core.clock_ghz = " << cfg.core.clockGhz << "\n"
+       << "core.base_cpi = " << cfg.core.baseCpi << "\n"
+       << "seed = " << cfg.seed << "\n";
+    return os.str();
+}
+
+} // namespace esd

@@ -1,0 +1,82 @@
+#include "common/logging.hh"
+
+#include <atomic>
+#include <cstdarg>
+#include <exception>
+
+namespace esd
+{
+
+namespace
+{
+
+std::atomic<std::uint64_t> warn_count{0};
+std::atomic<bool> quiet{false};
+
+} // namespace
+
+std::uint64_t
+warnCount()
+{
+    return warn_count.load();
+}
+
+void
+setQuiet(bool q)
+{
+    quiet.store(q);
+}
+
+namespace detail
+{
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    std::string out;
+    if (n > 0) {
+        out.resize(static_cast<std::size_t>(n));
+        std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+    }
+    va_end(ap2);
+    return out;
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    warn_count.fetch_add(1);
+    if (!quiet.load())
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!quiet.load())
+        std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace esd

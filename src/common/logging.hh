@@ -1,0 +1,68 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * Following the gem5 discipline:
+ *   - panic():  an internal invariant was violated — a bug in this
+ *               library. Aborts (core dump friendly).
+ *   - fatal():  the simulation cannot continue because of a user error
+ *               (bad configuration, malformed trace). Exits with code 1.
+ *   - warn():   something works but not as well as it should.
+ *   - inform(): normal operating status.
+ */
+
+#ifndef ESD_COMMON_LOGGING_HH
+#define ESD_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace esd
+{
+
+namespace detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+/** Number of warnings emitted so far (exposed for tests). */
+std::uint64_t warnCount();
+
+/** Suppress or re-enable inform()/warn() console output (benchmarks). */
+void setQuiet(bool quiet);
+
+} // namespace esd
+
+#define esd_panic(...) \
+    ::esd::detail::panicImpl(__FILE__, __LINE__, \
+                             ::esd::detail::format(__VA_ARGS__))
+
+#define esd_fatal(...) \
+    ::esd::detail::fatalImpl(__FILE__, __LINE__, \
+                             ::esd::detail::format(__VA_ARGS__))
+
+#define esd_warn(...) \
+    ::esd::detail::warnImpl(::esd::detail::format(__VA_ARGS__))
+
+#define esd_inform(...) \
+    ::esd::detail::informImpl(::esd::detail::format(__VA_ARGS__))
+
+/** Invariant check that survives NDEBUG: used on internal consistency
+ * conditions whose violation means a library bug. */
+#define esd_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            esd_panic("assertion failed: %s", #cond); \
+        } \
+    } while (0)
+
+#endif // ESD_COMMON_LOGGING_HH

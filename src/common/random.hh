@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in the library (workload synthesis, error
+ * injection, adversarial corpora) flows through Pcg32 so that every
+ * experiment is exactly reproducible from its seed. PCG-XSH-RR 64/32
+ * (O'Neill 2014): small state, good statistical quality, fast.
+ */
+
+#ifndef ESD_COMMON_RANDOM_HH
+#define ESD_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace esd
+{
+
+/** A 32-bit-output PCG generator with 64-bit state. */
+class Pcg32
+{
+  public:
+    /** Seed with a state and an odd stream selector. */
+    explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bull,
+                   std::uint64_t stream = 0xda3e39cb94b95bdbull)
+    {
+        state_ = 0;
+        inc_ = (stream << 1) | 1u;
+        next();
+        state_ += seed;
+        next();
+    }
+
+    /** Next uniformly distributed 32-bit value. */
+    std::uint32_t
+    next()
+    {
+        std::uint64_t old = state_;
+        state_ = old * 6364136223846793005ull + inc_;
+        auto xorshifted =
+            static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+        auto rot = static_cast<std::uint32_t>(old >> 59u);
+        return (xorshifted >> rot) | (xorshifted << ((-rot) & 31));
+    }
+
+    /** Next 64-bit value (two draws). */
+    std::uint64_t
+    next64()
+    {
+        return (static_cast<std::uint64_t>(next()) << 32) | next();
+    }
+
+    /** Uniform integer in [0, bound) with Lemire rejection (unbiased). */
+    std::uint32_t
+    below(std::uint32_t bound)
+    {
+        if (bound == 0)
+            return 0;
+        std::uint32_t threshold = (-bound) % bound;
+        for (;;) {
+            std::uint32_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return next() * (1.0 / 4294967296.0);
+    }
+
+    /** Bernoulli draw with probability @p p of returning true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Fill a cache line with pseudo-random bytes. */
+    void
+    fillLine(CacheLine &line)
+    {
+        for (std::size_t i = 0; i < kWordsPerLine; ++i)
+            line.setWord(i, next64());
+    }
+
+  private:
+    std::uint64_t state_;
+    std::uint64_t inc_;
+};
+
+} // namespace esd
+
+#endif // ESD_COMMON_RANDOM_HH

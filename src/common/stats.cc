@@ -1,0 +1,54 @@
+#include "common/stats.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace esd
+{
+
+void
+LatencyStat::ensureSorted() const
+{
+    if (sorted_)
+        return;
+    sortedSamples_ = samples_;
+    std::sort(sortedSamples_.begin(), sortedSamples_.end());
+    sorted_ = true;
+}
+
+double
+LatencyStat::percentile(double p) const
+{
+    if (samples_.empty())
+        return 0.0;
+    esd_assert(p >= 0.0 && p <= 100.0, "percentile out of range");
+    ensureSorted();
+    if (p <= 0.0)
+        return sortedSamples_.front();
+    // Nearest-rank: ceil(p/100 * N), 1-indexed.
+    auto n = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * sortedSamples_.size()));
+    n = std::min(std::max<std::size_t>(n, 1), sortedSamples_.size());
+    return sortedSamples_[n - 1];
+}
+
+std::vector<std::pair<double, double>>
+LatencyStat::cdf(std::size_t points) const
+{
+    std::vector<std::pair<double, double>> out;
+    if (samples_.empty() || points == 0)
+        return out;
+    ensureSorted();
+    out.reserve(points);
+    for (std::size_t i = 1; i <= points; ++i) {
+        double frac = static_cast<double>(i) / points;
+        auto idx = static_cast<std::size_t>(
+            std::ceil(frac * sortedSamples_.size()));
+        idx = std::min(std::max<std::size_t>(idx, 1), sortedSamples_.size());
+        out.emplace_back(sortedSamples_[idx - 1], frac);
+    }
+    return out;
+}
+
+} // namespace esd

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Statistics primitives: scalar counters, distributions, and a latency
+ * recorder able to report averages, percentiles, and full CDFs.
+ *
+ * These mirror what gem5's stats package provides at the granularity the
+ * ESD evaluation needs (Figs. 11-17 are all built from these).
+ */
+
+#ifndef ESD_COMMON_STATS_HH
+#define ESD_COMMON_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace esd
+{
+
+/** A named monotonically increasing scalar statistic. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void inc(std::uint64_t by = 1) { value_ += by; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * A reservoir of latency samples.
+ *
+ * Stores every sample (the simulated request counts are small enough to
+ * keep exact distributions), reporting mean, min/max, arbitrary
+ * percentiles, and an evenly-spaced CDF for Fig. 15-style plots.
+ */
+class LatencyStat
+{
+  public:
+    /** Record one sample (nanoseconds). */
+    void
+    sample(double v)
+    {
+        samples_.push_back(v);
+        sum_ += v;
+        sorted_ = false;
+    }
+
+    std::uint64_t count() const { return samples_.size(); }
+    double sum() const { return sum_; }
+
+    /** Arithmetic mean; 0 when empty. */
+    double
+    mean() const
+    {
+        return samples_.empty() ? 0.0 : sum_ / samples_.size();
+    }
+
+    double
+    min() const
+    {
+        double m = std::numeric_limits<double>::infinity();
+        for (double v : samples_)
+            m = std::min(m, v);
+        return samples_.empty() ? 0.0 : m;
+    }
+
+    double
+    max() const
+    {
+        double m = -std::numeric_limits<double>::infinity();
+        for (double v : samples_)
+            m = std::max(m, v);
+        return samples_.empty() ? 0.0 : m;
+    }
+
+    /**
+     * Value at percentile @p p in [0, 100], nearest-rank.
+     * Sorts lazily; repeated queries are cheap.
+     */
+    double percentile(double p) const;
+
+    /**
+     * The empirical CDF sampled at @p points evenly spaced quantiles.
+     * @return vector of (latency, cumulative fraction) pairs.
+     */
+    std::vector<std::pair<double, double>> cdf(std::size_t points) const;
+
+    /** All raw samples (for tests). */
+    const std::vector<double> &samples() const { return samples_; }
+
+    void
+    reset()
+    {
+        samples_.clear();
+        sum_ = 0;
+        sorted_ = false;
+    }
+
+  private:
+    void ensureSorted() const;
+
+    std::vector<double> samples_;
+    double sum_ = 0;
+    mutable bool sorted_ = false;
+    mutable std::vector<double> sortedSamples_;
+};
+
+/**
+ * A histogram over power-of-ten style reference-count buckets used by the
+ * Fig. 3 content-locality analysis: num1, num10, num100, num1000,
+ * num1000+ (bucket upper bounds 1, 10, 100, 1000, +inf).
+ */
+class RefCountBuckets
+{
+  public:
+    static constexpr std::size_t kNumBuckets = 5;
+
+    /** Record a unique line whose reference count is @p refs. */
+    void
+    add(std::uint64_t refs)
+    {
+        std::size_t b = bucketOf(refs);
+        lines_[b] += 1;
+        volume_[b] += refs;
+    }
+
+    /** Bucket index for a reference count. */
+    static std::size_t
+    bucketOf(std::uint64_t refs)
+    {
+        if (refs <= 1)
+            return 0;
+        if (refs <= 10)
+            return 1;
+        if (refs <= 100)
+            return 2;
+        if (refs <= 1000)
+            return 3;
+        return 4;
+    }
+
+    static const char *
+    bucketName(std::size_t b)
+    {
+        static const char *names[kNumBuckets] = {
+            "num1", "num10", "num100", "num1000", "num1000+"};
+        return names[b];
+    }
+
+    /** Count of unique lines in bucket @p b. */
+    std::uint64_t lines(std::size_t b) const { return lines_[b]; }
+
+    /** Total pre-dedup write volume (line count) from bucket @p b. */
+    std::uint64_t volume(std::size_t b) const { return volume_[b]; }
+
+    std::uint64_t
+    totalLines() const
+    {
+        std::uint64_t t = 0;
+        for (auto v : lines_)
+            t += v;
+        return t;
+    }
+
+    std::uint64_t
+    totalVolume() const
+    {
+        std::uint64_t t = 0;
+        for (auto v : volume_)
+            t += v;
+        return t;
+    }
+
+  private:
+    std::uint64_t lines_[kNumBuckets] = {0, 0, 0, 0, 0};
+    std::uint64_t volume_[kNumBuckets] = {0, 0, 0, 0, 0};
+};
+
+} // namespace esd
+
+#endif // ESD_COMMON_STATS_HH

@@ -1,0 +1,68 @@
+#include "core/cpu_system.hh"
+
+namespace esd
+{
+
+CpuSystem::CpuSystem(const SimConfig &cfg, SchemeKind kind)
+    : cfg_(cfg),
+      device_(cfg.pcm),
+      store_(cfg.pcm.capacityBytes),
+      scheme_(makeScheme(kind, cfg, device_, store_)),
+      hierarchy_(cfg.cache)
+{
+}
+
+CpuAccessResult
+CpuSystem::access(Addr addr, bool is_write, const CacheLine &data)
+{
+    CpuAccessResult out;
+
+    // A miss fill needs memory content before the hierarchy can
+    // install the line; fetch it through the scheme only when the
+    // hierarchy actually misses (probe first to avoid fake reads).
+    CacheLine fill;
+    bool will_miss = !hierarchy_.l1().probe(addr) &&
+                     !hierarchy_.l2().probe(addr) &&
+                     !hierarchy_.l3().probe(addr);
+
+    double mem_ns = 0;
+    if (will_miss) {
+        AccessResult r = scheme_->read(lineAlign(addr), fill,
+                                       static_cast<Tick>(now_));
+        mem_ns += static_cast<double>(r.latency + r.issuerStall);
+    }
+
+    HierarchyResult h = hierarchy_.access(addr, is_write, data, fill);
+    double cache_ns = h.cacheCycles / cfg_.core.clockGhz;
+
+    // Dirty evictions leaving L3 go to the scheme's write path.
+    for (const MemOp &op : h.memOps) {
+        if (op.type != OpType::Write)
+            continue;
+        AccessResult r = scheme_->write(op.addr, op.data,
+                                        static_cast<Tick>(now_ + cache_ns));
+        // Posted: only backpressure is visible to the core.
+        mem_ns += static_cast<double>(r.issuerStall);
+    }
+
+    out.latencyNs = cache_ns + mem_ns;
+    out.hitLevel = h.hitLevel;
+    out.data = h.data;
+    now_ += out.latencyNs;
+    return out;
+}
+
+CpuAccessResult
+CpuSystem::store(Addr addr, const CacheLine &data)
+{
+    return access(addr, true, data);
+}
+
+CpuAccessResult
+CpuSystem::load(Addr addr)
+{
+    CacheLine dummy;
+    return access(addr, false, dummy);
+}
+
+} // namespace esd

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Full-stack convenience system: CPU-level loads/stores run through
+ * the L1/L2/L3 hierarchy, and the resulting LLC traffic (miss fills
+ * and dirty evictions) drives a scheme-managed encrypted NVMM. Used by
+ * the examples and integration tests; the figure benches drive the
+ * memory level directly (trace-driven, like the paper's artifact).
+ */
+
+#ifndef ESD_CORE_CPU_SYSTEM_HH
+#define ESD_CORE_CPU_SYSTEM_HH
+
+#include <memory>
+
+#include "cache/hierarchy.hh"
+#include "common/config.hh"
+#include "dedup/scheme.hh"
+#include "dedup/scheme_factory.hh"
+#include "nvm/nvm_store.hh"
+#include "nvm/pcm_device.hh"
+
+namespace esd
+{
+
+/** Outcome of one CPU-level access. */
+struct CpuAccessResult
+{
+    /** Total latency in ns (cache pipeline + any memory time). */
+    double latencyNs = 0;
+
+    /** Which level served it: 1..3, 4 = memory. */
+    unsigned hitLevel = 1;
+
+    /** Loaded data (loads only). */
+    CacheLine data;
+};
+
+/**
+ * The assembled system.
+ */
+class CpuSystem
+{
+  public:
+    CpuSystem(const SimConfig &cfg, SchemeKind kind);
+
+    /** CPU store of a full line. */
+    CpuAccessResult store(Addr addr, const CacheLine &data);
+
+    /** CPU load of a full line. */
+    CpuAccessResult load(Addr addr);
+
+    /** Advance the core clock without memory activity. */
+    void tick(double ns) { now_ += ns; }
+
+    double nowNs() const { return now_; }
+
+    CacheHierarchy &hierarchy() { return hierarchy_; }
+    DedupScheme &scheme() { return *scheme_; }
+    PcmDevice &device() { return device_; }
+
+  private:
+    CpuAccessResult access(Addr addr, bool is_write,
+                           const CacheLine &data);
+
+    SimConfig cfg_;
+    PcmDevice device_;
+    NvmStore store_;
+    std::unique_ptr<DedupScheme> scheme_;
+    CacheHierarchy hierarchy_;
+    double now_ = 0;
+};
+
+} // namespace esd
+
+#endif // ESD_CORE_CPU_SYSTEM_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Multi-core trace-driven simulation (Table I: an 8-core CPU in
+ * front of one memory controller).
+ *
+ * Each core replays its own trace with the same in-order semantics as
+ * the single-core Simulator — reads block *that core only* — while
+ * all cores share the scheme, metadata caches, and PCM banks. With
+ * several cores in flight the controller sees the aggregated request
+ * pressure an 8-core machine produces, which is where read/write
+ * interference (and deduplication's relief of it) grows beyond what
+ * one blocking core can generate.
+ *
+ * Scheduling: a simple next-event loop — at each step the core with
+ * the earliest next-issue time fires, so device arrival times are
+ * globally non-decreasing (which the bank model requires).
+ */
+
+#ifndef ESD_CORE_MULTICORE_HH
+#define ESD_CORE_MULTICORE_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/simulator.hh"
+
+namespace esd
+{
+
+/** Per-core outcome of a multi-core run. */
+struct CoreResult
+{
+    std::uint64_t records = 0;
+    std::uint64_t instructions = 0;
+    double runtimeNs = 0;
+    double ipc = 0;
+};
+
+/** Whole-system outcome. */
+struct MultiCoreRunResult
+{
+    std::string schemeName;
+    std::vector<CoreResult> cores;
+
+    std::uint64_t records = 0;
+    std::uint64_t instructions = 0;
+
+    /** Wall time = the slowest core's runtime. */
+    double wallNs = 0;
+
+    /** System throughput: total instructions per cycle of wall time. */
+    double systemIpc = 0;
+
+    LatencyStat readLatency;
+    LatencyStat writeLatency;
+
+    std::uint64_t logicalWrites = 0;
+    std::uint64_t logicalReads = 0;
+    std::uint64_t dedupHits = 0;
+    EnergyBreakdown energy;
+
+    double
+    writeReduction() const
+    {
+        return logicalWrites == 0
+                   ? 0.0
+                   : static_cast<double>(dedupHits) / logicalWrites;
+    }
+};
+
+/**
+ * N cores, one scheme, one device.
+ */
+class MultiCoreSimulator
+{
+  public:
+    MultiCoreSimulator(const SimConfig &cfg, SchemeKind kind);
+
+    /**
+     * Run one trace per core until every core consumed
+     * @p records_per_core records (0 = its trace's length).
+     *
+     * @param warmup_per_core leading records per core excluded from
+     *                        the shared statistics
+     */
+    MultiCoreRunResult run(
+        std::vector<std::unique_ptr<TraceSource>> traces,
+        std::uint64_t records_per_core,
+        std::uint64_t warmup_per_core = 0);
+
+    DedupScheme &scheme() { return *scheme_; }
+    PcmDevice &device() { return device_; }
+
+  private:
+    SimConfig cfg_;
+    PcmDevice device_;
+    NvmStore store_;
+    std::unique_ptr<DedupScheme> scheme_;
+};
+
+} // namespace esd
+
+#endif // ESD_CORE_MULTICORE_HH

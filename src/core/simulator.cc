@@ -1,0 +1,129 @@
+#include "core/simulator.hh"
+
+#include "common/logging.hh"
+#include "dedup/dewrite.hh"
+#include "dedup/dedup_sha1.hh"
+#include "dedup/esd.hh"
+#include "dedup/mapped_scheme.hh"
+
+namespace esd
+{
+
+Simulator::Simulator(const SimConfig &cfg, SchemeKind kind)
+    : cfg_(cfg),
+      device_(cfg.pcm),
+      store_(cfg.pcm.capacityBytes),
+      scheme_(makeScheme(kind, cfg, device_, store_))
+{
+}
+
+void
+Simulator::resetMeasurement()
+{
+    scheme_->resetStats();
+    device_.resetStats();
+    device_.resetWear();
+}
+
+RunResult
+Simulator::run(TraceSource &trace, std::uint64_t records,
+               std::uint64_t warmup)
+{
+    RunResult out;
+    out.schemeName = scheme_->name();
+
+    const double ns_per_cycle = 1.0 / cfg_.core.clockGhz;
+
+    double core_time = 0;       // ns
+    std::uint64_t instructions = 0;
+    double measure_start_time = 0;
+    std::uint64_t measure_start_instr = 0;
+    std::uint64_t processed = 0;
+    bool measuring = warmup == 0;
+
+    TraceRecord rec;
+    while ((records == 0 || processed < records) && trace.next(rec)) {
+        if (!measuring && processed == warmup) {
+            resetMeasurement();
+            out.readLatency.reset();
+            out.writeLatency.reset();
+            measure_start_time = core_time;
+            measure_start_instr = instructions;
+            measuring = true;
+        }
+
+        // The core retires the inter-request instructions first.
+        core_time += rec.icount * cfg_.core.baseCpi * ns_per_cycle;
+        instructions += rec.icount;
+
+        auto now = static_cast<Tick>(core_time);
+        if (rec.op == OpType::Write) {
+            AccessResult r = scheme_->write(rec.addr, rec.data, now);
+            if (measuring)
+                out.writeLatency.sample(static_cast<double>(r.latency));
+            // Posted write: only backpressure stalls the core.
+            core_time += static_cast<double>(r.issuerStall);
+        } else {
+            CacheLine data;
+            AccessResult r = scheme_->read(rec.addr, data, now);
+            if (measuring)
+                out.readLatency.sample(static_cast<double>(r.latency));
+            // Miss fills block the core.
+            core_time += static_cast<double>(r.latency + r.issuerStall);
+        }
+        ++processed;
+    }
+
+    if (!measuring)
+        esd_fatal("trace shorter than the %llu-record warmup",
+                  static_cast<unsigned long long>(warmup));
+
+    out.records = processed - warmup;
+    out.instructions = instructions - measure_start_instr;
+    out.runtimeNs = core_time - measure_start_time;
+    double cycles = out.runtimeNs * cfg_.core.clockGhz;
+    out.ipc = cycles > 0 ? out.instructions / cycles : 0.0;
+
+    const SchemeStats &ss = scheme_->stats();
+    out.logicalWrites = ss.logicalWrites.value();
+    out.logicalReads = ss.logicalReads.value();
+    out.dedupHits = ss.dedupHits.value();
+    out.nvmDataWrites = ss.nvmDataWrites.value();
+    out.nvmReadsTotal = device_.stats().reads.value();
+    out.nvmWritesTotal = device_.stats().writes.value();
+    out.energy = EnergyBreakdown::collect(device_.stats(), ss);
+    out.breakdown = ss.breakdown;
+    out.metadataNvmBytes = scheme_->metadataNvmBytes();
+    out.uniqueLinesStored = store_.residentLines();
+    out.wear = device_.wear().stats();
+    if (out.logicalWrites > 0) {
+        out.dedupViaFpCacheFrac =
+            static_cast<double>(ss.dedupHitsFpCache.value()) /
+            out.logicalWrites;
+        out.dedupViaFpNvmFrac =
+            static_cast<double>(ss.dedupHitsFpNvm.value()) /
+            out.logicalWrites;
+    }
+
+    if (auto *esd_s = dynamic_cast<const EsdScheme *>(scheme_.get()))
+        out.fpCacheHitRate = esd_s->efit().stats().hitRate();
+    else if (auto *s1 = dynamic_cast<const DedupSha1Scheme *>(scheme_.get()))
+        out.fpCacheHitRate = s1->fpTable().stats().cacheHitRate();
+    else if (auto *dw = dynamic_cast<const DeWriteScheme *>(scheme_.get()))
+        out.fpCacheHitRate = dw->fpTable().stats().cacheHitRate();
+
+    if (auto *m = dynamic_cast<const MappedDedupScheme *>(scheme_.get()))
+        out.amtCacheHitRate = m->amt().stats().hitRate();
+
+    return out;
+}
+
+RunResult
+runWorkload(const SimConfig &cfg, SchemeKind kind, TraceSource &trace,
+            std::uint64_t records, std::uint64_t warmup)
+{
+    Simulator sim(cfg, kind);
+    return sim.run(trace, records, warmup);
+}
+
+} // namespace esd

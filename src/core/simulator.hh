@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Trace-driven system simulator: an in-order core model issuing the
+ * memory-level request stream of a TraceSource through a scheme into
+ * the banked PCM device, collecting every metric the evaluation needs
+ * (latency distributions, IPC, energy, write reduction, metadata
+ * footprint, cache hit rates).
+ *
+ * Core timing model: the core retires icount instructions at baseCpi
+ * between requests; LLC miss fills (reads) block it for the observed
+ * memory latency; evictions (writes) are posted and only stall the
+ * core via write-queue backpressure — exactly the asymmetry that lets
+ * write reduction translate into IPC (Fig. 14).
+ */
+
+#ifndef ESD_CORE_SIMULATOR_HH
+#define ESD_CORE_SIMULATOR_HH
+
+#include <memory>
+#include <string>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "dedup/scheme.hh"
+#include "dedup/scheme_factory.hh"
+#include "metrics/energy.hh"
+#include "nvm/nvm_store.hh"
+#include "nvm/pcm_device.hh"
+#include "trace/trace.hh"
+
+namespace esd
+{
+
+/** Everything measured over one simulation run. */
+struct RunResult
+{
+    std::string schemeName;
+
+    std::uint64_t records = 0;
+    std::uint64_t instructions = 0;
+
+    /** Simulated wall time in ns. */
+    double runtimeNs = 0;
+
+    /** Instructions per core cycle. */
+    double ipc = 0;
+
+    LatencyStat readLatency;
+    LatencyStat writeLatency;
+
+    std::uint64_t logicalWrites = 0;
+    std::uint64_t logicalReads = 0;
+    std::uint64_t dedupHits = 0;
+    std::uint64_t nvmDataWrites = 0;
+    std::uint64_t nvmReadsTotal = 0;   ///< incl. metadata traffic
+    std::uint64_t nvmWritesTotal = 0;  ///< incl. metadata traffic
+
+    EnergyBreakdown energy;
+    WriteBreakdown breakdown;
+
+    std::uint64_t metadataNvmBytes = 0;
+    std::uint64_t uniqueLinesStored = 0;
+
+    /** Scheme-dependent cache hit rates (0 when not applicable). */
+    double fpCacheHitRate = 0;  ///< EFIT (ESD) / fp cache (full dedup)
+    double amtCacheHitRate = 0;
+
+    /** Fraction of logical writes deduplicated via a fingerprint
+     * resident in the memory cache vs fetched from NVMM (Fig. 5). */
+    double dedupViaFpCacheFrac = 0;
+    double dedupViaFpNvmFrac = 0;
+
+    /** Endurance accounting over the measured window. */
+    WearStats wear;
+
+    /** dedupHits / logicalWrites. */
+    double
+    writeReduction() const
+    {
+        return logicalWrites == 0
+                   ? 0.0
+                   : static_cast<double>(dedupHits) / logicalWrites;
+    }
+};
+
+/**
+ * One simulated system instance: core model + scheme + device.
+ */
+class Simulator
+{
+  public:
+    Simulator(const SimConfig &cfg, SchemeKind kind);
+
+    /**
+     * Play @p trace through the system.
+     *
+     * @param records total records to consume (0 = until exhausted)
+     * @param warmup  leading records excluded from statistics (the
+     *                paper warms the NVMM before measuring)
+     */
+    RunResult run(TraceSource &trace, std::uint64_t records,
+                  std::uint64_t warmup = 0);
+
+    DedupScheme &scheme() { return *scheme_; }
+    PcmDevice &device() { return device_; }
+    NvmStore &store() { return store_; }
+    const SimConfig &config() const { return cfg_; }
+
+  private:
+    void resetMeasurement();
+
+    SimConfig cfg_;
+    PcmDevice device_;
+    NvmStore store_;
+    std::unique_ptr<DedupScheme> scheme_;
+};
+
+/**
+ * Convenience wrapper: construct, run, and summarise an (app profile,
+ * scheme) pair — the unit of work of every figure bench.
+ */
+RunResult runWorkload(const SimConfig &cfg, SchemeKind kind,
+                      TraceSource &trace, std::uint64_t records,
+                      std::uint64_t warmup = 0);
+
+} // namespace esd
+
+#endif // ESD_CORE_SIMULATOR_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * CRC fingerprints — the lightweight hash DeWrite (MICRO'18) uses for
+ * duplicate prediction. CRC32C (Castagnoli) and CRC64 (ECMA-182) with
+ * table-driven implementations; the Fig. 8 collision bench compares
+ * their collision behaviour against ECC and SHA-1 fingerprints.
+ */
+
+#ifndef ESD_CRYPTO_CRC_HH
+#define ESD_CRYPTO_CRC_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace esd
+{
+
+/** CRC32C (polynomial 0x1EDC6F41, reflected 0x82F63B78). */
+class Crc32c
+{
+  public:
+    /** CRC of @p len bytes, seeded/continuing from @p crc. */
+    static std::uint32_t compute(const void *data, std::size_t len,
+                                 std::uint32_t crc = 0);
+
+    /** CRC32C of a cache line — DeWrite's fingerprint. */
+    static std::uint32_t
+    line(const CacheLine &l)
+    {
+        return compute(l.data(), kLineSize);
+    }
+};
+
+/** CRC64/ECMA-182 (polynomial 0x42F0E1EBA9EA3693, reflected). */
+class Crc64
+{
+  public:
+    static std::uint64_t compute(const void *data, std::size_t len,
+                                 std::uint64_t crc = 0);
+
+    static std::uint64_t
+    line(const CacheLine &l)
+    {
+        return compute(l.data(), kLineSize);
+    }
+};
+
+} // namespace esd
+
+#endif // ESD_CRYPTO_CRC_HH

@@ -1,0 +1,142 @@
+#include "crypto/secure_memory.hh"
+
+#include "common/logging.hh"
+
+namespace esd
+{
+
+SecureCounterMemory::SecureCounterMemory(const AesKey &key,
+                                         std::uint32_t persist_stride)
+    : aes_(key), stride_(persist_stride)
+{
+    if (stride_ == 0)
+        esd_fatal("persist stride must be positive");
+}
+
+CacheLine
+SecureCounterMemory::pad(Addr addr, std::uint64_t ctr,
+                         const CacheLine &in) const
+{
+    CacheLine out;
+    for (unsigned blk = 0; blk < kLineSize / 16; ++blk) {
+        AesBlock cb{};
+        for (int i = 0; i < 8; ++i)
+            cb[i] = static_cast<std::uint8_t>(addr >> (8 * i));
+        for (int i = 0; i < 7; ++i)
+            cb[8 + i] = static_cast<std::uint8_t>(ctr >> (8 * i));
+        cb[15] = static_cast<std::uint8_t>(blk);
+        AesBlock p = aes_.encryptBlock(cb);
+        for (unsigned i = 0; i < 16; ++i)
+            out[blk * 16 + i] = in[blk * 16 + i] ^ p[i];
+    }
+    return out;
+}
+
+void
+SecureCounterMemory::write(Addr addr, const CacheLine &plain)
+{
+    addr = lineAlign(addr);
+    std::uint64_t ctr = ++volatileCtr_[addr];
+
+    SecureLine line;
+    line.cipher = pad(addr, ctr, plain);
+    line.plainEcc = LineEccCodec::encode(plain);
+    lines_[addr] = line;
+
+    // Lazy persistence: write the counter through only every
+    // stride-th increment (and on first touch so recovery has a
+    // starting point).
+    if (ctr == 1 || ctr % stride_ == 0) {
+        persistedCtr_[addr] = ctr;
+        ++persists_;
+    }
+}
+
+bool
+SecureCounterMemory::read(Addr addr, CacheLine &out) const
+{
+    addr = lineAlign(addr);
+    auto it = lines_.find(addr);
+    if (it == lines_.end())
+        return false;
+    auto ctr_it = volatileCtr_.find(addr);
+    esd_assert(ctr_it != volatileCtr_.end(),
+               "stored line without live counter (recover first?)");
+    out = pad(addr, ctr_it->second, it->second.cipher);
+    return true;
+}
+
+void
+SecureCounterMemory::crash()
+{
+    volatileCtr_.clear();
+}
+
+RecoveryReport
+SecureCounterMemory::recover()
+{
+    RecoveryReport rep;
+    for (const auto &[addr, line] : lines_) {
+        ++rep.lines;
+        auto it = persistedCtr_.find(addr);
+        esd_assert(it != persistedCtr_.end(),
+                   "line with no persisted counter");
+        std::uint64_t base = it->second;
+
+        bool found = false;
+        // Pass 1: the true counter lies in [base, base + stride); try
+        // each candidate and accept the one whose plaintext verifies
+        // against the stored ECC exactly.
+        for (std::uint32_t delta = 0; delta < stride_ && !found;
+             ++delta) {
+            std::uint64_t cand = base + delta;
+            ++rep.trialDecrypts;
+            CacheLine plain = pad(addr, cand, line.cipher);
+            if (LineEccCodec::encode(plain) == line.plainEcc) {
+                volatileCtr_[addr] = cand;
+                found = true;
+                if (delta == 0)
+                    ++rep.exact;
+                else
+                    ++rep.recovered;
+            }
+        }
+
+        // Pass 2: no exact match — the line may carry a (single-bit,
+        // correctable) media fault on top of the counter lag. Accept
+        // the candidate whose plaintext the SEC-DED can reconcile with
+        // the stored check bits. A wrong counter yields effectively
+        // random plaintext, which passes per-word correction only with
+        // small probability, so exact matches are always preferred.
+        for (std::uint32_t delta = 0; delta < stride_ && !found;
+             ++delta) {
+            std::uint64_t cand = base + delta;
+            ++rep.trialDecrypts;
+            CacheLine plain = pad(addr, cand, line.cipher);
+            LineDecodeResult r = LineEccCodec::decode(plain,
+                                                      line.plainEcc);
+            if (r.status != EccStatus::Uncorrectable &&
+                r.correctedWords <= 1) {
+                volatileCtr_[addr] = cand;
+                found = true;
+                ++rep.recoveredScrubbed;
+            }
+        }
+        if (!found)
+            ++rep.unrecoverable;
+    }
+    return rep;
+}
+
+void
+SecureCounterMemory::corruptStoredBit(Addr addr, unsigned bit)
+{
+    addr = lineAlign(addr);
+    auto it = lines_.find(addr);
+    esd_assert(it != lines_.end(), "corrupting an empty line");
+    esd_assert(bit < 512, "cipher bit index out of range");
+    it->second.cipher[bit / 8] ^=
+        static_cast<std::uint8_t>(1u << (bit % 8));
+}
+
+} // namespace esd

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Crash-consistent counter-mode memory with ECC-assisted counter
+ * recovery — the Section III-E consistency machinery, following the
+ * Osiris approach the paper cites ([64], MICRO'18).
+ *
+ * Counter-mode encryption needs the per-line write counter to decrypt.
+ * Persisting the counter on *every* write doubles write traffic, so
+ * the controller keeps counters in volatile on-chip state and persists
+ * only every `persistStride`-th value per line. After a crash the
+ * persisted counter may lag the true one by up to stride-1 increments.
+ *
+ * Osiris' insight: the line's ECC (computed over *plaintext* and
+ * stored with the ciphertext) acts as a sanity check. Recovery tries
+ * candidate counters c, c+1, ..., c+stride-1 from the persisted value,
+ * decrypts with each, and accepts the candidate whose plaintext
+ * matches the stored ECC — with 64 check bits a wrong counter passes
+ * with probability ~2^-64.
+ */
+
+#ifndef ESD_CRYPTO_SECURE_MEMORY_HH
+#define ESD_CRYPTO_SECURE_MEMORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "crypto/aes.hh"
+#include "crypto/ctr_mode.hh"
+#include "ecc/line_ecc.hh"
+
+namespace esd
+{
+
+/** Outcome of post-crash recovery. */
+struct RecoveryReport
+{
+    std::uint64_t lines = 0;        ///< lines examined
+    std::uint64_t exact = 0;        ///< persisted counter was current
+    std::uint64_t recovered = 0;    ///< counter re-derived via ECC
+    std::uint64_t recoveredScrubbed = 0; ///< re-derived despite a
+                                         ///< correctable media fault
+    std::uint64_t unrecoverable = 0;///< no candidate passed the check
+    std::uint64_t trialDecrypts = 0;
+
+    bool ok() const { return unrecoverable == 0; }
+};
+
+/**
+ * A self-contained encrypted line memory with lazily persisted
+ * counters and ECC-assisted recovery.
+ */
+class SecureCounterMemory
+{
+  public:
+    /**
+     * @param key            AES-128 key
+     * @param persist_stride counter persistence interval (1 = every
+     *                       write, Osiris uses 4-8)
+     */
+    SecureCounterMemory(const AesKey &key, std::uint32_t persist_stride);
+
+    /** Encrypt and store @p plain at @p addr. */
+    void write(Addr addr, const CacheLine &plain);
+
+    /**
+     * Decrypt the line at @p addr.
+     * @return false when nothing is stored there.
+     */
+    bool read(Addr addr, CacheLine &out) const;
+
+    /**
+     * Power failure: all volatile counter state is lost; only the
+     * (possibly stale) persisted counters and the NVMM contents
+     * survive.
+     */
+    void crash();
+
+    /** Re-derive exact counters for every stored line via the
+     * ECC-assisted search. */
+    RecoveryReport recover();
+
+    /** Number of counter persists issued (extra NVMM write traffic
+     * the stride amortises). */
+    std::uint64_t counterPersists() const { return persists_; }
+
+    std::uint64_t linesStored() const { return lines_.size(); }
+
+    /** Volatile counter of @p addr (0 if unknown). */
+    std::uint64_t
+    counter(Addr addr) const
+    {
+        auto it = volatileCtr_.find(lineAlign(addr));
+        return it == volatileCtr_.end() ? 0 : it->second;
+    }
+
+    /** Fault injection for tests: flip a stored ciphertext bit. */
+    void corruptStoredBit(Addr addr, unsigned bit);
+
+  private:
+    struct SecureLine
+    {
+        CacheLine cipher;
+        LineEcc plainEcc = 0;
+    };
+
+    CacheLine pad(Addr addr, std::uint64_t ctr,
+                  const CacheLine &in) const;
+
+    Aes128 aes_;
+    std::uint32_t stride_;
+
+    /** Volatile (on-chip) exact counters — lost at crash. */
+    std::unordered_map<Addr, std::uint64_t> volatileCtr_;
+
+    /** Persisted (NVMM) counters — may lag by < stride. */
+    std::unordered_map<Addr, std::uint64_t> persistedCtr_;
+
+    /** NVMM contents: ciphertext + plaintext-ECC. */
+    std::unordered_map<Addr, SecureLine> lines_;
+
+    std::uint64_t persists_ = 0;
+};
+
+} // namespace esd
+
+#endif // ESD_CRYPTO_SECURE_MEMORY_HH

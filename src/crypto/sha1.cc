@@ -1,0 +1,153 @@
+#include "crypto/sha1.hh"
+
+#include <bit>
+#include <cstring>
+
+namespace esd
+{
+
+namespace
+{
+
+inline std::uint32_t
+rotl(std::uint32_t v, unsigned n)
+{
+    return std::rotl(v, static_cast<int>(n));
+}
+
+} // namespace
+
+void
+Sha1::reset()
+{
+    h_[0] = 0x67452301u;
+    h_[1] = 0xEFCDAB89u;
+    h_[2] = 0x98BADCFEu;
+    h_[3] = 0x10325476u;
+    h_[4] = 0xC3D2E1F0u;
+    bufLen_ = 0;
+    totalLen_ = 0;
+}
+
+void
+Sha1::processBlock(const std::uint8_t *block)
+{
+    std::uint32_t w[80];
+    for (int i = 0; i < 16; ++i) {
+        w[i] = (static_cast<std::uint32_t>(block[i * 4]) << 24) |
+               (static_cast<std::uint32_t>(block[i * 4 + 1]) << 16) |
+               (static_cast<std::uint32_t>(block[i * 4 + 2]) << 8) |
+               static_cast<std::uint32_t>(block[i * 4 + 3]);
+    }
+    for (int i = 16; i < 80; ++i)
+        w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+
+    std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+
+    for (int i = 0; i < 80; ++i) {
+        std::uint32_t f, k;
+        if (i < 20) {
+            f = (b & c) | (~b & d);
+            k = 0x5A827999u;
+        } else if (i < 40) {
+            f = b ^ c ^ d;
+            k = 0x6ED9EBA1u;
+        } else if (i < 60) {
+            f = (b & c) | (b & d) | (c & d);
+            k = 0x8F1BBCDCu;
+        } else {
+            f = b ^ c ^ d;
+            k = 0xCA62C1D6u;
+        }
+        std::uint32_t tmp = rotl(a, 5) + f + e + k + w[i];
+        e = d;
+        d = c;
+        c = rotl(b, 30);
+        b = a;
+        a = tmp;
+    }
+
+    h_[0] += a;
+    h_[1] += b;
+    h_[2] += c;
+    h_[3] += d;
+    h_[4] += e;
+}
+
+void
+Sha1::update(const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    totalLen_ += len;
+    while (len > 0) {
+        std::size_t take = std::min<std::size_t>(64 - bufLen_, len);
+        std::memcpy(buf_ + bufLen_, p, take);
+        bufLen_ += take;
+        p += take;
+        len -= take;
+        if (bufLen_ == 64) {
+            processBlock(buf_);
+            bufLen_ = 0;
+        }
+    }
+}
+
+Sha1Digest
+Sha1::finish()
+{
+    std::uint64_t bit_len = totalLen_ * 8;
+    std::uint8_t pad = 0x80;
+    update(&pad, 1);
+    std::uint8_t zero = 0;
+    while (bufLen_ != 56)
+        update(&zero, 1);
+    std::uint8_t len_be[8];
+    for (int i = 0; i < 8; ++i)
+        len_be[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+    // Bypass totalLen_ accounting for the length field itself.
+    std::memcpy(buf_ + bufLen_, len_be, 8);
+    processBlock(buf_);
+    bufLen_ = 0;
+
+    Sha1Digest out;
+    for (int i = 0; i < 5; ++i) {
+        out[i * 4] = static_cast<std::uint8_t>(h_[i] >> 24);
+        out[i * 4 + 1] = static_cast<std::uint8_t>(h_[i] >> 16);
+        out[i * 4 + 2] = static_cast<std::uint8_t>(h_[i] >> 8);
+        out[i * 4 + 3] = static_cast<std::uint8_t>(h_[i]);
+    }
+    return out;
+}
+
+Sha1Digest
+Sha1::digest(const void *data, std::size_t len)
+{
+    Sha1 s;
+    s.update(data, len);
+    return s.finish();
+}
+
+std::uint64_t
+Sha1::fingerprint64(const CacheLine &line)
+{
+    Sha1Digest d = digestLine(line);
+    std::uint64_t fp = 0;
+    for (int i = 0; i < 8; ++i)
+        fp = (fp << 8) | d[i];
+    return fp;
+}
+
+std::string
+Sha1::toHex(const Sha1Digest &d)
+{
+    static const char *hex = "0123456789abcdef";
+    std::string s;
+    s.reserve(40);
+    for (std::uint8_t b : d) {
+        s.push_back(hex[b >> 4]);
+        s.push_back(hex[b & 0xf]);
+    }
+    return s;
+}
+
+} // namespace esd

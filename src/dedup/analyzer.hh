@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Offline exact-deduplication analysis of a write stream — produces
+ * the workload characterisation the paper opens with:
+ *   - duplicate rate of cache lines (Fig. 1),
+ *   - reference-count distribution before dedup and occupied-space
+ *     distribution after dedup (Fig. 3),
+ *   - zero-line share.
+ *
+ * This is ground truth (content-hash exact match), independent of any
+ * scheme's fingerprints or caches.
+ */
+
+#ifndef ESD_DEDUP_ANALYZER_HH
+#define ESD_DEDUP_ANALYZER_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace esd
+{
+
+/** Streaming exact-dedup analyser. */
+class DedupAnalyzer
+{
+  public:
+    /** Feed one written line. */
+    void
+    addWrite(const CacheLine &line)
+    {
+        ++totalWrites_;
+        if (line.isZero())
+            ++zeroWrites_;
+        std::uint64_t key = line.contentHash();
+        auto [it, inserted] = refs_.try_emplace(key, 0);
+        if (!inserted)
+            ++duplicateWrites_;
+        ++it->second;
+    }
+
+    std::uint64_t totalWrites() const { return totalWrites_; }
+    std::uint64_t duplicateWrites() const { return duplicateWrites_; }
+    std::uint64_t uniqueLines() const { return refs_.size(); }
+    std::uint64_t zeroWrites() const { return zeroWrites_; }
+
+    /** Fraction of written lines whose content was seen before. */
+    double
+    duplicateRate() const
+    {
+        return totalWrites_ == 0
+                   ? 0.0
+                   : static_cast<double>(duplicateWrites_) / totalWrites_;
+    }
+
+    /** The Fig. 3 bucket histogram over unique-line reference counts. */
+    RefCountBuckets
+    buckets() const
+    {
+        RefCountBuckets b;
+        for (const auto &[key, refs] : refs_)
+            b.add(refs);
+        return b;
+    }
+
+    void
+    reset()
+    {
+        refs_.clear();
+        totalWrites_ = duplicateWrites_ = zeroWrites_ = 0;
+    }
+
+  private:
+    std::unordered_map<std::uint64_t, std::uint64_t> refs_;
+    std::uint64_t totalWrites_ = 0;
+    std::uint64_t duplicateWrites_ = 0;
+    std::uint64_t zeroWrites_ = 0;
+};
+
+} // namespace esd
+
+#endif // ESD_DEDUP_ANALYZER_HH

@@ -1,0 +1,53 @@
+#include "dedup/baseline.hh"
+
+namespace esd
+{
+
+AccessResult
+BaselineScheme::write(Addr addr, const CacheLine &data, Tick now)
+{
+    stats_.logicalWrites.inc();
+    AccessResult res;
+    WriteBreakdown bd;
+
+    addr = lineAlign(addr);
+    Tick t = now;
+
+    Tick enc = cfg_.crypto.encryptLatency;
+    CacheLine cipher = encryptLine(addr, data);
+    t += enc;
+    bd.encrypt += static_cast<double>(enc);
+
+    LineEcc ecc = LineEccCodec::encode(data);
+    store_.write(addr, cipher, ecc);
+
+    NvmAccessResult r = deviceWrite(addr, t);
+    bd.lineWrite += static_cast<double>(r.complete - t);
+    stats_.nvmDataWrites.inc();
+
+    res.latency = r.complete - now;
+    res.issuerStall = r.issuerStall;
+    stats_.breakdown.add(bd);
+    return res;
+}
+
+AccessResult
+BaselineScheme::read(Addr addr, CacheLine &out, Tick now)
+{
+    stats_.logicalReads.inc();
+    AccessResult res;
+
+    addr = lineAlign(addr);
+    NvmAccessResult r = deviceRead(addr, now);
+    stats_.nvmDataReads.inc();
+
+    if (auto stored = store_.read(addr))
+        out = readVerified(addr, *stored);
+    else
+        out = CacheLine{};
+
+    res.latency = r.complete - now;
+    return res;
+}
+
+} // namespace esd

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Baseline scheme: encrypted NVMM without deduplication (the paper's
+ * normalisation reference). Every eviction is counter-mode encrypted
+ * and written in place (physical = logical); reads fetch and decrypt
+ * directly — no AMT, no fingerprints, no metadata in NVMM.
+ */
+
+#ifndef ESD_DEDUP_BASELINE_HH
+#define ESD_DEDUP_BASELINE_HH
+
+#include "dedup/scheme.hh"
+
+namespace esd
+{
+
+/** Encrypt-only write-through scheme. */
+class BaselineScheme : public DedupScheme
+{
+  public:
+    BaselineScheme(const SimConfig &cfg, PcmDevice &device,
+                   NvmStore &store)
+        : DedupScheme(cfg, device, store)
+    {
+    }
+
+    AccessResult write(Addr addr, const CacheLine &data,
+                       Tick now) override;
+    AccessResult read(Addr addr, CacheLine &out, Tick now) override;
+
+    std::string name() const override { return "Baseline"; }
+
+    std::uint64_t metadataNvmBytes() const override { return 0; }
+};
+
+} // namespace esd
+
+#endif // ESD_DEDUP_BASELINE_HH

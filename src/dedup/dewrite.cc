@@ -1,0 +1,176 @@
+#include "dedup/dewrite.hh"
+
+#include "crypto/crc.hh"
+
+namespace esd
+{
+
+namespace
+{
+
+/** NVMM region of the CRC fingerprint index. */
+constexpr Addr kFpRegionBase = 13ull << 30;
+
+} // namespace
+
+DeWriteScheme::DeWriteScheme(const SimConfig &cfg, PcmDevice &device,
+                             NvmStore &store)
+    : MappedDedupScheme(cfg, device, store),
+      fps_(cfg.metadata.efitCacheBytes, kEntryBytes, cfg.metadata.efitAssoc,
+           kFpRegionBase)
+{
+}
+
+void
+DeWriteScheme::onPhysFreed(Addr phys)
+{
+    auto it = physToFp_.find(phys);
+    if (it != physToFp_.end()) {
+        fps_.erase(it->second);
+        physToFp_.erase(it);
+    }
+}
+
+std::uint64_t
+DeWriteScheme::metadataNvmBytes() const
+{
+    return fps_.nvmBytes() + amt_.nvmBytes();
+}
+
+DeWriteScheme::CheckOutcome
+DeWriteScheme::resolveDuplicate(std::uint64_t fp, const CacheLine &data,
+                                Tick &t, WriteBreakdown &bd)
+{
+    CheckOutcome out;
+
+    Tick m = metadataAccess();
+    t += m;
+    bd.metadata += static_cast<double>(m);
+
+    FpTable::LookupResult lr = fps_.lookup(fp);
+    if (lr.nvmLookup) {
+        stats_.fpNvmLookups.inc();
+        NvmAccessResult r = deviceRead(lr.nvmAddr, t);
+        bd.fpNvmLookup += static_cast<double>(r.complete - t);
+        t = r.complete;
+    }
+
+    if (!lr.found || !lines_.isLive(lr.phys)) {
+        if (lr.found)
+            fps_.erase(fp);  // stale entry
+        return out;
+    }
+
+    // CRC collides easily (Fig. 8): always verify by byte comparison.
+    NvmAccessResult r = deviceRead(lr.phys, t);
+    bd.readCompare += static_cast<double>(r.complete - t);
+    t = r.complete;
+    stats_.compareReads.inc();
+    stats_.metadataEnergy += cfg_.crypto.compareEnergy;
+    t += cfg_.crypto.compareLatency;
+
+    auto stored = store_.read(lr.phys);
+    if (stored && decryptLine(lr.phys, stored->data) == data) {
+        out.dup = true;
+        out.phys = lr.phys;
+        out.viaCache = lr.cacheHit;
+    } else {
+        stats_.compareMismatches.inc();
+    }
+    return out;
+}
+
+AccessResult
+DeWriteScheme::write(Addr addr, const CacheLine &data, Tick now)
+{
+    stats_.logicalWrites.inc();
+    AccessResult res;
+    WriteBreakdown bd;
+    addr = lineAlign(addr);
+
+    // CRC is computed for every line, predicted duplicate or not.
+    Tick crc_lat = cfg_.crypto.crcLatency;
+    stats_.hashEnergy += cfg_.crypto.crcEnergy;
+    std::uint64_t fp = Crc32c::line(data);
+    bd.fpCompute += static_cast<double>(crc_lat);
+
+    bool predicted_dup = predictor_.predictDuplicate(addr);
+
+    Tick t_check = now + crc_lat;
+    CheckOutcome chk;
+    Tick t_end;
+
+    if (predicted_dup) {
+        // Serial path: the write waits for the check.
+        chk = resolveDuplicate(fp, data, t_check, bd);
+        predictor_.train(addr, predicted_dup, chk.dup);
+
+        if (chk.dup) {
+            // T1: duplicate confirmed, write eliminated.
+            t_end = t_check;
+        } else {
+            // F2: worst case — full check, then encrypt + write.
+            Addr phys;
+            Tick t = t_check;
+            NvmAccessResult w = writeNewLine(data, phys, t, bd);
+            res.issuerStall += w.issuerStall;
+
+            Addr fp_store;
+            fps_.insert(fp, phys, fp_store);
+            stats_.fpNvmStores.inc();
+            NvmAccessResult fs = deviceWrite(fp_store, t);
+            res.issuerStall += fs.issuerStall;
+            physToFp_[phys] = fp;
+
+            chk.phys = phys;
+            t_end = t;
+        }
+    } else {
+        // Parallel path: encryption (and, for true uniques, the write)
+        // overlaps the dedup check.
+        chk = resolveDuplicate(fp, data, t_check, bd);
+        predictor_.train(addr, predicted_dup, chk.dup);
+
+        if (!chk.dup) {
+            // T3: prediction right; write latency overlaps the check.
+            Addr phys;
+            Tick t_write = now;
+            NvmAccessResult w = writeNewLine(data, phys, t_write, bd);
+            res.issuerStall += w.issuerStall;
+
+            Addr fp_store;
+            fps_.insert(fp, phys, fp_store);
+            stats_.fpNvmStores.inc();
+            NvmAccessResult fs = deviceWrite(fp_store, t_check);
+            res.issuerStall += fs.issuerStall;
+            physToFp_[phys] = fp;
+
+            chk.phys = phys;
+            t_end = std::max(t_check, t_write);
+        } else {
+            // F4: the line was speculatively encrypted for nothing —
+            // wasted crypto energy, latency hidden behind the check.
+            stats_.cryptoEnergy += cfg_.crypto.encryptEnergy;
+            Tick enc_done = now + cfg_.crypto.encryptLatency;
+            t_end = std::max(t_check, enc_done);
+        }
+    }
+
+    if (chk.dup) {
+        stats_.dedupHits.inc();
+        if (data.isZero())
+            stats_.dedupHitsZeroLine.inc();
+        if (chk.viaCache)
+            stats_.dedupHitsFpCache.inc();
+        else
+            stats_.dedupHitsFpNvm.inc();
+        res.dedup = true;
+    }
+
+    res.issuerStall += remap(addr, chk.phys, t_end, bd);
+    res.latency = t_end - now;
+    stats_.breakdown.add(bd);
+    return res;
+}
+
+} // namespace esd

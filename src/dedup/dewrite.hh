@@ -1,0 +1,74 @@
+/**
+ * @file
+ * DeWrite (MICRO'18) — the state-of-the-art comparison scheme. Full
+ * deduplication with a lightweight CRC fingerprint, a duplication
+ * predictor, and parallel encryption:
+ *
+ *   - predicted duplicate  -> serial: CRC, fingerprint lookup (cache
+ *     then NVMM), candidate read + byte comparison; mispredictions
+ *     (F2 in Fig. 4) pay the whole check *and* the encrypt+write;
+ *   - predicted non-duplicate -> encryption+write overlap the check;
+ *     wrong predictions (F4) waste the encryption work (energy) even
+ *     though the check hides the latency.
+ *
+ * CRC collisions are caught by byte comparison, so like ESD this
+ * scheme never loses data — but it computes CRC for every line and
+ * keeps the full fingerprint index in NVMM.
+ */
+
+#ifndef ESD_DEDUP_DEWRITE_HH
+#define ESD_DEDUP_DEWRITE_HH
+
+#include <unordered_map>
+
+#include "dedup/fp_table.hh"
+#include "dedup/mapped_scheme.hh"
+#include "dedup/predictor.hh"
+
+namespace esd
+{
+
+/** DeWrite: CRC + prediction + parallel encryption, full dedup. */
+class DeWriteScheme : public MappedDedupScheme
+{
+  public:
+    DeWriteScheme(const SimConfig &cfg, PcmDevice &device,
+                  NvmStore &store);
+
+    AccessResult write(Addr addr, const CacheLine &data,
+                       Tick now) override;
+
+    std::string name() const override { return "DeWrite"; }
+
+    std::uint64_t metadataNvmBytes() const override;
+
+    const FpTable &fpTable() const { return fps_; }
+    const DupPredictor &predictor() const { return predictor_; }
+
+  protected:
+    void onPhysFreed(Addr phys) override;
+
+  private:
+    /** The duplicate-or-not resolution common to both predicted paths:
+     * fingerprint lookup plus byte comparison of the candidate.
+     * Advances @p t along the *check* path. */
+    struct CheckOutcome
+    {
+        bool dup = false;
+        Addr phys = kInvalidAddr;
+        bool viaCache = false;
+    };
+    CheckOutcome resolveDuplicate(std::uint64_t fp, const CacheLine &data,
+                                  Tick &t, WriteBreakdown &bd);
+
+    /** DeWrite entry: 16 B + 3 bits, modelled as 17 B. */
+    static constexpr std::uint64_t kEntryBytes = 17;
+
+    FpTable fps_;
+    DupPredictor predictor_;
+    std::unordered_map<Addr, std::uint64_t> physToFp_;
+};
+
+} // namespace esd
+
+#endif // ESD_DEDUP_DEWRITE_HH

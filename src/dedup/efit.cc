@@ -1,0 +1,147 @@
+#include "dedup/efit.hh"
+
+#include "common/logging.hh"
+
+namespace esd
+{
+
+Efit::Efit(const MetadataConfig &cfg) : cfg_(cfg), assoc_(cfg.efitAssoc)
+{
+    std::uint64_t entries = cfg.efitCacheBytes / cfg.efitEntryBytes;
+    if (entries < assoc_)
+        esd_fatal("EFIT cache too small for %u ways", assoc_);
+    sets_ = entries / assoc_;
+    entries_.resize(sets_ * assoc_);
+}
+
+std::uint64_t
+Efit::setOf(LineEcc ecc) const
+{
+    // Mix the 64-bit fingerprint before indexing: check bytes of
+    // structured data are far from uniform.
+    std::uint64_t h = ecc;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+    return h % sets_;
+}
+
+Efit::Entry *
+Efit::lookup(LineEcc ecc)
+{
+    stats_.lookups.inc();
+    std::uint64_t base = setOf(ecc) * assoc_;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Entry &e = entries_[base + w];
+        if (e.valid && e.ecc == ecc) {
+            stats_.hits.inc();
+            e.lastUse = ++useClock_;
+            return &e;
+        }
+    }
+    stats_.misses.inc();
+    return nullptr;
+}
+
+void
+Efit::insert(LineEcc ecc, Addr phys)
+{
+    stats_.inserts.inc();
+    std::uint64_t base = setOf(ecc) * assoc_;
+
+    // Reuse an invalid way when available; otherwise LRCU: evict the
+    // way with the smallest referH (prioritising referH == 1), break
+    // ties by least-recent use. With useLrcu disabled this degenerates
+    // to plain LRU for the Fig. 18 ablation.
+    Entry *victim = nullptr;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Entry &e = entries_[base + w];
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (!victim) {
+            victim = &e;
+            continue;
+        }
+        bool better;
+        if (cfg_.useLrcu) {
+            better = e.referH < victim->referH ||
+                     (e.referH == victim->referH &&
+                      e.lastUse < victim->lastUse);
+        } else {
+            better = e.lastUse < victim->lastUse;
+        }
+        if (better)
+            victim = &e;
+    }
+
+    if (victim->valid) {
+        stats_.evictions.inc();
+        if (victim->referH <= 1)
+            stats_.evictionsRef1.inc();
+    }
+
+    victim->valid = true;
+    victim->ecc = ecc;
+    victim->phys = PackedPhys::fromAddr(phys);
+    victim->referH = 1;
+    victim->lastUse = ++useClock_;
+
+    if (cfg_.decayPeriod > 0 &&
+        ++insertsSinceDecay_ >= cfg_.decayPeriod) {
+        insertsSinceDecay_ = 0;
+        decayAll();
+    }
+}
+
+bool
+Efit::bumpRef(Entry *entry)
+{
+    esd_assert(entry && entry->valid, "bumpRef on invalid entry");
+    if (entry->referH >= cfg_.referHMax) {
+        stats_.referHSaturations.inc();
+        return false;
+    }
+    ++entry->referH;
+    return true;
+}
+
+void
+Efit::erase(LineEcc ecc, Addr phys)
+{
+    std::uint64_t base = setOf(ecc) * assoc_;
+    PackedPhys packed = PackedPhys::fromAddr(phys);
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Entry &e = entries_[base + w];
+        if (e.valid && e.ecc == ecc && e.phys == packed) {
+            e.valid = false;
+            return;
+        }
+    }
+}
+
+void
+Efit::decayAll()
+{
+    stats_.decayRounds.inc();
+    for (Entry &e : entries_) {
+        if (!e.valid)
+            continue;
+        if (e.referH > cfg_.decayDelta)
+            e.referH -= cfg_.decayDelta;
+        else
+            e.referH = 1;
+    }
+}
+
+std::uint64_t
+Efit::validEntries() const
+{
+    std::uint64_t n = 0;
+    for (const Entry &e : entries_)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace esd

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * ECC-based Fingerprint Index Table (EFIT) — Section III-B/III-D.
+ *
+ * The EFIT lives *only* in the on-chip memory-controller cache: this
+ * is the heart of selective deduplication. Entries are
+ * <ECC, Addr_base, Addr_offsets, referH>; replacement is LRCU (Least
+ * Reference Count Used) so that high-reference-count fingerprints — the
+ * content-locality winners of Fig. 3 — survive, while the referH-of-1
+ * long tail is evicted first. A periodic decay subtracts a fixed value
+ * from every cached referH so stale once-hot entries age out.
+ */
+
+#ifndef ESD_DEDUP_EFIT_HH
+#define ESD_DEDUP_EFIT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dedup/amt.hh"
+#include "ecc/line_ecc.hh"
+
+namespace esd
+{
+
+/** EFIT statistics. */
+struct EfitStats
+{
+    Counter lookups;
+    Counter hits;
+    Counter misses;
+    Counter inserts;
+    Counter evictions;
+    Counter evictionsRef1;  ///< victims whose referH was 1 (LRCU target)
+    Counter decayRounds;
+    Counter referHSaturations;
+
+    double
+    hitRate() const
+    {
+        return lookups.value() == 0
+                   ? 0.0
+                   : static_cast<double>(hits.value()) / lookups.value();
+    }
+};
+
+/**
+ * The EFIT cache.
+ */
+class Efit
+{
+  public:
+    /** One cached fingerprint entry. */
+    struct Entry
+    {
+        bool valid = false;
+        LineEcc ecc = 0;
+        PackedPhys phys;
+        std::uint32_t referH = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    explicit Efit(const MetadataConfig &cfg);
+
+    /**
+     * Look up @p ecc.
+     * @return the matching entry (LRU refreshed) or nullptr.
+     */
+    Entry *lookup(LineEcc ecc);
+
+    /**
+     * Insert a fingerprint for the line stored at @p phys with an
+     * initial referH of 1. Applies LRCU replacement when the set is
+     * full and triggers decay every decayPeriod insertions.
+     */
+    void insert(LineEcc ecc, Addr phys);
+
+    /**
+     * Credit one more reference to @p entry.
+     * @return false when referH was already saturated at referHMax —
+     *         the paper's "treat as a new cache line" condition.
+     */
+    bool bumpRef(Entry *entry);
+
+    /**
+     * Repoint @p entry at a freshly written copy and restart its
+     * reference count — the paper's referH-saturation handling: the
+     * rewritten line becomes the deduplication target for subsequent
+     * identical writes (Section III-D).
+     */
+    void
+    redirect(Entry *entry, Addr phys)
+    {
+        esd_assert(entry && entry->valid, "redirect on invalid entry");
+        entry->phys = PackedPhys::fromAddr(phys);
+        entry->referH = 1;
+        entry->lastUse = ++useClock_;
+    }
+
+    /** Drop the entry matching (@p ecc, @p phys) if cached — called
+     * when the referenced physical line dies. */
+    void erase(LineEcc ecc, Addr phys);
+
+    std::uint64_t capacityEntries() const { return sets_ * assoc_; }
+    std::uint64_t sets() const { return sets_; }
+    unsigned assoc() const { return assoc_; }
+
+    /** Count of valid entries (tests / occupancy reporting). */
+    std::uint64_t validEntries() const;
+
+    const EfitStats &stats() const { return stats_; }
+    void resetStats() { stats_ = EfitStats{}; }
+
+  private:
+    std::uint64_t setOf(LineEcc ecc) const;
+    void decayAll();
+
+    MetadataConfig cfg_;
+    std::uint64_t sets_;
+    unsigned assoc_;
+    std::uint64_t useClock_ = 0;
+    std::uint64_t insertsSinceDecay_ = 0;
+    std::vector<Entry> entries_;
+    EfitStats stats_;
+};
+
+} // namespace esd
+
+#endif // ESD_DEDUP_EFIT_HH

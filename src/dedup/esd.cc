@@ -1,0 +1,108 @@
+#include "dedup/esd.hh"
+
+namespace esd
+{
+
+EsdScheme::EsdScheme(const SimConfig &cfg, PcmDevice &device,
+                     NvmStore &store)
+    : MappedDedupScheme(cfg, device, store), efit_(cfg.metadata)
+{
+}
+
+void
+EsdScheme::onPhysFreed(Addr phys)
+{
+    auto it = physToEcc_.find(phys);
+    if (it != physToEcc_.end()) {
+        efit_.erase(it->second, phys);
+        physToEcc_.erase(it);
+    }
+}
+
+AccessResult
+EsdScheme::write(Addr addr, const CacheLine &data, Tick now)
+{
+    stats_.logicalWrites.inc();
+    AccessResult res;
+    WriteBreakdown bd;
+    addr = lineAlign(addr);
+
+    // 1. The fingerprint is the ECC the controller already computed —
+    //    zero latency, zero energy on the critical path.
+    LineEcc ecc = LineEccCodec::encode(data);
+    Tick t = now + cfg_.crypto.eccLatency;
+    bd.fpCompute += static_cast<double>(cfg_.crypto.eccLatency);
+    stats_.hashEnergy += cfg_.crypto.eccEnergy;
+
+    // 2. EFIT probe — on-chip only; a miss never consults NVMM.
+    Tick m = metadataAccess();
+    t += m;
+    bd.metadata += static_cast<double>(m);
+
+    Efit::Entry *entry = efit_.lookup(ecc);
+    bool dedup_done = false;
+    bool saturated_rewrite = false;
+
+    if (entry && lines_.isLive(entry->phys.toAddr())) {
+        // 3. Similar line: fetch and byte-compare (PCM reads are half
+        //    the cost of the write being saved — the asymmetry the
+        //    selective design exploits).
+        Addr cand = entry->phys.toAddr();
+        NvmAccessResult r = deviceRead(cand, t);
+        bd.readCompare += static_cast<double>(r.complete - t);
+        t = r.complete;
+        stats_.compareReads.inc();
+        stats_.metadataEnergy += cfg_.crypto.compareEnergy;
+        t += cfg_.crypto.compareLatency;
+
+        auto stored = store_.read(cand);
+        if (stored && decryptLine(cand, stored->data) == data) {
+            if (efit_.bumpRef(entry)) {
+                // Duplicate eliminated.
+                stats_.dedupHits.inc();
+                if (data.isZero())
+                    stats_.dedupHitsZeroLine.inc();
+                stats_.dedupHitsFpCache.inc();
+                res.issuerStall += remap(addr, cand, t, bd);
+                res.dedup = true;
+                dedup_done = true;
+            } else {
+                // referH saturated: the paper writes the line as a new
+                // cache line and updates the AMT (Section III-D); the
+                // fresh copy becomes the dedup target from now on.
+                stats_.refHOverflowRewrites.inc();
+                saturated_rewrite = true;
+            }
+        } else {
+            // ECC collision caught by the content comparison.
+            stats_.compareMismatches.inc();
+        }
+    } else if (entry) {
+        // Stale entry whose line died — drop it.
+        efit_.erase(entry->ecc, entry->phys.toAddr());
+    }
+
+    if (!dedup_done) {
+        // Non-duplicate (or collision / saturation): encrypt + write,
+        // then remember the fingerprint under LRCU.
+        Addr phys;
+        NvmAccessResult w = writeNewLine(data, phys, t, bd);
+        res.issuerStall += w.issuerStall;
+
+        if (saturated_rewrite) {
+            // Retarget the saturated entry instead of duplicating it.
+            efit_.redirect(entry, phys);
+        } else {
+            efit_.insert(ecc, phys);
+        }
+        physToEcc_[phys] = ecc;
+
+        res.issuerStall += remap(addr, phys, t, bd);
+    }
+
+    res.latency = t - now;
+    stats_.breakdown.add(bd);
+    return res;
+}
+
+} // namespace esd

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * ESD — the paper's contribution (Section III): ECC-assisted,
+ * selective deduplication for encrypted NVMM.
+ *
+ * Write path:
+ *   1. the per-line ECC already computed by the memory controller is
+ *      intercepted as a free fingerprint (no hash latency or energy);
+ *   2. the EFIT (on-chip only) is probed — a miss *definitively* means
+ *      no cached duplicate: encrypt and write, then insert the
+ *      fingerprint under LRCU replacement;
+ *   3. a hit means "similar": the candidate is read back from NVMM
+ *      (cheap — reads are half the cost of writes on PCM) and byte-
+ *      compared; equality dedups the write, inequality was an ECC
+ *      collision and the line is written normally.
+ *
+ * There is no fingerprint store in NVMM at all — the selective part —
+ * so the fingerprint NVMM_lookup bottleneck (Fig. 5) and its space
+ * overhead (Fig. 19) vanish. A saturated referH (1 byte) causes the
+ * paper's "treat as new line" rewrite.
+ */
+
+#ifndef ESD_DEDUP_ESD_HH
+#define ESD_DEDUP_ESD_HH
+
+#include <unordered_map>
+
+#include "dedup/efit.hh"
+#include "dedup/mapped_scheme.hh"
+
+namespace esd
+{
+
+/** The ESD scheme. */
+class EsdScheme : public MappedDedupScheme
+{
+  public:
+    EsdScheme(const SimConfig &cfg, PcmDevice &device, NvmStore &store);
+
+    AccessResult write(Addr addr, const CacheLine &data,
+                       Tick now) override;
+
+    std::string name() const override { return "ESD"; }
+
+    /** Only the AMT lives in NVMM — no fingerprint store. */
+    std::uint64_t metadataNvmBytes() const override
+    {
+        return amt_.nvmBytes();
+    }
+
+    const Efit &efit() const { return efit_; }
+
+  protected:
+    void onPhysFreed(Addr phys) override;
+
+    Efit efit_;
+    std::unordered_map<Addr, LineEcc> physToEcc_;
+};
+
+} // namespace esd
+
+#endif // ESD_DEDUP_ESD_HH

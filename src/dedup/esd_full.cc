@@ -1,0 +1,112 @@
+#include "dedup/esd_full.hh"
+
+namespace esd
+{
+
+namespace
+{
+
+/** NVMM region of the full ECC fingerprint index (ablation). */
+constexpr Addr kFpRegionBase = 14ull << 30;
+
+} // namespace
+
+EsdFullScheme::EsdFullScheme(const SimConfig &cfg, PcmDevice &device,
+                             NvmStore &store)
+    : MappedDedupScheme(cfg, device, store),
+      fps_(cfg.metadata.efitCacheBytes, kEntryBytes,
+           cfg.metadata.efitAssoc, kFpRegionBase)
+{
+}
+
+void
+EsdFullScheme::onPhysFreed(Addr phys)
+{
+    auto it = physToFp_.find(phys);
+    if (it != physToFp_.end()) {
+        fps_.erase(it->second);
+        physToFp_.erase(it);
+    }
+}
+
+std::uint64_t
+EsdFullScheme::metadataNvmBytes() const
+{
+    return fps_.nvmBytes() + amt_.nvmBytes();
+}
+
+AccessResult
+EsdFullScheme::write(Addr addr, const CacheLine &data, Tick now)
+{
+    stats_.logicalWrites.inc();
+    AccessResult res;
+    WriteBreakdown bd;
+    addr = lineAlign(addr);
+
+    // Free ECC fingerprint, exactly as in ESD.
+    LineEcc ecc = LineEccCodec::encode(data);
+    Tick t = now + cfg_.crypto.eccLatency;
+
+    Tick m = metadataAccess();
+    t += m;
+    bd.metadata += static_cast<double>(m);
+
+    // Full dedup: a cache miss forces the fingerprint NVMM_lookup.
+    FpTable::LookupResult lr = fps_.lookup(ecc);
+    if (lr.nvmLookup) {
+        stats_.fpNvmLookups.inc();
+        NvmAccessResult r = deviceRead(lr.nvmAddr, t);
+        bd.fpNvmLookup += static_cast<double>(r.complete - t);
+        t = r.complete;
+    }
+
+    bool dedup = false;
+    if (lr.found && lines_.isLive(lr.phys)) {
+        // Verify by byte comparison (ECC collisions are expected).
+        NvmAccessResult r = deviceRead(lr.phys, t);
+        bd.readCompare += static_cast<double>(r.complete - t);
+        t = r.complete;
+        stats_.compareReads.inc();
+        stats_.metadataEnergy += cfg_.crypto.compareEnergy;
+        t += cfg_.crypto.compareLatency;
+
+        auto stored = store_.read(lr.phys);
+        if (stored && decryptLine(lr.phys, stored->data) == data) {
+            dedup = true;
+            stats_.dedupHits.inc();
+            if (data.isZero())
+                stats_.dedupHitsZeroLine.inc();
+            if (lr.cacheHit)
+                stats_.dedupHitsFpCache.inc();
+            else
+                stats_.dedupHitsFpNvm.inc();
+            res.issuerStall += remap(addr, lr.phys, t, bd);
+            res.dedup = true;
+        } else {
+            stats_.compareMismatches.inc();
+        }
+    } else if (lr.found) {
+        fps_.erase(ecc);
+    }
+
+    if (!dedup) {
+        Addr phys;
+        NvmAccessResult w = writeNewLine(data, phys, t, bd);
+        res.issuerStall += w.issuerStall;
+
+        Addr fp_store;
+        fps_.insert(ecc, phys, fp_store);
+        stats_.fpNvmStores.inc();
+        NvmAccessResult fs = deviceWrite(fp_store, t);
+        res.issuerStall += fs.issuerStall;
+        physToFp_[phys] = ecc;
+
+        res.issuerStall += remap(addr, phys, t, bd);
+    }
+
+    res.latency = t - now;
+    stats_.breakdown.add(bd);
+    return res;
+}
+
+} // namespace esd

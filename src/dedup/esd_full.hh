@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Ablation variant: ECC-assisted *full* deduplication.
+ *
+ * Identical to ESD in how it fingerprints (free ECC interception, no
+ * hash) and verifies (byte-by-byte comparison), but instead of the
+ * cache-only EFIT it keeps the complete fingerprint index in NVMM
+ * behind the on-chip cache, like Dedup_SHA1/DeWrite do. Comparing this
+ * against EsdScheme isolates the contribution of *selective*
+ * deduplication from the contribution of the ECC fingerprint itself
+ * (the bench_abl_selective experiment; not a paper scheme).
+ */
+
+#ifndef ESD_DEDUP_ESD_FULL_HH
+#define ESD_DEDUP_ESD_FULL_HH
+
+#include <unordered_map>
+
+#include "dedup/fp_table.hh"
+#include "dedup/mapped_scheme.hh"
+
+namespace esd
+{
+
+/** ECC fingerprints + full NVMM-resident index. */
+class EsdFullScheme : public MappedDedupScheme
+{
+  public:
+    EsdFullScheme(const SimConfig &cfg, PcmDevice &device,
+                  NvmStore &store);
+
+    AccessResult write(Addr addr, const CacheLine &data,
+                       Tick now) override;
+
+    std::string name() const override { return "ESD_Full"; }
+
+    std::uint64_t metadataNvmBytes() const override;
+
+    const FpTable &fpTable() const { return fps_; }
+
+  protected:
+    void onPhysFreed(Addr phys) override;
+
+  private:
+    /** ECC fp (8 B) + packed phys (5 B) + refcount (1 B). */
+    static constexpr std::uint64_t kEntryBytes = 14;
+
+    FpTable fps_;
+    std::unordered_map<Addr, std::uint64_t> physToFp_;
+};
+
+} // namespace esd
+
+#endif // ESD_DEDUP_ESD_FULL_HH

@@ -1,0 +1,153 @@
+#include "dedup/esd_plus.hh"
+
+namespace esd
+{
+
+EsdPlusScheme::EsdPlusScheme(const SimConfig &cfg, PcmDevice &device,
+                             NvmStore &store)
+    : EsdScheme(cfg, device, store),
+      hotThreshold_(2),
+      capacity_(64)  // 64 lines = 4 KB of SRAM
+{
+}
+
+const CacheLine *
+EsdPlusScheme::findContent(Addr phys)
+{
+    auto it = index_.find(lineAlign(phys));
+    if (it == index_.end())
+        return nullptr;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return &it->second->data;
+}
+
+void
+EsdPlusScheme::installContent(Addr phys, const CacheLine &data)
+{
+    phys = lineAlign(phys);
+    auto it = index_.find(phys);
+    if (it != index_.end()) {
+        it->second->data = data;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    if (lru_.size() >= capacity_) {
+        index_.erase(lru_.back().phys);
+        lru_.pop_back();
+    }
+    lru_.push_front(CachedLine{phys, data});
+    index_[phys] = lru_.begin();
+}
+
+void
+EsdPlusScheme::eraseContent(Addr phys)
+{
+    auto it = index_.find(lineAlign(phys));
+    if (it != index_.end()) {
+        lru_.erase(it->second);
+        index_.erase(it);
+    }
+}
+
+void
+EsdPlusScheme::onPhysFreed(Addr phys)
+{
+    eraseContent(phys);
+    EsdScheme::onPhysFreed(phys);
+}
+
+AccessResult
+EsdPlusScheme::write(Addr addr, const CacheLine &data, Tick now)
+{
+    stats_.logicalWrites.inc();
+    AccessResult res;
+    WriteBreakdown bd;
+    addr = lineAlign(addr);
+
+    LineEcc ecc = LineEccCodec::encode(data);
+    Tick t = now + cfg_.crypto.eccLatency;
+
+    Tick m = metadataAccess();
+    t += m;
+    bd.metadata += static_cast<double>(m);
+
+    Efit::Entry *entry = efit_.lookup(ecc);
+    bool dedup_done = false;
+    bool saturated_rewrite = false;
+
+    if (entry && lines_.isLive(entry->phys.toAddr())) {
+        Addr cand = entry->phys.toAddr();
+
+        // Fast path: hot candidate content is on chip — the compare
+        // costs comparator latency only, no device read.
+        bool matched = false;
+        bool resolved = false;
+        if (const CacheLine *cached = findContent(cand)) {
+            ++contentHits_;
+            t += cfg_.crypto.compareLatency;
+            stats_.metadataEnergy += cfg_.crypto.compareEnergy;
+            matched = (*cached == data);
+            resolved = true;
+        }
+
+        if (!resolved) {
+            // Slow path: fetch and compare, as plain ESD.
+            NvmAccessResult r = deviceRead(cand, t);
+            bd.readCompare += static_cast<double>(r.complete - t);
+            t = r.complete;
+            stats_.compareReads.inc();
+            stats_.metadataEnergy += cfg_.crypto.compareEnergy;
+            t += cfg_.crypto.compareLatency;
+
+            auto stored = store_.read(cand);
+            CacheLine plain;
+            if (stored) {
+                plain = decryptLine(cand, stored->data);
+                matched = (plain == data);
+                // Promote proven-hot lines into the content cache.
+                if (matched && entry->referH + 1 >= hotThreshold_)
+                    installContent(cand, plain);
+            }
+        }
+
+        if (matched) {
+            if (efit_.bumpRef(entry)) {
+                stats_.dedupHits.inc();
+                if (data.isZero())
+                    stats_.dedupHitsZeroLine.inc();
+                stats_.dedupHitsFpCache.inc();
+                res.issuerStall += remap(addr, cand, t, bd);
+                res.dedup = true;
+                dedup_done = true;
+            } else {
+                stats_.refHOverflowRewrites.inc();
+                saturated_rewrite = true;
+                eraseContent(cand);  // the new copy becomes the target
+            }
+        } else {
+            stats_.compareMismatches.inc();
+        }
+    } else if (entry) {
+        efit_.erase(entry->ecc, entry->phys.toAddr());
+    }
+
+    if (!dedup_done) {
+        Addr phys;
+        NvmAccessResult w = writeNewLine(data, phys, t, bd);
+        res.issuerStall += w.issuerStall;
+
+        if (saturated_rewrite)
+            efit_.redirect(entry, phys);
+        else
+            efit_.insert(ecc, phys);
+        physToEcc_[phys] = ecc;
+
+        res.issuerStall += remap(addr, phys, t, bd);
+    }
+
+    res.latency = t - now;
+    stats_.breakdown.add(bd);
+    return res;
+}
+
+} // namespace esd

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * ESD+ — an extension beyond the paper: a small on-chip *content*
+ * cache for the hottest deduplication targets.
+ *
+ * ESD's only remaining write-path NVMM access for a duplicate is the
+ * byte-compare read of the candidate line. But the content-locality
+ * observation (Fig. 3) cuts both ways: the same few lines (the zero
+ * line above all) are compared against over and over. ESD+ keeps the
+ * plaintext of EFIT entries whose referH crosses a threshold in a
+ * tiny SRAM cache (default 64 lines = 4 KB), turning their
+ * comparisons into pure on-chip work — no device read at all.
+ *
+ * Correctness is unchanged: the cached content is installed from a
+ * verified compare and invalidated when its physical line dies.
+ */
+
+#ifndef ESD_DEDUP_ESD_PLUS_HH
+#define ESD_DEDUP_ESD_PLUS_HH
+
+#include <list>
+
+#include "dedup/esd.hh"
+
+namespace esd
+{
+
+/** ESD with a hot-content cache on the compare path. */
+class EsdPlusScheme : public EsdScheme
+{
+  public:
+    EsdPlusScheme(const SimConfig &cfg, PcmDevice &device,
+                  NvmStore &store);
+
+    AccessResult write(Addr addr, const CacheLine &data,
+                       Tick now) override;
+
+    std::string name() const override { return "ESD+"; }
+
+    /** Compares answered without a device read. */
+    std::uint64_t contentCacheHits() const { return contentHits_; }
+    std::uint64_t contentCacheCapacity() const { return capacity_; }
+    std::uint64_t contentCacheSize() const { return lru_.size(); }
+
+  protected:
+    void onPhysFreed(Addr phys) override;
+
+  private:
+    struct CachedLine
+    {
+        Addr phys;
+        CacheLine data;
+    };
+
+    /** Cached plaintext of @p phys, or nullptr. */
+    const CacheLine *findContent(Addr phys);
+
+    /** Install (or refresh) @p phys 's plaintext, evicting LRU. */
+    void installContent(Addr phys, const CacheLine &data);
+
+    void eraseContent(Addr phys);
+
+    /** referH at which a line earns a content-cache slot. */
+    std::uint32_t hotThreshold_;
+    std::uint64_t capacity_;
+    std::uint64_t contentHits_ = 0;
+
+    std::list<CachedLine> lru_;  // front = most recent
+    std::unordered_map<Addr, std::list<CachedLine>::iterator> index_;
+};
+
+} // namespace esd
+
+#endif // ESD_DEDUP_ESD_PLUS_HH

@@ -1,0 +1,128 @@
+#include "dedup/fp_table.hh"
+
+#include "common/logging.hh"
+
+namespace esd
+{
+
+FpTable::FpTable(std::uint64_t cache_bytes, std::uint64_t entry_bytes,
+                 unsigned assoc, Addr nvm_base)
+    : entryBytes_(entry_bytes), nvmBase_(nvm_base), assoc_(assoc)
+{
+    esd_assert(entry_bytes > 0 && assoc > 0, "bad fp table geometry");
+    std::uint64_t entries = cache_bytes / entry_bytes;
+    if (entries < assoc)
+        esd_fatal("fingerprint cache too small for %u ways", assoc);
+    sets_ = entries / assoc;
+    ways_.resize(sets_ * assoc_);
+}
+
+std::uint64_t
+FpTable::setOf(std::uint64_t fp) const
+{
+    std::uint64_t h = fp;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ull;
+    h ^= h >> 33;
+    return h % sets_;
+}
+
+Addr
+FpTable::entryNvmAddr(std::uint64_t fp) const
+{
+    // Bucket the index by fingerprint hash; entries pack into lines.
+    std::uint64_t bucket = setOf(fp) * assoc_ ;
+    return lineAlign(nvmBase_ + bucket * entryBytes_);
+}
+
+FpTable::Way *
+FpTable::findWay(std::uint64_t fp)
+{
+    std::uint64_t base = setOf(fp) * assoc_;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Way &way = ways_[base + w];
+        if (way.valid && way.fp == fp)
+            return &way;
+    }
+    return nullptr;
+}
+
+void
+FpTable::fill(std::uint64_t fp, PackedPhys phys)
+{
+    std::uint64_t base = setOf(fp) * assoc_;
+    Way *lru = &ways_[base];
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Way &cand = ways_[base + w];
+        if (!cand.valid) {
+            lru = &cand;
+            break;
+        }
+        if (cand.lastUse < lru->lastUse)
+            lru = &cand;
+    }
+    lru->valid = true;
+    lru->fp = fp;
+    lru->phys = phys;
+    lru->lastUse = ++useClock_;
+}
+
+FpTable::LookupResult
+FpTable::lookup(std::uint64_t fp)
+{
+    LookupResult res;
+    stats_.lookups.inc();
+
+    if (Way *way = findWay(fp)) {
+        stats_.cacheHits.inc();
+        way->lastUse = ++useClock_;
+        res.found = true;
+        res.cacheHit = true;
+        res.phys = way->phys.toAddr();
+        return res;
+    }
+
+    stats_.cacheMisses.inc();
+    // Full dedup must consult the NVMM-resident index before declaring
+    // the line unique — this is the fingerprint NVMM_lookup.
+    stats_.nvmLookups.inc();
+    res.nvmLookup = true;
+    res.nvmAddr = entryNvmAddr(fp);
+
+    auto it = map_.find(fp);
+    if (it == map_.end())
+        return res;
+
+    stats_.nvmFoundAfterMiss.inc();
+    res.found = true;
+    res.phys = it->second.toAddr();
+    fill(fp, it->second);
+    return res;
+}
+
+void
+FpTable::insert(std::uint64_t fp, Addr phys, Addr &nvm_store_addr)
+{
+    PackedPhys packed = PackedPhys::fromAddr(phys);
+    map_[fp] = packed;
+    fill(fp, packed);
+    stats_.nvmStores.inc();
+    nvm_store_addr = entryNvmAddr(fp);
+}
+
+void
+FpTable::erase(std::uint64_t fp)
+{
+    stats_.erases.inc();
+    map_.erase(fp);
+    std::uint64_t base = setOf(fp) * assoc_;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Way &way = ways_[base + w];
+        if (way.valid && way.fp == fp) {
+            way.valid = false;
+            return;
+        }
+    }
+}
+
+} // namespace esd

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Full-deduplication fingerprint table, as used by Dedup_SHA1 and
+ * DeWrite (Section II-B / Fig. 10): the complete fingerprint index
+ * resides in NVMM while a small on-chip cache holds recently used
+ * entries. A cache miss forces a fingerprint NVMM_lookup — the exact
+ * bottleneck ESD's selective deduplication eliminates.
+ */
+
+#ifndef ESD_DEDUP_FP_TABLE_HH
+#define ESD_DEDUP_FP_TABLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dedup/amt.hh"
+
+namespace esd
+{
+
+/** Fingerprint table statistics. */
+struct FpTableStats
+{
+    Counter lookups;
+    Counter cacheHits;
+    Counter cacheMisses;
+    Counter nvmLookups;      ///< reads of the NVMM-resident index
+    Counter nvmFoundAfterMiss;
+    Counter nvmStores;       ///< index inserts written to NVMM
+    Counter erases;
+
+    double
+    cacheHitRate() const
+    {
+        return lookups.value() == 0
+                   ? 0.0
+                   : static_cast<double>(cacheHits.value()) /
+                         lookups.value();
+    }
+};
+
+/**
+ * The fingerprint index: full map "in NVMM" + set-associative on-chip
+ * cache keyed by a 64-bit fingerprint.
+ */
+class FpTable
+{
+  public:
+    /**
+     * @param cache_bytes on-chip cache capacity
+     * @param entry_bytes modelled entry size (SHA-1: 26 B; DeWrite:
+     *                    ~16 B) — determines cached entry count and the
+     *                    Fig. 19 NVMM space accounting
+     * @param assoc       cache associativity
+     * @param nvm_base    byte address of the NVMM-resident index region
+     */
+    FpTable(std::uint64_t cache_bytes, std::uint64_t entry_bytes,
+            unsigned assoc, Addr nvm_base);
+
+    struct LookupResult
+    {
+        bool found = false;       ///< fingerprint known to the system
+        Addr phys = kInvalidAddr; ///< stored line it references
+        bool cacheHit = false;    ///< resolved without NVMM access
+        bool nvmLookup = false;   ///< an NVMM index read was required
+        Addr nvmAddr = kInvalidAddr;
+    };
+
+    /** Query @p fp; misses consult (and cache from) the NVMM index. */
+    LookupResult lookup(std::uint64_t fp);
+
+    /**
+     * Register a fresh fingerprint for the line at @p phys. The write
+     * to the NVMM-resident index is reported through @p nvm_store_addr
+     * so the scheme can charge a device write.
+     */
+    void insert(std::uint64_t fp, Addr phys, Addr &nvm_store_addr);
+
+    /** Remove @p fp (its physical line died). */
+    void erase(std::uint64_t fp);
+
+    /** NVMM line address of @p fp 's index bucket. */
+    Addr entryNvmAddr(std::uint64_t fp) const;
+
+    /** Entries resident in the NVMM index. */
+    std::uint64_t nvmEntries() const { return map_.size(); }
+
+    /** NVMM bytes consumed by the index (Fig. 19). */
+    std::uint64_t nvmBytes() const { return map_.size() * entryBytes_; }
+
+    std::uint64_t cacheCapacityEntries() const { return sets_ * assoc_; }
+
+    const FpTableStats &stats() const { return stats_; }
+    void resetStats() { stats_ = FpTableStats{}; }
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        std::uint64_t fp = 0;
+        PackedPhys phys;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint64_t setOf(std::uint64_t fp) const;
+    Way *findWay(std::uint64_t fp);
+    void fill(std::uint64_t fp, PackedPhys phys);
+
+    std::uint64_t entryBytes_;
+    Addr nvmBase_;
+    std::uint64_t sets_;
+    unsigned assoc_;
+    std::uint64_t useClock_ = 0;
+    std::vector<Way> ways_;
+
+    /** Authoritative NVMM-resident index (functional model). */
+    std::unordered_map<std::uint64_t, PackedPhys> map_;
+
+    FpTableStats stats_;
+};
+
+} // namespace esd
+
+#endif // ESD_DEDUP_FP_TABLE_HH

@@ -1,0 +1,122 @@
+#include "dedup/mapped_scheme.hh"
+
+namespace esd
+{
+
+namespace
+{
+
+/** The NVMM-resident AMT region sits above the data region. */
+constexpr Addr kAmtRegionBase = 8ull << 30;
+
+} // namespace
+
+MappedDedupScheme::MappedDedupScheme(const SimConfig &cfg,
+                                     PcmDevice &device, NvmStore &store)
+    : DedupScheme(cfg, device, store),
+      lines_(store),
+      amt_(cfg.metadata, kAmtRegionBase)
+{
+}
+
+Tick
+MappedDedupScheme::remap(Addr addr, Addr phys, Tick &t, WriteBreakdown &bd)
+{
+    Tick stall = 0;
+
+    // Rewriting an address with its current mapping (the common case
+    // for in-place duplicate rewrites) changes nothing: charge the
+    // cache probe, leave the AMT clean.
+    auto old = amt_.peek(addr);
+    if (old && *old == phys) {
+        Tick m = metadataAccess();
+        t += m;
+        bd.metadata += static_cast<double>(m);
+        return stall;
+    }
+
+    // Order matters: take the new reference before dropping the old
+    // one so remapping an address to its current line is a no-op.
+    lines_.addRef(phys);
+    if (old) {
+        if (lines_.isLive(*old) && lines_.release(*old))
+            onPhysFreed(*old);
+    }
+
+    Tick m = metadataAccess();
+    t += m;
+    bd.metadata += static_cast<double>(m);
+
+    MetadataEffects eff = amt_.update(addr, phys);
+    if (eff.nvmWriteback) {
+        // Dirty metadata write-back: off the critical path but real
+        // device traffic (and possible queue backpressure).
+        stats_.amtTrafficWrites.inc();
+        NvmAccessResult r = deviceWrite(eff.nvmWritebackAddr, t);
+        stall += r.issuerStall;
+    }
+    return stall;
+}
+
+NvmAccessResult
+MappedDedupScheme::writeNewLine(const CacheLine &data, Addr &phys_out,
+                                Tick &t, WriteBreakdown &bd)
+{
+    phys_out = lines_.allocate();
+
+    Tick enc = cfg_.crypto.encryptLatency;
+    CacheLine cipher = encryptLine(phys_out, data);
+    t += enc;
+    bd.encrypt += static_cast<double>(enc);
+
+    LineEcc ecc = LineEccCodec::encode(data);
+    store_.write(phys_out, cipher, ecc);
+
+    NvmAccessResult r = deviceWrite(phys_out, t);
+    bd.lineWrite += static_cast<double>(r.complete - t);
+    t = r.complete;
+    stats_.nvmDataWrites.inc();
+    return r;
+}
+
+AccessResult
+MappedDedupScheme::read(Addr addr, CacheLine &out, Tick now)
+{
+    stats_.logicalReads.inc();
+    AccessResult res;
+    Tick t = now + metadataAccess();
+
+    Amt::LookupResult lr = amt_.lookup(addr);
+    if (lr.effects.nvmRead) {
+        stats_.amtTrafficReads.inc();
+        NvmAccessResult r = deviceRead(lr.effects.nvmReadAddr, t);
+        t = r.complete;
+    }
+    if (lr.effects.nvmWriteback) {
+        stats_.amtTrafficWrites.inc();
+        NvmAccessResult r = deviceWrite(lr.effects.nvmWritebackAddr, t);
+        res.issuerStall += r.issuerStall;
+    }
+
+    // A never-written logical line has no mapping: the access still
+    // costs a device read (of the uninitialised location), but the
+    // content is the initialised-to-zero line — it must NOT alias
+    // into the deduplicated physical space, which holds other
+    // addresses' data.
+    Addr phys = lr.found ? lr.phys : addr;
+
+    NvmAccessResult r = deviceRead(phys, t);
+    t = r.complete;
+    stats_.nvmDataReads.inc();
+
+    out = CacheLine{};
+    if (lr.found) {
+        if (auto stored = store_.read(phys))
+            out = readVerified(phys, *stored);
+    }
+
+    res.latency = t - now;
+    return res;
+}
+
+} // namespace esd

@@ -1,0 +1,28 @@
+#include "dedup/scheme.hh"
+
+namespace esd
+{
+
+namespace
+{
+
+AesKey
+defaultKey(std::uint64_t seed)
+{
+    AesKey key{};
+    for (int i = 0; i < 16; ++i)
+        key[i] = static_cast<std::uint8_t>((seed >> ((i % 8) * 8)) ^
+                                           (0x5a + i));
+    return key;
+}
+
+} // namespace
+
+DedupScheme::DedupScheme(const SimConfig &cfg, PcmDevice &device,
+                         NvmStore &store)
+    : cfg_(cfg), device_(device), store_(store),
+      crypto_(defaultKey(cfg.seed))
+{
+}
+
+} // namespace esd

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * The scheme abstraction: one object per evaluated design point
+ * (Baseline, Dedup_SHA1, DeWrite, ESD) handling the write path (LLC
+ * eviction) and the read path (LLC miss fill) against a shared PCM
+ * timing device and content store.
+ *
+ * Every scheme reports the Fig. 17 write-latency breakdown
+ * (fingerprint computation / fingerprint NVMM_lookup / read-for-
+ * comparison / line write) and the side-band energy beyond the raw
+ * device energy (hashing, encryption, metadata cache).
+ */
+
+#ifndef ESD_DEDUP_SCHEME_HH
+#define ESD_DEDUP_SCHEME_HH
+
+#include <memory>
+#include <string>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "crypto/ctr_mode.hh"
+#include "dedup/amt.hh"
+#include "dedup/line_store.hh"
+#include "ecc/line_ecc.hh"
+#include "nvm/nvm_store.hh"
+#include "nvm/pcm_device.hh"
+
+namespace esd
+{
+
+/** Nanoseconds attributed to each write-path component (Fig. 17). */
+struct WriteBreakdown
+{
+    double fpCompute = 0;    ///< hash / CRC fingerprint computation
+    double fpNvmLookup = 0;  ///< fingerprint NVMM_lookup reads
+    double readCompare = 0;  ///< reading candidate lines for comparison
+    double lineWrite = 0;    ///< writing the unique line (incl. queue)
+    double encrypt = 0;      ///< counter-mode pad application
+    double metadata = 0;     ///< on-chip metadata cache accesses
+
+    double
+    total() const
+    {
+        return fpCompute + fpNvmLookup + readCompare + lineWrite +
+               encrypt + metadata;
+    }
+
+    void
+    add(const WriteBreakdown &o)
+    {
+        fpCompute += o.fpCompute;
+        fpNvmLookup += o.fpNvmLookup;
+        readCompare += o.readCompare;
+        lineWrite += o.lineWrite;
+        encrypt += o.encrypt;
+        metadata += o.metadata;
+    }
+};
+
+/** Result of one logical access through a scheme. */
+struct AccessResult
+{
+    /** Observed latency in ns, from issue to completion. */
+    Tick latency = 0;
+
+    /** Stall imposed on the core (write-queue backpressure). */
+    Tick issuerStall = 0;
+
+    /** Write was eliminated by deduplication. */
+    bool dedup = false;
+};
+
+/** Per-scheme aggregate statistics. */
+struct SchemeStats
+{
+    Counter logicalWrites;
+    Counter logicalReads;
+    Counter dedupHits;           ///< eliminated data writes
+    Counter dedupHitsZeroLine;
+    Counter dedupHitsFpCache;    ///< duplicate found via on-chip fp entry
+    Counter dedupHitsFpNvm;      ///< duplicate found via fp NVMM_lookup
+    Counter nvmDataWrites;
+    Counter nvmDataReads;
+    Counter compareReads;        ///< byte-compare candidate fetches
+    Counter compareMismatches;   ///< fingerprint collisions caught
+    Counter fpNvmLookups;
+    Counter fpNvmStores;
+    Counter amtTrafficReads;
+    Counter amtTrafficWrites;
+    Counter refHOverflowRewrites;
+    Counter eccCorrectedReads;      ///< media faults repaired on read
+    Counter eccUncorrectableReads;  ///< double faults detected on read
+
+    Energy hashEnergy = 0;       ///< SHA-1 / MD5 / CRC computation
+    Energy cryptoEnergy = 0;     ///< counter-mode encryption
+    Energy metadataEnergy = 0;   ///< on-chip metadata cache accesses
+
+    WriteBreakdown breakdown;
+
+    double
+    writeReduction() const
+    {
+        return logicalWrites.value() == 0
+                   ? 0.0
+                   : static_cast<double>(dedupHits.value()) /
+                         logicalWrites.value();
+    }
+};
+
+/**
+ * Base class wiring a scheme to the shared device/store and providing
+ * the timed-access helpers every scheme uses.
+ */
+class DedupScheme
+{
+  public:
+    DedupScheme(const SimConfig &cfg, PcmDevice &device, NvmStore &store);
+    virtual ~DedupScheme() = default;
+
+    DedupScheme(const DedupScheme &) = delete;
+    DedupScheme &operator=(const DedupScheme &) = delete;
+
+    /** Handle a dirty LLC eviction of @p data to logical @p addr. */
+    virtual AccessResult write(Addr addr, const CacheLine &data,
+                               Tick now) = 0;
+
+    /** Handle an LLC miss fill; @p out receives the line content. */
+    virtual AccessResult read(Addr addr, CacheLine &out, Tick now) = 0;
+
+    /** Scheme display name. */
+    virtual std::string name() const = 0;
+
+    /** Bytes of scheme metadata resident in NVMM (Fig. 19). */
+    virtual std::uint64_t metadataNvmBytes() const = 0;
+
+    const SchemeStats &stats() const { return stats_; }
+    virtual void resetStats() { stats_ = SchemeStats{}; }
+
+    /** Total scheme-side (non-device) energy in pJ. */
+    Energy
+    sideEnergy() const
+    {
+        return stats_.hashEnergy + stats_.cryptoEnergy +
+               stats_.metadataEnergy;
+    }
+
+  protected:
+    /** Timed read of @p addr content; charges device stats. */
+    NvmAccessResult
+    deviceRead(Addr addr, Tick arrival)
+    {
+        return device_.access(OpType::Read, addr, arrival);
+    }
+
+    /** Timed write; charges device stats. */
+    NvmAccessResult
+    deviceWrite(Addr addr, Tick arrival)
+    {
+        return device_.access(OpType::Write, addr, arrival);
+    }
+
+    /** Charge one metadata-cache access (latency returned, energy
+     * accumulated). */
+    Tick
+    metadataAccess()
+    {
+        stats_.metadataEnergy += cfg_.crypto.metadataCacheEnergy;
+        return cfg_.crypto.metadataCacheLatency;
+    }
+
+    /** Encrypt @p plain for physical @p phys, charging cost. */
+    CacheLine
+    encryptLine(Addr phys, const CacheLine &plain)
+    {
+        stats_.cryptoEnergy += cfg_.crypto.encryptEnergy;
+        return crypto_.encrypt(phys, plain);
+    }
+
+    /** Decrypt the stored line at @p phys. */
+    CacheLine
+    decryptLine(Addr phys, const CacheLine &cipher) const
+    {
+        return crypto_.decrypt(phys, cipher);
+    }
+
+    /**
+     * Decrypt and ECC-scrub a stored line on the read path. Counter
+     * mode maps each flipped ciphertext bit to exactly one plaintext
+     * bit, so the per-word SEC-DED (computed over plaintext) corrects
+     * single media faults after decryption and flags double faults.
+     */
+    CacheLine
+    readVerified(Addr phys, const StoredLine &stored)
+    {
+        CacheLine plain = decryptLine(phys, stored.data);
+        LineDecodeResult r = LineEccCodec::decode(plain, stored.ecc);
+        if (r.status == EccStatus::Uncorrectable) {
+            stats_.eccUncorrectableReads.inc();
+            esd_warn("uncorrectable media fault at phys 0x%llx",
+                     static_cast<unsigned long long>(phys));
+            return plain;
+        }
+        if (r.correctedWords > 0)
+            stats_.eccCorrectedReads.inc();
+        return r.line;
+    }
+
+    SimConfig cfg_;
+    PcmDevice &device_;
+    NvmStore &store_;
+    CtrModeEngine crypto_;
+    SchemeStats stats_;
+};
+
+} // namespace esd
+
+#endif // ESD_DEDUP_SCHEME_HH

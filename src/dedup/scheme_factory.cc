@@ -1,0 +1,86 @@
+#include "dedup/scheme_factory.hh"
+
+#include "common/logging.hh"
+#include "dedup/baseline.hh"
+#include "dedup/dedup_sha1.hh"
+#include "dedup/dewrite.hh"
+#include "dedup/esd.hh"
+#include "dedup/esd_full.hh"
+#include "dedup/esd_plus.hh"
+
+namespace esd
+{
+
+const std::vector<SchemeKind> &
+allSchemeKinds()
+{
+    static const std::vector<SchemeKind> kinds = {
+        SchemeKind::Baseline,
+        SchemeKind::DedupSha1,
+        SchemeKind::DeWrite,
+        SchemeKind::Esd,
+    };
+    return kinds;
+}
+
+const char *
+schemeName(SchemeKind kind)
+{
+    switch (kind) {
+      case SchemeKind::Baseline:
+        return "Baseline";
+      case SchemeKind::DedupSha1:
+        return "Dedup_SHA1";
+      case SchemeKind::DeWrite:
+        return "DeWrite";
+      case SchemeKind::Esd:
+        return "ESD";
+      case SchemeKind::EsdFull:
+        return "ESD_Full";
+      case SchemeKind::EsdPlus:
+        return "ESD+";
+    }
+    esd_panic("invalid scheme kind");
+}
+
+SchemeKind
+parseSchemeKind(const std::string &s)
+{
+    if (s == "0" || s == "Baseline" || s == "baseline")
+        return SchemeKind::Baseline;
+    if (s == "1" || s == "Dedup_SHA1" || s == "sha1" || s == "Tra_sha1")
+        return SchemeKind::DedupSha1;
+    if (s == "2" || s == "DeWrite" || s == "dewrite")
+        return SchemeKind::DeWrite;
+    if (s == "3" || s == "ESD" || s == "esd")
+        return SchemeKind::Esd;
+    if (s == "4" || s == "ESD_Full" || s == "esd_full")
+        return SchemeKind::EsdFull;
+    if (s == "5" || s == "ESD+" || s == "esd_plus" || s == "esd+")
+        return SchemeKind::EsdPlus;
+    esd_fatal("unknown scheme '%s' (use 0..3 or a scheme name)",
+              s.c_str());
+}
+
+std::unique_ptr<DedupScheme>
+makeScheme(SchemeKind kind, const SimConfig &cfg, PcmDevice &device,
+           NvmStore &store)
+{
+    switch (kind) {
+      case SchemeKind::Baseline:
+        return std::make_unique<BaselineScheme>(cfg, device, store);
+      case SchemeKind::DedupSha1:
+        return std::make_unique<DedupSha1Scheme>(cfg, device, store);
+      case SchemeKind::DeWrite:
+        return std::make_unique<DeWriteScheme>(cfg, device, store);
+      case SchemeKind::Esd:
+        return std::make_unique<EsdScheme>(cfg, device, store);
+      case SchemeKind::EsdFull:
+        return std::make_unique<EsdFullScheme>(cfg, device, store);
+      case SchemeKind::EsdPlus:
+        return std::make_unique<EsdPlusScheme>(cfg, device, store);
+    }
+    esd_panic("invalid scheme kind");
+}
+
+} // namespace esd

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Construction of the four evaluated schemes by enum — mirrors the
+ * artifact's scheme selector (0: Baseline, 1: Tra_sha1, 2: DeWrite,
+ * 3: ESD).
+ */
+
+#ifndef ESD_DEDUP_SCHEME_FACTORY_HH
+#define ESD_DEDUP_SCHEME_FACTORY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dedup/scheme.hh"
+
+namespace esd
+{
+
+/** The evaluated design points. */
+enum class SchemeKind
+{
+    Baseline = 0,
+    DedupSha1 = 1,
+    DeWrite = 2,
+    Esd = 3,
+
+    /** Ablation-only: ECC fingerprints with a full NVMM-resident
+     * index (not a paper scheme; see bench_abl_selective). */
+    EsdFull = 4,
+
+    /** Extension: ESD plus a hot-content cache that answers byte
+     * comparisons on chip (not a paper scheme; see
+     * bench_abl_content_cache). */
+    EsdPlus = 5,
+};
+
+/** All four kinds in evaluation order. */
+const std::vector<SchemeKind> &allSchemeKinds();
+
+/** Display name of a kind. */
+const char *schemeName(SchemeKind kind);
+
+/** Parse a scheme name or ordinal; fatal on unknown input. */
+SchemeKind parseSchemeKind(const std::string &s);
+
+/** Build a scheme instance over the shared device and store. */
+std::unique_ptr<DedupScheme> makeScheme(SchemeKind kind,
+                                        const SimConfig &cfg,
+                                        PcmDevice &device,
+                                        NvmStore &store);
+
+} // namespace esd
+
+#endif // ESD_DEDUP_SCHEME_FACTORY_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fixed-width table rendering for the benchmark harnesses — every
+ * bench prints the paper's rows/series through this so the output is
+ * uniform and diffable.
+ */
+
+#ifndef ESD_METRICS_REPORT_HH
+#define ESD_METRICS_REPORT_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace esd
+{
+
+/** A simple left/right aligned column table. */
+class TablePrinter
+{
+  public:
+    /** @param headers column titles; first column is left-aligned,
+     * the rest right-aligned. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Add a row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p precision digits. */
+    static std::string num(double v, int precision = 3);
+
+    /** Format as a percentage ("12.3%"). */
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Render to @p os (default stdout). */
+    void print(std::ostream &os = std::cout) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace esd
+
+#endif // ESD_METRICS_REPORT_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Functional content store of the NVMM: what is actually resident at
+ * each physical line address, together with its line ECC.
+ *
+ * The timing model (PcmDevice) and the content model are deliberately
+ * separate: schemes consult PcmDevice for *when* an access completes
+ * and NvmStore for *what* the access returns — e.g. the ESD byte-by-
+ * byte comparison reads real bytes back, so an ECC collision between
+ * different lines is actually caught.
+ */
+
+#ifndef ESD_NVM_NVM_STORE_HH
+#define ESD_NVM_NVM_STORE_HH
+
+#include <optional>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "ecc/line_ecc.hh"
+
+namespace esd
+{
+
+/** One resident physical line: payload plus its protecting ECC. */
+struct StoredLine
+{
+    CacheLine data;
+    LineEcc ecc = 0;
+};
+
+/** Sparse map of physical line address to resident content. */
+class NvmStore
+{
+  public:
+    explicit NvmStore(std::uint64_t capacity_bytes)
+        : capacityLines_(capacity_bytes / kLineSize)
+    {
+    }
+
+    /** Install @p data (+ @p ecc) at physical address @p phys. */
+    void
+    write(Addr phys, const CacheLine &data, LineEcc ecc)
+    {
+        esd_assert(lineIndex(phys) < capacityLines_,
+                   "physical address beyond device capacity");
+        lines_[lineAlign(phys)] = StoredLine{data, ecc};
+    }
+
+    /** Content at @p phys, or nullopt when never written. */
+    std::optional<StoredLine>
+    read(Addr phys) const
+    {
+        auto it = lines_.find(lineAlign(phys));
+        if (it == lines_.end())
+            return std::nullopt;
+        return it->second;
+    }
+
+    /** Drop the line at @p phys (after its last reference died). */
+    void erase(Addr phys) { lines_.erase(lineAlign(phys)); }
+
+    /**
+     * Fault injection: flip one stored bit of the line at @p phys.
+     * Bits 0..511 hit the payload, 512..575 the ECC word.
+     * @return false when no line is resident there.
+     */
+    bool
+    corruptBit(Addr phys, unsigned bit)
+    {
+        auto it = lines_.find(lineAlign(phys));
+        if (it == lines_.end())
+            return false;
+        if (bit < 512) {
+            it->second.data[bit / 8] ^=
+                static_cast<std::uint8_t>(1u << (bit % 8));
+        } else {
+            it->second.ecc ^= 1ull << (bit - 512);
+        }
+        return true;
+    }
+
+    bool contains(Addr phys) const
+    {
+        return lines_.count(lineAlign(phys)) != 0;
+    }
+
+    /** Number of resident lines (space-efficiency accounting). */
+    std::uint64_t residentLines() const { return lines_.size(); }
+
+    std::uint64_t capacityLines() const { return capacityLines_; }
+
+  private:
+    std::uint64_t capacityLines_;
+    std::unordered_map<Addr, StoredLine> lines_;
+};
+
+} // namespace esd
+
+#endif // ESD_NVM_NVM_STORE_HH

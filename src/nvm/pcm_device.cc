@@ -1,0 +1,148 @@
+#include "nvm/pcm_device.hh"
+
+#include "common/logging.hh"
+
+namespace esd
+{
+
+PcmDevice::PcmDevice(const PcmConfig &cfg) : cfg_(cfg)
+{
+    if (cfg_.totalBanks() == 0)
+        esd_fatal("PCM device needs at least one bank");
+    banks_.assign(cfg_.totalBanks(), 0);
+    readChain_.assign(cfg_.totalBanks(), 0);
+    openRow_.assign(cfg_.totalBanks(), ~std::uint64_t{0});
+}
+
+unsigned
+PcmDevice::bankOf(Addr addr) const
+{
+    // Line-interleaved: consecutive lines land on consecutive banks,
+    // spreading streams across the full bank parallelism.
+    return static_cast<unsigned>(lineIndex(addr) % banks_.size());
+}
+
+void
+PcmDevice::drainCompleted(Tick now)
+{
+    while (!writeCompletions_.empty() && writeCompletions_.top() <= now)
+        writeCompletions_.pop();
+}
+
+Addr
+PcmDevice::wearAddrOf(Addr addr)
+{
+    if (!cfg_.startGapEnabled)
+        return lineAlign(addr);
+
+    std::uint64_t line = lineIndex(addr);
+    std::uint64_t region = line / cfg_.startGapRegionLines;
+    std::uint64_t offset = line % cfg_.startGapRegionLines;
+
+    auto it = gapRegions_.find(region);
+    if (it == gapRegions_.end()) {
+        it = gapRegions_
+                 .emplace(region, std::make_unique<StartGap>(
+                                      cfg_.startGapRegionLines,
+                                      cfg_.gapMovePeriod))
+                 .first;
+    }
+    // Each region owns regionLines + 1 physical slots in the wear
+    // index space.
+    std::uint64_t slot = it->second->slotOf(offset);
+    return (region * (cfg_.startGapRegionLines + 1) + slot) * kLineSize;
+}
+
+NvmAccessResult
+PcmDevice::access(OpType type, Addr addr, Tick arrival)
+{
+    NvmAccessResult res;
+
+    if (type == OpType::Write) {
+        drainCompleted(arrival);
+        if (writeCompletions_.size() >= cfg_.writeQueueDepth) {
+            // The queue is full: the issuer stalls until the earliest
+            // outstanding write retires.
+            Tick free_at = writeCompletions_.top();
+            esd_assert(free_at > arrival, "stale completion in queue");
+            res.issuerStall = free_at - arrival;
+            arrival = free_at;
+            drainCompleted(arrival);
+            stats_.writeQueueStalls.inc();
+        }
+    }
+
+    unsigned bank = bankOf(addr);
+
+    Tick latency;
+    if (type == OpType::Read) {
+        latency = cfg_.readLatency;
+        if (cfg_.rowBufferLines > 0) {
+            std::uint64_t row = lineIndex(addr) / cfg_.rowBufferLines;
+            if (openRow_[bank] == row) {
+                latency = cfg_.rowHitReadLatency;
+                stats_.rowHits.inc();
+            } else {
+                openRow_[bank] = row;
+            }
+        }
+    } else {
+        latency = cfg_.writeLatency;
+        if (cfg_.rowBufferLines > 0)
+            openRow_[bank] = lineIndex(addr) / cfg_.rowBufferLines;
+    }
+
+    if (cfg_.readPriority && type == OpType::Read) {
+        // A read waits for earlier reads and for at most the write
+        // currently occupying the bank — never for the queued backlog.
+        Tick write_block = std::min(banks_[bank],
+                                    arrival + cfg_.writeLatency);
+        res.start = std::max({arrival, readChain_[bank], write_block});
+        res.complete = res.start + latency;
+        readChain_[bank] = res.complete;
+    } else {
+        res.start = std::max(arrival, banks_[bank]);
+        if (cfg_.readPriority)
+            res.start = std::max(res.start, readChain_[bank]);
+        res.complete = res.start + latency;
+        banks_[bank] = res.complete;
+        if (!cfg_.readPriority)
+            readChain_[bank] = res.complete;
+    }
+    res.queueDelay = res.start - arrival;
+
+    if (type == OpType::Read) {
+        stats_.reads.inc();
+        stats_.readEnergy += cfg_.readEnergy;
+    } else {
+        stats_.writes.inc();
+        stats_.writeEnergy += cfg_.writeEnergy;
+        writeCompletions_.push(res.complete);
+
+        wear_.recordWrite(wearAddrOf(addr));
+
+        if (cfg_.startGapEnabled) {
+            std::uint64_t region =
+                lineIndex(addr) / cfg_.startGapRegionLines;
+            StartGap &sg = *gapRegions_[region];
+            std::uint64_t old_gap = sg.gap();
+            if (sg.recordWrite()) {
+                // Internal copy: one read + one write behind the
+                // demand stream on this bank; the destination slot
+                // (the old gap) takes the wear.
+                stats_.gapMoves.inc();
+                stats_.readEnergy += cfg_.readEnergy;
+                stats_.writeEnergy += cfg_.writeEnergy;
+                banks_[bank] += cfg_.readLatency + cfg_.writeLatency;
+                // The copy lands in the slot the gap just vacated.
+                Addr dest =
+                    (region * (cfg_.startGapRegionLines + 1) + old_gap) *
+                    kLineSize;
+                wear_.recordWrite(dest);
+            }
+        }
+    }
+    return res;
+}
+
+} // namespace esd

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Timing and energy model of a banked PCM main memory device.
+ *
+ * The model captures what the ESD evaluation depends on:
+ *   - asymmetric read/write array latency (75 ns / 150 ns) and energy
+ *     (1.49 nJ / 6.75 nJ) per 64 B line (Table I),
+ *   - bank-level parallelism with in-order per-bank service, so heavy
+ *     write streams delay reads on the same bank (the read/write
+ *     interference that deduplication alleviates, Section IV-C),
+ *   - a finite controller write queue whose overflow back-pressures the
+ *     core model (feeding the IPC results of Fig. 14).
+ *
+ * Requests are issued with a nanosecond arrival time; the device
+ * returns the service start and completion times. There is no global
+ * event queue — per-bank busy-until bookkeeping is sufficient because
+ * callers issue requests in non-decreasing arrival order.
+ */
+
+#ifndef ESD_NVM_PCM_DEVICE_HH
+#define ESD_NVM_PCM_DEVICE_HH
+
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "nvm/start_gap.hh"
+#include "nvm/wear_tracker.hh"
+
+namespace esd
+{
+
+/** Timing outcome of one device access. */
+struct NvmAccessResult
+{
+    /** When the bank began servicing the request. */
+    Tick start = 0;
+
+    /** When the data movement finished. */
+    Tick complete = 0;
+
+    /** start - arrival: time spent waiting for the bank. */
+    Tick queueDelay = 0;
+
+    /** Extra stall imposed on the *issuer* because the write queue was
+     * full at arrival (0 for reads and for non-saturated writes). */
+    Tick issuerStall = 0;
+};
+
+/** Aggregate device statistics. */
+struct NvmStats
+{
+    Counter reads;
+    Counter writes;
+    Counter writeQueueStalls;
+    Counter rowHits;
+    Counter gapMoves;  ///< Start-Gap internal line copies
+    Energy readEnergy = 0;
+    Energy writeEnergy = 0;
+
+    Energy totalEnergy() const { return readEnergy + writeEnergy; }
+};
+
+/**
+ * The banked PCM device.
+ */
+class PcmDevice
+{
+  public:
+    explicit PcmDevice(const PcmConfig &cfg);
+
+    /**
+     * Issue an access.
+     *
+     * @param type    read (miss fill, metadata fetch) or write
+     * @param addr    byte address; the containing line picks the bank
+     * @param arrival issue time in ns, non-decreasing across calls
+     */
+    NvmAccessResult access(OpType type, Addr addr, Tick arrival);
+
+    /** Bank servicing @p addr (line-interleaved across banks). */
+    unsigned bankOf(Addr addr) const;
+
+    /** Busy-until time of bank @p b (for tests). */
+    Tick bankBusyUntil(unsigned b) const { return banks_[b]; }
+
+    /** Outstanding (not yet completed relative to @p now) writes. */
+    std::size_t
+    outstandingWrites(Tick now)
+    {
+        drainCompleted(now);
+        return writeCompletions_.size();
+    }
+
+    const NvmStats &stats() const { return stats_; }
+    const PcmConfig &config() const { return cfg_; }
+
+    /** Per-line endurance accounting (always on). */
+    const WearTracker &wear() const { return wear_; }
+
+    /** Zero all statistics (after warm-up); wear is cumulative and
+     * reset separately via resetWear(). */
+    void resetStats() { stats_ = NvmStats{}; }
+
+    /** Clear endurance accounting. */
+    void resetWear() { wear_.reset(); }
+
+  private:
+    void drainCompleted(Tick now);
+
+    PcmConfig cfg_;
+    std::vector<Tick> banks_;
+
+    /** Read-chain clocks per bank (used only under readPriority). */
+    std::vector<Tick> readChain_;
+
+    /** Open row per bank (row-buffer model); ~0 = closed. */
+    std::vector<std::uint64_t> openRow_;
+
+    /** Wear-index of @p addr after any Start-Gap rotation. */
+    Addr wearAddrOf(Addr addr);
+
+    WearTracker wear_;
+
+    /** Lazily created Start-Gap remappers per rotation region. */
+    std::unordered_map<std::uint64_t, std::unique_ptr<StartGap>>
+        gapRegions_;
+
+    /** Min-heap of outstanding write completion times implementing the
+     * finite write queue. */
+    std::priority_queue<Tick, std::vector<Tick>, std::greater<Tick>>
+        writeCompletions_;
+
+    NvmStats stats_;
+};
+
+} // namespace esd
+
+#endif // ESD_NVM_PCM_DEVICE_HH

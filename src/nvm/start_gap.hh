@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Start-Gap wear leveling (Qureshi et al., MICRO'09) — the standard
+ * low-cost PCM wear-leveling layer the endurance literature the paper
+ * builds on assumes.
+ *
+ * The device keeps one spare ("gap") line per region. Every
+ * gapMovePeriod writes, the line just below the gap moves into the
+ * gap and the gap shifts down by one; after N+1 such moves every line
+ * has rotated one slot. Over time hot logical lines sweep across all
+ * physical slots, bounding per-cell wear with only two registers
+ * (start, gap) and one spare line of state.
+ *
+ * The mapping is purely positional:
+ *   slot  = (line + start) % (n + 1)
+ *   slot' = slot >= gap ? slot + 1 ... (classic formulation: lines at
+ *           or above the gap are shifted by one)
+ */
+
+#ifndef ESD_NVM_START_GAP_HH
+#define ESD_NVM_START_GAP_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace esd
+{
+
+/** Start-Gap remapper over a region of @p n logical lines backed by
+ * n + 1 physical slots. */
+class StartGap
+{
+  public:
+    /**
+     * @param lines           logical lines in the region
+     * @param gap_move_period writes between gap movements (100 in the
+     *                        original paper: <1% overhead)
+     */
+    StartGap(std::uint64_t lines, std::uint64_t gap_move_period)
+        : lines_(lines), period_(gap_move_period), gap_(lines)
+    {
+        esd_assert(lines_ > 0, "empty start-gap region");
+        esd_assert(period_ > 0, "gap move period must be positive");
+    }
+
+    /** Physical slot (0..lines) currently holding logical @p line. */
+    std::uint64_t
+    slotOf(std::uint64_t line) const
+    {
+        esd_assert(line < lines_, "line outside region");
+        std::uint64_t slot = (line + start_) % lines_;
+        // Slots at or above the gap are shifted down by one physical
+        // position; equivalently the gap "hides" one slot.
+        return slot >= gap_ ? slot + 1 : slot;
+    }
+
+    /**
+     * Account one write; every period_ writes the gap moves.
+     * @return true when a gap movement happened (the caller owes one
+     *         internal line copy: a read plus a write).
+     */
+    bool
+    recordWrite()
+    {
+        if (++writesSinceMove_ < period_)
+            return false;
+        writesSinceMove_ = 0;
+        ++moves_;
+        if (gap_ == 0) {
+            gap_ = lines_;
+            start_ = (start_ + 1) % lines_;
+        } else {
+            --gap_;
+        }
+        return true;
+    }
+
+    std::uint64_t gap() const { return gap_; }
+    std::uint64_t start() const { return start_; }
+    std::uint64_t lines() const { return lines_; }
+
+    /** Total gap movements so far (each cost one line copy). */
+    std::uint64_t moves() const { return moves_; }
+
+  private:
+    std::uint64_t lines_;
+    std::uint64_t period_;
+    std::uint64_t start_ = 0;
+    std::uint64_t gap_;
+    std::uint64_t writesSinceMove_ = 0;
+    std::uint64_t moves_ = 0;
+};
+
+} // namespace esd
+
+#endif // ESD_NVM_START_GAP_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Memory-level trace abstraction.
+ *
+ * A trace is the stream of requests the memory controller sees: dirty
+ * LLC evictions (writes, with full 64 B payloads) and LLC miss fills
+ * (reads), each annotated with the number of instructions the core
+ * retired since the previous request (for the IPC model). This matches
+ * the NVMain-style trace-driven evaluation of the paper's artifact.
+ */
+
+#ifndef ESD_TRACE_TRACE_HH
+#define ESD_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace esd
+{
+
+/** One memory request. */
+struct TraceRecord
+{
+    OpType op = OpType::Write;
+    Addr addr = 0;
+
+    /** Payload for writes; unused for reads. */
+    CacheLine data;
+
+    /** Instructions retired since the previous record. */
+    std::uint32_t icount = 100;
+};
+
+/** Pull-based source of trace records. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next record.
+     * @return false when the trace is exhausted.
+     */
+    virtual bool next(TraceRecord &rec) = 0;
+
+    /** Restart from the beginning when supported; default no-op. */
+    virtual void reset() {}
+};
+
+/** An in-memory trace (tests, small experiments). */
+class VectorTrace : public TraceSource
+{
+  public:
+    VectorTrace() = default;
+
+    explicit VectorTrace(std::vector<TraceRecord> records)
+        : records_(std::move(records))
+    {
+    }
+
+    void push(const TraceRecord &r) { records_.push_back(r); }
+
+    bool
+    next(TraceRecord &rec) override
+    {
+        if (pos_ >= records_.size())
+            return false;
+        rec = records_[pos_++];
+        return true;
+    }
+
+    void reset() override { pos_ = 0; }
+
+    std::size_t size() const { return records_.size(); }
+    const std::vector<TraceRecord> &records() const { return records_; }
+
+  private:
+    std::vector<TraceRecord> records_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace esd
+
+#endif // ESD_TRACE_TRACE_HH

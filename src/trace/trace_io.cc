@@ -1,0 +1,188 @@
+#include "trace/trace_io.hh"
+
+#include <cctype>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace esd
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'E', 'S', 'D', 'T'};
+
+int
+hexVal(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+} // namespace
+
+TextTraceWriter::TextTraceWriter(const std::string &path) : out_(path)
+{
+    if (!out_)
+        esd_fatal("cannot open trace file '%s' for writing", path.c_str());
+    out_ << "# ESD text trace: <W|R> <hex addr> [<128 hex data>] <icount>\n";
+}
+
+void
+TextTraceWriter::write(const TraceRecord &rec)
+{
+    static const char *hex = "0123456789abcdef";
+    out_ << (rec.op == OpType::Write ? 'W' : 'R') << ' ' << std::hex
+         << rec.addr << std::dec << ' ';
+    if (rec.op == OpType::Write) {
+        std::string h;
+        h.reserve(kLineSize * 2);
+        for (std::size_t i = 0; i < kLineSize; ++i) {
+            h.push_back(hex[rec.data[i] >> 4]);
+            h.push_back(hex[rec.data[i] & 0xf]);
+        }
+        out_ << h << ' ';
+    }
+    out_ << rec.icount << '\n';
+    ++count_;
+}
+
+TextTraceReader::TextTraceReader(const std::string &path)
+    : path_(path), in_(path)
+{
+    if (!in_)
+        esd_fatal("cannot open trace file '%s'", path.c_str());
+}
+
+void
+TextTraceReader::reset()
+{
+    in_.close();
+    in_.clear();
+    in_.open(path_);
+    lineNo_ = 0;
+}
+
+bool
+TextTraceReader::next(TraceRecord &rec)
+{
+    std::string line;
+    while (std::getline(in_, line)) {
+        ++lineNo_;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream is(line);
+        std::string op, addr_s;
+        if (!(is >> op >> addr_s))
+            esd_fatal("%s:%llu: malformed record", path_.c_str(),
+                      static_cast<unsigned long long>(lineNo_));
+        if (op == "W" || op == "w") {
+            rec.op = OpType::Write;
+        } else if (op == "R" || op == "r") {
+            rec.op = OpType::Read;
+        } else {
+            esd_fatal("%s:%llu: bad op '%s'", path_.c_str(),
+                      static_cast<unsigned long long>(lineNo_), op.c_str());
+        }
+        rec.addr = std::stoull(addr_s, nullptr, 16);
+        if (rec.op == OpType::Write) {
+            std::string data_s;
+            if (!(is >> data_s) || data_s.size() != kLineSize * 2)
+                esd_fatal("%s:%llu: write record needs %zu hex chars",
+                          path_.c_str(),
+                          static_cast<unsigned long long>(lineNo_),
+                          kLineSize * 2);
+            for (std::size_t i = 0; i < kLineSize; ++i) {
+                int hi = hexVal(data_s[i * 2]);
+                int lo = hexVal(data_s[i * 2 + 1]);
+                if (hi < 0 || lo < 0)
+                    esd_fatal("%s:%llu: bad hex data", path_.c_str(),
+                              static_cast<unsigned long long>(lineNo_));
+                rec.data[i] = static_cast<std::uint8_t>((hi << 4) | lo);
+            }
+        } else {
+            rec.data = CacheLine{};
+        }
+        std::uint64_t icount = 0;
+        if (!(is >> icount))
+            esd_fatal("%s:%llu: missing icount", path_.c_str(),
+                      static_cast<unsigned long long>(lineNo_));
+        rec.icount = static_cast<std::uint32_t>(icount);
+        return true;
+    }
+    return false;
+}
+
+BinaryTraceWriter::BinaryTraceWriter(const std::string &path)
+    : out_(path, std::ios::binary)
+{
+    if (!out_)
+        esd_fatal("cannot open trace file '%s' for writing", path.c_str());
+    out_.write(kMagic, 4);
+}
+
+void
+BinaryTraceWriter::write(const TraceRecord &rec)
+{
+    std::uint8_t op = rec.op == OpType::Write ? 1 : 0;
+    out_.write(reinterpret_cast<const char *>(&op), 1);
+    out_.write(reinterpret_cast<const char *>(&rec.addr), 8);
+    out_.write(reinterpret_cast<const char *>(&rec.icount), 4);
+    if (rec.op == OpType::Write)
+        out_.write(reinterpret_cast<const char *>(rec.data.data()),
+                   kLineSize);
+}
+
+BinaryTraceReader::BinaryTraceReader(const std::string &path)
+    : path_(path), in_(path, std::ios::binary)
+{
+    if (!in_)
+        esd_fatal("cannot open trace file '%s'", path.c_str());
+    readHeader();
+}
+
+void
+BinaryTraceReader::readHeader()
+{
+    char magic[4];
+    in_.read(magic, 4);
+    if (in_.gcount() != 4 || std::memcmp(magic, kMagic, 4) != 0)
+        esd_fatal("'%s' is not an ESD binary trace", path_.c_str());
+}
+
+void
+BinaryTraceReader::reset()
+{
+    in_.close();
+    in_.clear();
+    in_.open(path_, std::ios::binary);
+    readHeader();
+}
+
+bool
+BinaryTraceReader::next(TraceRecord &rec)
+{
+    std::uint8_t op;
+    if (!in_.read(reinterpret_cast<char *>(&op), 1))
+        return false;
+    if (!in_.read(reinterpret_cast<char *>(&rec.addr), 8) ||
+        !in_.read(reinterpret_cast<char *>(&rec.icount), 4)) {
+        esd_fatal("'%s': truncated record", path_.c_str());
+    }
+    rec.op = op ? OpType::Write : OpType::Read;
+    if (rec.op == OpType::Write) {
+        if (!in_.read(reinterpret_cast<char *>(rec.data.data()), kLineSize))
+            esd_fatal("'%s': truncated write payload", path_.c_str());
+    } else {
+        rec.data = CacheLine{};
+    }
+    return true;
+}
+
+} // namespace esd

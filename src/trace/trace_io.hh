@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Trace (de)serialisation so users can bring their own traces, per the
+ * artifact appendix ("users can generate other corresponding traces
+ * ... kept in the same regulation format").
+ *
+ * Text format, one record per line:
+ *
+ *     <W|R> <hex addr> <128 hex chars of line data, writes only> <icount>
+ *
+ * Lines starting with '#' are comments. A compact binary format
+ * (magic "ESDT", little-endian records) is also provided for bulk use.
+ */
+
+#ifndef ESD_TRACE_TRACE_IO_HH
+#define ESD_TRACE_TRACE_IO_HH
+
+#include <fstream>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace esd
+{
+
+/** Serialises records to a text trace file. */
+class TextTraceWriter
+{
+  public:
+    explicit TextTraceWriter(const std::string &path);
+
+    void write(const TraceRecord &rec);
+
+    std::uint64_t recordsWritten() const { return count_; }
+
+  private:
+    std::ofstream out_;
+    std::uint64_t count_ = 0;
+};
+
+/** TraceSource reading the text format. */
+class TextTraceReader : public TraceSource
+{
+  public:
+    explicit TextTraceReader(const std::string &path);
+
+    bool next(TraceRecord &rec) override;
+    void reset() override;
+
+  private:
+    std::string path_;
+    std::ifstream in_;
+    std::uint64_t lineNo_ = 0;
+};
+
+/** Serialises records to the binary format. */
+class BinaryTraceWriter
+{
+  public:
+    explicit BinaryTraceWriter(const std::string &path);
+
+    void write(const TraceRecord &rec);
+
+  private:
+    std::ofstream out_;
+};
+
+/** TraceSource reading the binary format. */
+class BinaryTraceReader : public TraceSource
+{
+  public:
+    explicit BinaryTraceReader(const std::string &path);
+
+    bool next(TraceRecord &rec) override;
+    void reset() override;
+
+  private:
+    void readHeader();
+
+    std::string path_;
+    std::ifstream in_;
+};
+
+} // namespace esd
+
+#endif // ESD_TRACE_TRACE_IO_HH

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the key=value configuration parser and renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/config_io.hh"
+#include "common/logging.hh"
+
+namespace esd
+{
+namespace
+{
+
+TEST(ConfigIo, ApplyKnownKeys)
+{
+    SimConfig cfg;
+    EXPECT_TRUE(applyConfigKey(cfg, "pcm.read_latency", "99"));
+    EXPECT_EQ(cfg.pcm.readLatency, 99u);
+    EXPECT_TRUE(applyConfigKey(cfg, "pcm.capacity_gb", "32"));
+    EXPECT_EQ(cfg.pcm.capacityBytes, 32ull << 30);
+    EXPECT_TRUE(applyConfigKey(cfg, "metadata.use_lrcu", "false"));
+    EXPECT_FALSE(cfg.metadata.useLrcu);
+    EXPECT_TRUE(applyConfigKey(cfg, "core.clock_ghz", "3.5"));
+    EXPECT_DOUBLE_EQ(cfg.core.clockGhz, 3.5);
+    EXPECT_TRUE(applyConfigKey(cfg, "cache.l3_kb", "8192"));
+    EXPECT_EQ(cfg.cache.l3Size, 8192u << 10);
+    EXPECT_TRUE(applyConfigKey(cfg, "seed", "42"));
+    EXPECT_EQ(cfg.seed, 42u);
+}
+
+TEST(ConfigIo, UnknownKeyRejected)
+{
+    SimConfig cfg;
+    EXPECT_FALSE(applyConfigKey(cfg, "nonsense.key", "1"));
+}
+
+TEST(ConfigIo, BooleanSpellings)
+{
+    SimConfig cfg;
+    for (const char *t : {"true", "1", "yes", "on"}) {
+        cfg.pcm.readPriority = false;
+        EXPECT_TRUE(applyConfigKey(cfg, "pcm.read_priority", t));
+        EXPECT_TRUE(cfg.pcm.readPriority) << t;
+    }
+    for (const char *f : {"false", "0", "no", "off"}) {
+        cfg.pcm.readPriority = true;
+        EXPECT_TRUE(applyConfigKey(cfg, "pcm.read_priority", f));
+        EXPECT_FALSE(cfg.pcm.readPriority) << f;
+    }
+}
+
+class ConfigFileTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = std::filesystem::temp_directory_path() /
+                ("esd_cfg_" + std::to_string(::getpid()) + ".cfg");
+    }
+
+    void TearDown() override { std::filesystem::remove(path_); }
+
+    std::filesystem::path path_;
+};
+
+TEST_F(ConfigFileTest, LoadOverridesDefaults)
+{
+    {
+        std::ofstream out(path_);
+        out << "# a comment\n"
+               "\n"
+               "pcm.write_latency = 300\n"
+               "metadata.efit_kb = 256\n"
+               "  crypto.sha1_latency =  500  \n";
+    }
+    SimConfig cfg;
+    loadConfigFile(cfg, path_.string());
+    EXPECT_EQ(cfg.pcm.writeLatency, 300u);
+    EXPECT_EQ(cfg.metadata.efitCacheBytes, 256u << 10);
+    EXPECT_EQ(cfg.crypto.sha1Latency, 500u);
+    // Untouched keys keep their Table I defaults.
+    EXPECT_EQ(cfg.pcm.readLatency, 75u);
+}
+
+TEST_F(ConfigFileTest, UnknownKeyWarnsButContinues)
+{
+    {
+        std::ofstream out(path_);
+        out << "bogus.key = 5\npcm.read_latency = 80\n";
+    }
+    setQuiet(true);
+    std::uint64_t warns = warnCount();
+    SimConfig cfg;
+    loadConfigFile(cfg, path_.string());
+    setQuiet(false);
+    EXPECT_EQ(warnCount(), warns + 1);
+    EXPECT_EQ(cfg.pcm.readLatency, 80u);
+}
+
+TEST_F(ConfigFileTest, RenderRoundTrips)
+{
+    SimConfig cfg;
+    cfg.pcm.writeLatency = 222;
+    cfg.metadata.referHMax = 77;
+    cfg.core.clockGhz = 2.5;
+    {
+        std::ofstream out(path_);
+        out << renderConfig(cfg);
+    }
+    SimConfig back;
+    loadConfigFile(back, path_.string());
+    EXPECT_EQ(back.pcm.writeLatency, 222u);
+    EXPECT_EQ(back.metadata.referHMax, 77u);
+    EXPECT_DOUBLE_EQ(back.core.clockGhz, 2.5);
+    EXPECT_EQ(renderConfig(back), renderConfig(cfg));
+}
+
+TEST(ConfigIoDeath, MissingFileIsFatal)
+{
+    SimConfig cfg;
+    EXPECT_EXIT(loadConfigFile(cfg, "/nonexistent/esd.cfg"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(ConfigIoDeath, BadIntegerIsFatal)
+{
+    SimConfig cfg;
+    EXPECT_EXIT(applyConfigKey(cfg, "pcm.read_latency", "abc"),
+                ::testing::ExitedWithCode(1), "not an integer");
+}
+
+} // namespace
+} // namespace esd

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Integration tests for the full CPU-to-NVMM stack (hierarchy +
+ * scheme + device).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "core/cpu_system.hh"
+
+namespace esd
+{
+namespace
+{
+
+SimConfig
+smallStack()
+{
+    SimConfig cfg;
+    // Shrink the hierarchy so evictions happen quickly in tests.
+    cfg.cache.l1Size = 8 * kLineSize;
+    cfg.cache.l2Size = 32 * kLineSize;
+    cfg.cache.l3Size = 128 * kLineSize;
+    cfg.pcm.channels = 1;
+    return cfg;
+}
+
+CacheLine
+lineWith(std::uint64_t v)
+{
+    CacheLine l;
+    l.setWord(0, v);
+    return l;
+}
+
+TEST(CpuSystem, LoadAfterStoreThroughCaches)
+{
+    CpuSystem sys(smallStack(), SchemeKind::Esd);
+    sys.store(0, lineWith(42));
+    CpuAccessResult r = sys.load(0);
+    EXPECT_EQ(r.data.word(0), 42u);
+    EXPECT_EQ(r.hitLevel, 1u);
+}
+
+TEST(CpuSystem, DataSurvivesFullEvictionToNvmm)
+{
+    CpuSystem sys(smallStack(), SchemeKind::Esd);
+    sys.store(0, lineWith(0xabcd));
+    // Flood far beyond L3 capacity to force the line to NVMM.
+    for (std::uint64_t i = 1; i < 2048; ++i)
+        sys.store(i * kLineSize, lineWith(i));
+    CpuAccessResult r = sys.load(0);
+    EXPECT_EQ(r.data.word(0), 0xabcdu);
+    EXPECT_EQ(r.hitLevel, 4u);  // came back from memory
+    EXPECT_GT(sys.scheme().stats().logicalWrites.value(), 0u);
+}
+
+TEST(CpuSystem, WorksForEverySchemeKind)
+{
+    for (SchemeKind k : allSchemeKinds()) {
+        CpuSystem sys(smallStack(), k);
+        Pcg32 rng(7);
+        std::unordered_map<Addr, std::uint64_t> expect;
+        for (int i = 0; i < 3000; ++i) {
+            Addr addr = static_cast<Addr>(rng.below(1024)) * kLineSize;
+            std::uint64_t v = rng.below(16);  // duplicate-rich
+            sys.store(addr, lineWith(v));
+            expect[addr] = v;
+        }
+        for (const auto &[addr, v] : expect) {
+            EXPECT_EQ(sys.load(addr).data.word(0), v)
+                << schemeName(k) << " addr " << addr;
+        }
+    }
+}
+
+TEST(CpuSystem, DuplicateHeavyStoresDedupInEsd)
+{
+    CpuSystem sys(smallStack(), SchemeKind::Esd);
+    // All stores carry identical content -> evictions dedup.
+    for (std::uint64_t i = 0; i < 4096; ++i)
+        sys.store(i * kLineSize, lineWith(7));
+    EXPECT_GT(sys.scheme().stats().dedupHits.value(), 0u);
+    EXPECT_LT(sys.scheme().stats().nvmDataWrites.value(),
+              sys.scheme().stats().logicalWrites.value());
+}
+
+TEST(CpuSystem, ClockAdvances)
+{
+    CpuSystem sys(smallStack(), SchemeKind::Baseline);
+    double t0 = sys.nowNs();
+    sys.load(0);
+    EXPECT_GT(sys.nowNs(), t0);
+    sys.tick(100);
+    EXPECT_GE(sys.nowNs(), t0 + 100);
+}
+
+} // namespace
+} // namespace esd

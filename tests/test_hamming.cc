@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Unit and property tests for the Hamming(72,64) SEC-DED codec.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "ecc/hamming.hh"
+
+namespace esd
+{
+namespace
+{
+
+TEST(Hamming72, ZeroWordHasZeroCheck)
+{
+    // All-zero data: every parity is even.
+    EXPECT_EQ(Hamming72::encode(0), 0);
+}
+
+TEST(Hamming72, EncodeIsDeterministic)
+{
+    EXPECT_EQ(Hamming72::encode(0x0123456789abcdefull),
+              Hamming72::encode(0x0123456789abcdefull));
+}
+
+TEST(Hamming72, CleanWordDecodesOk)
+{
+    Pcg32 rng(42);
+    for (int i = 0; i < 1000; ++i) {
+        std::uint64_t d = rng.next64();
+        std::uint8_t c = Hamming72::encode(d);
+        EccDecodeResult r = Hamming72::decode(d, c);
+        EXPECT_EQ(r.status, EccStatus::Ok);
+        EXPECT_EQ(r.data, d);
+        EXPECT_EQ(r.check, c);
+    }
+}
+
+TEST(Hamming72, VerifyMatchesEncode)
+{
+    Pcg32 rng(43);
+    for (int i = 0; i < 100; ++i) {
+        std::uint64_t d = rng.next64();
+        EXPECT_TRUE(Hamming72::verify(d, Hamming72::encode(d)));
+        EXPECT_FALSE(Hamming72::verify(d ^ 1, Hamming72::encode(d)));
+    }
+}
+
+/** Every single data-bit flip must be corrected, for every position. */
+TEST(Hamming72, CorrectsEverySingleDataBitError)
+{
+    Pcg32 rng(44);
+    for (int trial = 0; trial < 8; ++trial) {
+        std::uint64_t d = rng.next64();
+        std::uint8_t c = Hamming72::encode(d);
+        for (unsigned bit = 0; bit < 64; ++bit) {
+            EccDecodeResult r = Hamming72::decode(d ^ (1ull << bit), c);
+            ASSERT_EQ(r.status, EccStatus::CorrectedData)
+                << "bit " << bit;
+            EXPECT_EQ(r.data, d) << "bit " << bit;
+            EXPECT_EQ(r.bitIndex, bit);
+        }
+    }
+}
+
+/** Every single check-bit flip must be corrected. */
+TEST(Hamming72, CorrectsEverySingleCheckBitError)
+{
+    Pcg32 rng(45);
+    for (int trial = 0; trial < 8; ++trial) {
+        std::uint64_t d = rng.next64();
+        std::uint8_t c = Hamming72::encode(d);
+        for (unsigned bit = 0; bit < 8; ++bit) {
+            EccDecodeResult r =
+                Hamming72::decode(d, c ^ static_cast<std::uint8_t>(
+                                            1u << bit));
+            ASSERT_EQ(r.status, EccStatus::CorrectedCheck)
+                << "check bit " << bit;
+            EXPECT_EQ(r.data, d);
+            EXPECT_EQ(r.check, c);
+            EXPECT_EQ(r.bitIndex, bit);
+        }
+    }
+}
+
+/** All double data-bit errors must be *detected* (never miscorrected
+ * into Ok). */
+TEST(Hamming72, DetectsDoubleDataBitErrors)
+{
+    Pcg32 rng(46);
+    std::uint64_t d = rng.next64();
+    std::uint8_t c = Hamming72::encode(d);
+    for (unsigned b1 = 0; b1 < 64; ++b1) {
+        for (unsigned b2 = b1 + 1; b2 < 64; ++b2) {
+            std::uint64_t corrupted = d ^ (1ull << b1) ^ (1ull << b2);
+            EccDecodeResult r = Hamming72::decode(corrupted, c);
+            ASSERT_EQ(r.status, EccStatus::Uncorrectable)
+                << "bits " << b1 << "," << b2;
+        }
+    }
+}
+
+TEST(Hamming72, DetectsDataPlusCheckDoubleErrors)
+{
+    Pcg32 rng(47);
+    std::uint64_t d = rng.next64();
+    std::uint8_t c = Hamming72::encode(d);
+    for (unsigned db = 0; db < 64; db += 7) {
+        for (unsigned cb = 0; cb < 8; ++cb) {
+            EccDecodeResult r = Hamming72::decode(
+                d ^ (1ull << db),
+                c ^ static_cast<std::uint8_t>(1u << cb));
+            ASSERT_EQ(r.status, EccStatus::Uncorrectable)
+                << "data bit " << db << " check bit " << cb;
+        }
+    }
+}
+
+/** The code is linear: check(a ^ b) == check(a) ^ check(b) for the
+ * Hamming portion (overall parity is also linear). */
+TEST(Hamming72, CodeIsLinear)
+{
+    Pcg32 rng(48);
+    for (int i = 0; i < 200; ++i) {
+        std::uint64_t a = rng.next64();
+        std::uint64_t b = rng.next64();
+        EXPECT_EQ(Hamming72::encode(a ^ b),
+                  Hamming72::encode(a) ^ Hamming72::encode(b));
+    }
+}
+
+/** Each Hamming check covers a distinct, nonempty data-bit subset and
+ * together they distinguish all single-bit positions. */
+TEST(Hamming72, CheckMasksDistinguishDataBits)
+{
+    for (unsigned c = 0; c < 7; ++c)
+        EXPECT_NE(Hamming72::checkMask(c), 0u);
+
+    // Syndrome signature of each data bit must be unique and nonzero.
+    for (unsigned b1 = 0; b1 < 64; ++b1) {
+        unsigned sig1 = 0;
+        for (unsigned c = 0; c < 7; ++c) {
+            if (Hamming72::checkMask(c) & (1ull << b1))
+                sig1 |= 1u << c;
+        }
+        EXPECT_NE(sig1, 0u);
+        for (unsigned b2 = b1 + 1; b2 < 64; ++b2) {
+            unsigned sig2 = 0;
+            for (unsigned c = 0; c < 7; ++c) {
+                if (Hamming72::checkMask(c) & (1ull << b2))
+                    sig2 |= 1u << c;
+            }
+            ASSERT_NE(sig1, sig2) << "bits " << b1 << " vs " << b2;
+        }
+    }
+}
+
+/** Property sweep: random word, random single flip anywhere in the
+ * 72-bit codeword, always corrected back to the original. */
+class HammingSingleFlipTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(HammingSingleFlipTest, RandomSingleFlipAlwaysCorrected)
+{
+    Pcg32 rng(1000 + GetParam());
+    for (int i = 0; i < 500; ++i) {
+        std::uint64_t d = rng.next64();
+        std::uint8_t c = Hamming72::encode(d);
+        unsigned bit = rng.below(72);
+        std::uint64_t dd = d;
+        std::uint8_t cc = c;
+        if (bit < 64)
+            dd ^= 1ull << bit;
+        else
+            cc ^= static_cast<std::uint8_t>(1u << (bit - 64));
+        EccDecodeResult r = Hamming72::decode(dd, cc);
+        ASSERT_TRUE(r.corrected());
+        EXPECT_EQ(r.data, d);
+        EXPECT_EQ(r.check, c);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HammingSingleFlipTest,
+                         ::testing::Range(0, 8));
+
+} // namespace
+} // namespace esd

@@ -1,0 +1,414 @@
+/**
+ * @file
+ * Tests for the deduplication metadata structures: AMT, EFIT (LRCU),
+ * the full-dedup fingerprint table, the line store, and the DeWrite
+ * predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "dedup/amt.hh"
+#include "dedup/efit.hh"
+#include "dedup/fp_table.hh"
+#include "dedup/line_store.hh"
+#include "dedup/predictor.hh"
+#include "nvm/nvm_store.hh"
+
+namespace esd
+{
+namespace
+{
+
+// ----------------------------------------------------------- PackedPhys
+
+TEST(PackedPhys, RoundTrip)
+{
+    for (Addr a : {Addr{0}, Addr{64}, Addr{1} << 20, Addr{255} * 64,
+                   Addr{256} * 64, (Addr{1} << 38) + 640}) {
+        PackedPhys p = PackedPhys::fromAddr(a);
+        EXPECT_EQ(p.toAddr(), lineAlign(a));
+    }
+}
+
+TEST(PackedPhys, FortyBitSplit)
+{
+    // Line index 0x1234567_89 -> base is the upper 32 bits, offset the
+    // low 8 (Section III-B).
+    Addr a = 0x123456789ull * kLineSize;
+    PackedPhys p = PackedPhys::fromAddr(a);
+    EXPECT_EQ(p.base, 0x1234567u);
+    EXPECT_EQ(p.offset, 0x89u);
+}
+
+// ------------------------------------------------------------ LineStore
+
+TEST(LineStore, AllocateDistinctAddresses)
+{
+    NvmStore nvm(1 << 20);
+    LineStore ls(nvm);
+    Addr a = ls.allocate();
+    Addr b = ls.allocate();
+    EXPECT_NE(a, b);
+    EXPECT_EQ(ls.liveLines(), 2u);
+}
+
+TEST(LineStore, RefCountLifecycle)
+{
+    NvmStore nvm(1 << 20);
+    LineStore ls(nvm);
+    Addr a = ls.allocate();
+    nvm.write(a, CacheLine{}, 0);
+    ls.addRef(a);
+    ls.addRef(a);
+    EXPECT_EQ(ls.refCount(a), 2u);
+    EXPECT_FALSE(ls.release(a));
+    EXPECT_TRUE(ls.isLive(a));
+    EXPECT_TRUE(ls.release(a));
+    EXPECT_FALSE(ls.isLive(a));
+    EXPECT_FALSE(nvm.contains(a));  // content erased with last ref
+}
+
+TEST(LineStore, FreedAddressIsReused)
+{
+    NvmStore nvm(1 << 20);
+    LineStore ls(nvm);
+    Addr a = ls.allocate();
+    ls.addRef(a);
+    ls.release(a);
+    Addr b = ls.allocate();
+    EXPECT_EQ(a, b);
+}
+
+// ----------------------------------------------------------------- AMT
+
+MetadataConfig
+tinyMeta()
+{
+    MetadataConfig cfg;
+    cfg.amtCacheBytes = 8 * kLineSize;  // 8 entry blocks (5 entries each)
+    cfg.amtAssoc = 2;
+    cfg.efitCacheBytes = 16 * 16;
+    cfg.efitAssoc = 2;
+    cfg.decayPeriod = 0;  // no decay unless a test wants it
+    return cfg;
+}
+
+/** Logical address of the first line in AMT entry-block @p group. */
+Addr
+groupAddr(const Amt &amt, std::uint64_t group)
+{
+    return group * amt.entriesPerBlock() * kLineSize;
+}
+
+TEST(Amt, LookupMissesWhenEmpty)
+{
+    Amt amt(tinyMeta(), 1 << 30);
+    Amt::LookupResult r = amt.lookup(0);
+    EXPECT_FALSE(r.found);
+    EXPECT_FALSE(r.cacheHit);
+    EXPECT_TRUE(r.effects.nvmRead);  // had to consult NVMM
+}
+
+TEST(Amt, UpdateThenCachedLookup)
+{
+    Amt amt(tinyMeta(), 1 << 30);
+    amt.update(640, 128);
+    Amt::LookupResult r = amt.lookup(640);
+    EXPECT_TRUE(r.found);
+    EXPECT_TRUE(r.cacheHit);
+    EXPECT_EQ(r.phys, 128u);
+    EXPECT_EQ(amt.stats().cacheHits.value(), 1u);
+}
+
+TEST(Amt, EvictedDirtyBlockTriggersWriteback)
+{
+    MetadataConfig cfg = tinyMeta();
+    cfg.amtCacheBytes = 2 * kLineSize;  // 2 blocks, 2-way: one set
+    Amt amt(cfg, 1 << 30);
+    // Three distinct entry blocks into a 2-way set.
+    amt.update(groupAddr(amt, 0), 64);
+    amt.update(groupAddr(amt, 1), 128);
+    MetadataEffects eff = amt.update(groupAddr(amt, 2), 192);
+    EXPECT_TRUE(eff.nvmWriteback);
+    EXPECT_EQ(amt.stats().nvmWritebacks.value(), 1u);
+}
+
+TEST(Amt, UpdatesWithinOneBlockCoalesce)
+{
+    // Consecutive logical lines share an entry block: updating all of
+    // them dirties one block and costs at most one write-back later.
+    MetadataConfig cfg = tinyMeta();
+    Amt amt(cfg, 1 << 30);
+    for (std::uint64_t i = 0; i < amt.entriesPerBlock(); ++i)
+        amt.update(i * kLineSize, 64 * (i + 1));
+    EXPECT_EQ(amt.stats().nvmWritebacks.value(), 0u);
+    for (std::uint64_t i = 0; i < amt.entriesPerBlock(); ++i)
+        EXPECT_EQ(amt.lookup(i * kLineSize).phys, 64 * (i + 1));
+}
+
+TEST(Amt, MissFetchesFromNvmTableAndCaches)
+{
+    MetadataConfig cfg = tinyMeta();
+    cfg.amtCacheBytes = 2 * kLineSize;
+    Amt amt(cfg, 1 << 30);
+    amt.update(groupAddr(amt, 0), 64);
+    // Push block 0 out of the tiny cache.
+    amt.update(groupAddr(amt, 1), 128);
+    amt.update(groupAddr(amt, 2), 192);
+    // Entry for block 0 must still resolve via the NVMM table.
+    Amt::LookupResult r = amt.lookup(groupAddr(amt, 0));
+    EXPECT_TRUE(r.found);
+    EXPECT_FALSE(r.cacheHit);
+    EXPECT_TRUE(r.effects.nvmRead);
+    EXPECT_EQ(r.phys, 64u);
+    // And is now cached again.
+    Amt::LookupResult r2 = amt.lookup(groupAddr(amt, 0));
+    EXPECT_TRUE(r2.cacheHit);
+}
+
+TEST(Amt, PeekDoesNotDisturbCache)
+{
+    Amt amt(tinyMeta(), 1 << 30);
+    amt.update(0, 64);
+    std::uint64_t hits = amt.stats().cacheHits.value();
+    auto p = amt.peek(0);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(*p, 64u);
+    EXPECT_EQ(amt.stats().cacheHits.value(), hits);
+    EXPECT_FALSE(amt.peek(999 * kLineSize).has_value());
+}
+
+TEST(Amt, ManyToOneMapping)
+{
+    Amt amt(tinyMeta(), 1 << 30);
+    amt.update(0, 4096);
+    amt.update(64, 4096);
+    EXPECT_EQ(amt.lookup(0).phys, 4096u);
+    EXPECT_EQ(amt.lookup(64).phys, 4096u);
+    EXPECT_EQ(amt.mappingCount(), 2u);
+}
+
+TEST(Amt, NvmBytesTracksEntries)
+{
+    MetadataConfig cfg = tinyMeta();
+    Amt amt(cfg, 1 << 30);
+    amt.update(0, 64);
+    amt.update(64, 128);
+    EXPECT_EQ(amt.nvmBytes(), 2 * cfg.amtEntryBytes);
+}
+
+// ---------------------------------------------------------------- EFIT
+
+TEST(Efit, InsertThenHit)
+{
+    Efit efit(tinyMeta());
+    efit.insert(0xabc, 640);
+    Efit::Entry *e = efit.lookup(0xabc);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->phys.toAddr(), 640u);
+    EXPECT_EQ(e->referH, 1u);
+    EXPECT_EQ(efit.stats().hits.value(), 1u);
+}
+
+TEST(Efit, MissNeverConsultsNvm)
+{
+    // Structural property of selective dedup: the EFIT has no NVMM
+    // backing at all — a miss is just a miss.
+    Efit efit(tinyMeta());
+    EXPECT_EQ(efit.lookup(0x123), nullptr);
+    EXPECT_EQ(efit.stats().misses.value(), 1u);
+}
+
+TEST(Efit, BumpRefSaturatesAtReferHMax)
+{
+    MetadataConfig cfg = tinyMeta();
+    cfg.referHMax = 3;
+    Efit efit(cfg);
+    efit.insert(1, 0);
+    Efit::Entry *e = efit.lookup(1);
+    ASSERT_NE(e, nullptr);
+    EXPECT_TRUE(efit.bumpRef(e));   // 2
+    EXPECT_TRUE(efit.bumpRef(e));   // 3
+    EXPECT_FALSE(efit.bumpRef(e));  // saturated
+    EXPECT_EQ(efit.stats().referHSaturations.value(), 1u);
+}
+
+TEST(Efit, LrcuEvictsLowestRefCount)
+{
+    MetadataConfig cfg = tinyMeta();
+    cfg.efitCacheBytes = 2 * 16;  // one 2-way set
+    Efit efit(cfg);
+    // Use fingerprints landing in the same (only) set.
+    efit.insert(10, 0);
+    efit.insert(20, 64);
+    // Make fp=10 hot.
+    Efit::Entry *hot = efit.lookup(10);
+    efit.bumpRef(hot);
+    efit.bumpRef(hot);
+    // Insert a third: LRCU must evict fp=20 (referH 1), not fp=10.
+    efit.insert(30, 128);
+    EXPECT_NE(efit.lookup(10), nullptr);
+    EXPECT_EQ(efit.lookup(20), nullptr);
+    EXPECT_NE(efit.lookup(30), nullptr);
+    EXPECT_EQ(efit.stats().evictionsRef1.value(), 1u);
+}
+
+TEST(Efit, LruModeIgnoresRefCounts)
+{
+    MetadataConfig cfg = tinyMeta();
+    cfg.efitCacheBytes = 2 * 16;
+    cfg.useLrcu = false;
+    Efit efit(cfg);
+    efit.insert(10, 0);
+    efit.insert(20, 64);
+    Efit::Entry *hot = efit.lookup(10);
+    efit.bumpRef(hot);
+    efit.bumpRef(hot);
+    // lookup(10) refreshed LRU too, so 20 is LRU either way; touch 20
+    // then 10 to make 10... we want to show refcounts don't protect:
+    efit.lookup(20);  // now 10 is LRU despite high referH
+    efit.insert(30, 128);
+    EXPECT_EQ(efit.lookup(10), nullptr);  // hot entry evicted under LRU
+    EXPECT_NE(efit.lookup(20), nullptr);
+}
+
+TEST(Efit, DecaySubtractsFixedValue)
+{
+    MetadataConfig cfg = tinyMeta();
+    cfg.efitCacheBytes = 8 * 16;
+    cfg.decayPeriod = 4;  // decay every 4 inserts
+    cfg.decayDelta = 1;
+    Efit efit(cfg);
+    efit.insert(99, 0);
+    Efit::Entry *e = efit.lookup(99);
+    for (int i = 0; i < 5; ++i)
+        efit.bumpRef(e);
+    std::uint32_t before = e->referH;
+    // Trigger one decay round with 4 more inserts.
+    for (std::uint64_t i = 0; i < 4; ++i)
+        efit.insert(1000 + i, 64 * (i + 1));
+    EXPECT_EQ(efit.stats().decayRounds.value(), 1u);
+    Efit::Entry *after = efit.lookup(99);
+    if (after)  // may have been evicted depending on set mapping
+        EXPECT_EQ(after->referH, before - 1);
+}
+
+TEST(Efit, EraseRemovesMatchingEntryOnly)
+{
+    Efit efit(tinyMeta());
+    efit.insert(5, 0);
+    efit.erase(5, 64);  // wrong phys: no-op
+    EXPECT_NE(efit.lookup(5), nullptr);
+    efit.erase(5, 0);
+    EXPECT_EQ(efit.lookup(5), nullptr);
+}
+
+TEST(Efit, CapacityMatchesPaperGeometry)
+{
+    // Table I: 512 KB EFIT at 16 B/entry = 32K entries.
+    MetadataConfig cfg;
+    Efit efit(cfg);
+    EXPECT_EQ(efit.capacityEntries(), 512u * 1024 / 16);
+}
+
+// ------------------------------------------------------------- FpTable
+
+TEST(FpTable, MissRequiresNvmLookup)
+{
+    FpTable t(16 * 26, 26, 2, 1 << 30);
+    FpTable::LookupResult r = t.lookup(0x42);
+    EXPECT_FALSE(r.found);
+    EXPECT_FALSE(r.cacheHit);
+    EXPECT_TRUE(r.nvmLookup);  // full dedup always checks NVMM
+    EXPECT_EQ(t.stats().nvmLookups.value(), 1u);
+}
+
+TEST(FpTable, InsertThenCacheHit)
+{
+    FpTable t(16 * 26, 26, 2, 1 << 30);
+    Addr store_addr;
+    t.insert(0x42, 640, store_addr);
+    EXPECT_NE(store_addr, kInvalidAddr);
+    FpTable::LookupResult r = t.lookup(0x42);
+    EXPECT_TRUE(r.found);
+    EXPECT_TRUE(r.cacheHit);
+    EXPECT_EQ(r.phys, 640u);
+}
+
+TEST(FpTable, EvictedEntryStillFoundViaNvm)
+{
+    FpTable t(2 * 26, 26, 2, 1 << 30);  // single 2-way set
+    Addr sa;
+    t.insert(1, 0, sa);
+    t.insert(2, 64, sa);
+    t.insert(3, 128, sa);  // evicts one of the first two from cache
+    // All three remain findable (full index lives in NVMM).
+    for (std::uint64_t fp : {1, 2, 3}) {
+        FpTable::LookupResult r = t.lookup(fp);
+        EXPECT_TRUE(r.found) << fp;
+    }
+    EXPECT_GT(t.stats().nvmFoundAfterMiss.value(), 0u);
+}
+
+TEST(FpTable, EraseForgetsEverywhere)
+{
+    FpTable t(16 * 26, 26, 2, 1 << 30);
+    Addr sa;
+    t.insert(7, 0, sa);
+    t.erase(7);
+    FpTable::LookupResult r = t.lookup(7);
+    EXPECT_FALSE(r.found);
+    EXPECT_TRUE(r.nvmLookup);
+    EXPECT_EQ(t.nvmEntries(), 0u);
+}
+
+TEST(FpTable, NvmBytesUsesEntrySize)
+{
+    FpTable t(16 * 26, 26, 2, 1 << 30);
+    Addr sa;
+    t.insert(1, 0, sa);
+    t.insert(2, 64, sa);
+    EXPECT_EQ(t.nvmBytes(), 52u);
+}
+
+// ------------------------------------------------------------ predictor
+
+TEST(DupPredictor, LearnsDuplicateRegions)
+{
+    DupPredictor p(64);
+    Addr addr = 0x1000;
+    // Initially weakly not-duplicate.
+    EXPECT_FALSE(p.predictDuplicate(addr));
+    p.train(addr, false, true);
+    p.train(addr, p.predictDuplicate(addr), true);
+    EXPECT_TRUE(p.predictDuplicate(addr));
+}
+
+TEST(DupPredictor, ForgetsAfterNonDuplicates)
+{
+    DupPredictor p(64);
+    Addr addr = 0x2000;
+    for (int i = 0; i < 4; ++i)
+        p.train(addr, p.predictDuplicate(addr), true);
+    EXPECT_TRUE(p.predictDuplicate(addr));
+    for (int i = 0; i < 4; ++i)
+        p.train(addr, p.predictDuplicate(addr), false);
+    EXPECT_FALSE(p.predictDuplicate(addr));
+}
+
+TEST(DupPredictor, AccuracyTracking)
+{
+    DupPredictor p(64);
+    p.train(0, true, true);    // T1
+    p.train(64, true, false);  // F2
+    p.train(128, false, false);// T3
+    p.train(192, false, true); // F4
+    EXPECT_EQ(p.stats().total(), 4u);
+    EXPECT_DOUBLE_EQ(p.stats().accuracy(), 0.5);
+    EXPECT_EQ(p.stats().predictDupActualDup.value(), 1u);
+    EXPECT_EQ(p.stats().predictNewActualDup.value(), 1u);
+}
+
+} // namespace
+} // namespace esd

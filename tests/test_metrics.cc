@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the metrics module: table rendering and energy
+ * aggregation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/energy.hh"
+#include "metrics/report.hh"
+
+namespace esd
+{
+namespace
+{
+
+TEST(TablePrinter, RendersHeaderAndRows)
+{
+    TablePrinter t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"beta", "22"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinter, ColumnsAlignToWidestCell)
+{
+    TablePrinter t({"a", "b"});
+    t.addRow({"longvalue", "x"});
+    std::ostringstream os;
+    t.print(os);
+    std::istringstream is(os.str());
+    std::string header, sep, row;
+    std::getline(is, header);
+    std::getline(is, sep);
+    std::getline(is, row);
+    EXPECT_EQ(header.size(), row.size());
+}
+
+TEST(TablePrinter, NumFormatsPrecision)
+{
+    EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::num(2.0, 0), "2");
+}
+
+TEST(TablePrinter, PctFormatsFractions)
+{
+    EXPECT_EQ(TablePrinter::pct(0.5), "50.0%");
+    EXPECT_EQ(TablePrinter::pct(0.1234, 2), "12.34%");
+}
+
+TEST(EnergyBreakdown, TotalSumsComponents)
+{
+    EnergyBreakdown e;
+    e.deviceRead = 1;
+    e.deviceWrite = 2;
+    e.hash = 3;
+    e.crypto = 4;
+    e.metadata = 5;
+    EXPECT_DOUBLE_EQ(e.total(), 15.0);
+}
+
+TEST(EnergyBreakdown, CollectFromStats)
+{
+    NvmStats nvm;
+    nvm.readEnergy = 100;
+    nvm.writeEnergy = 200;
+    SchemeStats s;
+    s.hashEnergy = 10;
+    s.cryptoEnergy = 20;
+    s.metadataEnergy = 30;
+    EnergyBreakdown e = EnergyBreakdown::collect(nvm, s);
+    EXPECT_DOUBLE_EQ(e.deviceRead, 100);
+    EXPECT_DOUBLE_EQ(e.deviceWrite, 200);
+    EXPECT_DOUBLE_EQ(e.hash, 10);
+    EXPECT_DOUBLE_EQ(e.crypto, 20);
+    EXPECT_DOUBLE_EQ(e.metadata, 30);
+    EXPECT_DOUBLE_EQ(e.total(), 360);
+}
+
+} // namespace
+} // namespace esd

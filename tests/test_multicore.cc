@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the multi-core simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/multicore.hh"
+#include "trace/workloads.hh"
+
+namespace esd
+{
+namespace
+{
+
+SimConfig
+cfg()
+{
+    SimConfig c;
+    c.pcm.channels = 1;
+    c.pcm.banksPerRank = 4;
+    return c;
+}
+
+std::vector<std::unique_ptr<TraceSource>>
+makeTraces(unsigned cores, const char *app, std::uint64_t seed_base = 10)
+{
+    std::vector<std::unique_ptr<TraceSource>> t;
+    for (unsigned i = 0; i < cores; ++i)
+        t.push_back(std::make_unique<SyntheticWorkload>(findApp(app),
+                                                        seed_base + i));
+    return t;
+}
+
+TEST(MultiCore, EveryCoreProcessesItsRecords)
+{
+    MultiCoreSimulator sim(cfg(), SchemeKind::Esd);
+    MultiCoreRunResult r = sim.run(makeTraces(4, "gcc"), 3000, 500);
+    ASSERT_EQ(r.cores.size(), 4u);
+    for (const CoreResult &c : r.cores) {
+        EXPECT_EQ(c.records, 2500u);
+        EXPECT_GT(c.ipc, 0.0);
+    }
+    EXPECT_EQ(r.records, 4u * 2500);
+    // Shared stats reset when the LAST core leaves warm-up, so they
+    // cover at most the measured records and can trail by up to the
+    // other cores' warm-up progress.
+    std::uint64_t counted = r.logicalReads + r.logicalWrites;
+    EXPECT_LE(counted, r.records);
+    EXPECT_GE(counted, r.records - 3u * 500);
+}
+
+TEST(MultiCore, SingleCoreMatchesSimulatorShape)
+{
+    // One core through the multi-core loop must agree with the
+    // single-core Simulator on the same trace and config.
+    SimConfig c = cfg();
+    SyntheticWorkload t1(findApp("wrf"), 3);
+    RunResult single = runWorkload(c, SchemeKind::Esd, t1, 5000, 1000);
+
+    MultiCoreSimulator sim(c, SchemeKind::Esd);
+    std::vector<std::unique_ptr<TraceSource>> traces;
+    traces.push_back(std::make_unique<SyntheticWorkload>(findApp("wrf"),
+                                                         3));
+    MultiCoreRunResult multi = sim.run(std::move(traces), 5000, 1000);
+
+    EXPECT_EQ(multi.dedupHits, single.dedupHits);
+    EXPECT_DOUBLE_EQ(multi.writeLatency.mean(),
+                     single.writeLatency.mean());
+    EXPECT_NEAR(multi.systemIpc, single.ipc, 1e-9);
+}
+
+TEST(MultiCore, MoreCoresMoreContention)
+{
+    // Same per-core workload: 8 cores sharing 4 banks must see higher
+    // mean latencies than 1 core does.
+    MultiCoreSimulator one(cfg(), SchemeKind::Baseline);
+    MultiCoreRunResult r1 = one.run(makeTraces(1, "mcf"), 4000, 500);
+
+    MultiCoreSimulator eight(cfg(), SchemeKind::Baseline);
+    MultiCoreRunResult r8 = eight.run(makeTraces(8, "mcf"), 4000, 500);
+
+    EXPECT_GT(r8.writeLatency.mean(), r1.writeLatency.mean());
+    EXPECT_GT(r8.readLatency.mean(), r1.readLatency.mean());
+    // Aggregate throughput still grows with cores.
+    EXPECT_GT(r8.systemIpc, r1.systemIpc);
+}
+
+TEST(MultiCore, CrossCoreDeduplication)
+{
+    // Different cores writing identical content dedup against each
+    // other through the shared EFIT.
+    MultiCoreSimulator sim(cfg(), SchemeKind::Esd);
+    // Same app, same seed => identical content streams on all cores.
+    std::vector<std::unique_ptr<TraceSource>> traces;
+    for (int i = 0; i < 4; ++i)
+        traces.push_back(
+            std::make_unique<SyntheticWorkload>(findApp("deepsjeng"), 1));
+    MultiCoreRunResult r = sim.run(std::move(traces), 2000, 0);
+    EXPECT_GT(r.writeReduction(), 0.99);
+}
+
+TEST(MultiCore, DeterministicAcrossRuns)
+{
+    MultiCoreSimulator a(cfg(), SchemeKind::DeWrite);
+    MultiCoreRunResult ra = a.run(makeTraces(4, "x264"), 3000, 300);
+    MultiCoreSimulator b(cfg(), SchemeKind::DeWrite);
+    MultiCoreRunResult rb = b.run(makeTraces(4, "x264"), 3000, 300);
+    EXPECT_EQ(ra.dedupHits, rb.dedupHits);
+    EXPECT_DOUBLE_EQ(ra.wallNs, rb.wallNs);
+    EXPECT_DOUBLE_EQ(ra.systemIpc, rb.systemIpc);
+}
+
+} // namespace
+} // namespace esd

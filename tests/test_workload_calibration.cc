@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Statistical calibration tests across all 20 application profiles:
+ * each generator must actually produce the characteristics its
+ * profile declares (duplicate rate, write mix, zero fraction,
+ * burstiness, address locality), since every figure bench rests on
+ * them.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dedup/analyzer.hh"
+#include "trace/workloads.hh"
+
+namespace esd
+{
+namespace
+{
+
+struct Measured
+{
+    double dupRate = 0;
+    double writeFrac = 0;
+    double zeroFracOfWrites = 0;
+    double smallGapFrac = 0;   ///< icount below mean/2 (burst traffic)
+    double seqFrac = 0;        ///< writes continuing the previous line
+    std::uint64_t writes = 0;
+};
+
+Measured
+measure(const AppProfile &p, std::uint64_t records)
+{
+    SyntheticWorkload w(p, 1);
+    DedupAnalyzer an;
+    Measured m;
+    TraceRecord rec;
+    Addr last_write = kInvalidAddr;
+    std::uint64_t small_gaps = 0, seq = 0;
+    for (std::uint64_t i = 0; i < records; ++i) {
+        EXPECT_TRUE(w.next(rec));
+        small_gaps += rec.icount < p.icountMean / 2;
+        if (rec.op == OpType::Write) {
+            an.addWrite(rec.data);
+            ++m.writes;
+            m.zeroFracOfWrites += rec.data.isZero();
+            if (last_write != kInvalidAddr &&
+                rec.addr == last_write + kLineSize)
+                ++seq;
+            last_write = rec.addr;
+        }
+    }
+    m.dupRate = an.duplicateRate();
+    m.writeFrac = static_cast<double>(m.writes) / records;
+    m.zeroFracOfWrites /= std::max<std::uint64_t>(m.writes, 1);
+    m.smallGapFrac = static_cast<double>(small_gaps) / records;
+    m.seqFrac = static_cast<double>(seq) / std::max<std::uint64_t>(
+                                               m.writes - 1, 1);
+    return m;
+}
+
+class CalibrationTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(CalibrationTest, DupRateMatchesProfile)
+{
+    const AppProfile &p = findApp(GetParam());
+    Measured m = measure(p, 40000);
+    EXPECT_NEAR(m.dupRate, p.dupRate, 0.06) << p.name;
+}
+
+TEST_P(CalibrationTest, WriteMixMatchesProfile)
+{
+    const AppProfile &p = findApp(GetParam());
+    Measured m = measure(p, 40000);
+    EXPECT_NEAR(m.writeFrac, p.writeFrac, 0.03) << p.name;
+}
+
+TEST_P(CalibrationTest, BurstTrafficPresent)
+{
+    const AppProfile &p = findApp(GetParam());
+    Measured m = measure(p, 20000);
+    // With burstProb 0.25 and mean length ~burstLen, most records sit
+    // inside bursts (tiny inter-request gaps).
+    EXPECT_GT(m.smallGapFrac, 0.5) << p.name;
+    EXPECT_LT(m.smallGapFrac, 0.999) << p.name;
+}
+
+TEST_P(CalibrationTest, SequentialLocalityTracksSeqProb)
+{
+    const AppProfile &p = findApp(GetParam());
+    Measured m = measure(p, 40000);
+    // Sequential runs restart after random jumps; measured fraction
+    // tracks seqProb loosely but must be clearly correlated.
+    EXPECT_NEAR(m.seqFrac, p.seqProb, 0.12) << p.name;
+}
+
+TEST_P(CalibrationTest, ZeroLinesOnlyWhereProfiled)
+{
+    const AppProfile &p = findApp(GetParam());
+    Measured m = measure(p, 30000);
+    double expected_zero = p.dupRate * p.zeroFrac;
+    EXPECT_NEAR(m.zeroFracOfWrites, expected_zero, 0.08) << p.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, CalibrationTest,
+    ::testing::ValuesIn([] {
+        std::vector<std::string> names;
+        for (const AppProfile &p : paperApps())
+            names.push_back(p.name);
+        return names;
+    }()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+} // namespace
+} // namespace esd

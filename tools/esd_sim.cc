@@ -1,0 +1,179 @@
+/**
+ * @file
+ * The simulator command-line front end, mirroring the artifact's
+ * `nvmain.fast` interface:
+ *
+ *   esd_sim -scheme=<0..4|name> [-ConfigFile=<path>]
+ *           (-InputFile=<trace> | -app=<name>)
+ *           [-records=N] [-warmup=N] [-seed=N]
+ *           [-latency-out=<path>] [-dump-config]
+ *
+ * Scheme selector follows the artifact: 0 Baseline, 1 Tra_sha1,
+ * 2 DeWrite, 3 ESD (4 adds the ESD_Full ablation). `-InputFile`
+ * accepts both the text and binary trace formats (by extension:
+ * `.bin` is binary). `-latency-out` writes the raw write-latency
+ * samples, one per line, for external CDF plotting (Fig. 15).
+ */
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "common/config_io.hh"
+#include "common/logging.hh"
+#include "core/simulator.hh"
+#include "metrics/report.hh"
+#include "trace/trace_io.hh"
+#include "trace/workloads.hh"
+
+namespace
+{
+
+using namespace esd;
+
+struct Options
+{
+    SchemeKind scheme = SchemeKind::Esd;
+    std::string configFile;
+    std::string inputFile;
+    std::string app;
+    std::string latencyOut;
+    std::uint64_t records = 200000;
+    std::uint64_t warmup = 40000;
+    std::uint64_t seed = 1;
+    bool dumpConfig = false;
+};
+
+void
+usage()
+{
+    std::cerr
+        << "usage: esd_sim -scheme=<0..4|name> [-ConfigFile=path]\n"
+           "               (-InputFile=trace | -app=name)\n"
+           "               [-records=N] [-warmup=N] [-seed=N]\n"
+           "               [-latency-out=path] [-dump-config]\n"
+           "schemes: 0 Baseline, 1 Tra_sha1, 2 DeWrite, 3 ESD, "
+           "4 ESD_Full\napps: ";
+    for (const AppProfile &p : paperApps())
+        std::cerr << p.name << " ";
+    std::cerr << "\n";
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *prefix) -> std::string {
+            return arg.substr(std::string(prefix).size());
+        };
+        if (arg.rfind("-scheme=", 0) == 0) {
+            opt.scheme = parseSchemeKind(value("-scheme="));
+        } else if (arg.rfind("-ConfigFile=", 0) == 0) {
+            opt.configFile = value("-ConfigFile=");
+        } else if (arg.rfind("-InputFile=", 0) == 0) {
+            opt.inputFile = value("-InputFile=");
+        } else if (arg.rfind("-app=", 0) == 0) {
+            opt.app = value("-app=");
+        } else if (arg.rfind("-records=", 0) == 0) {
+            opt.records = std::stoull(value("-records="));
+        } else if (arg.rfind("-warmup=", 0) == 0) {
+            opt.warmup = std::stoull(value("-warmup="));
+        } else if (arg.rfind("-seed=", 0) == 0) {
+            opt.seed = std::stoull(value("-seed="));
+        } else if (arg.rfind("-latency-out=", 0) == 0) {
+            opt.latencyOut = value("-latency-out=");
+        } else if (arg == "-dump-config") {
+            opt.dumpConfig = true;
+        } else if (arg == "-h" || arg == "--help") {
+            usage();
+            std::exit(0);
+        } else {
+            usage();
+            esd_fatal("unknown argument '%s'", arg.c_str());
+        }
+    }
+    return opt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+
+    SimConfig cfg;
+    cfg.seed = opt.seed;
+    if (!opt.configFile.empty())
+        loadConfigFile(cfg, opt.configFile);
+
+    if (opt.dumpConfig) {
+        std::cout << renderConfig(cfg);
+        return 0;
+    }
+
+    if (opt.inputFile.empty() && opt.app.empty()) {
+        usage();
+        esd_fatal("need -InputFile or -app");
+    }
+
+    std::unique_ptr<TraceSource> trace;
+    if (!opt.inputFile.empty()) {
+        bool binary = opt.inputFile.size() > 4 &&
+                      opt.inputFile.substr(opt.inputFile.size() - 4) ==
+                          ".bin";
+        if (binary)
+            trace = std::make_unique<BinaryTraceReader>(opt.inputFile);
+        else
+            trace = std::make_unique<TextTraceReader>(opt.inputFile);
+    } else {
+        trace =
+            std::make_unique<SyntheticWorkload>(findApp(opt.app), opt.seed);
+    }
+
+    // Trace files are replayed to exhaustion unless -records caps them.
+    std::uint64_t records = opt.inputFile.empty() ? opt.records : 0;
+    std::uint64_t warmup = opt.inputFile.empty() ? opt.warmup : 0;
+
+    Simulator sim(cfg, opt.scheme);
+    RunResult r = sim.run(*trace, records, warmup);
+
+    std::cout << "scheme: " << r.schemeName << "\n"
+              << "records: " << r.records << " (" << r.logicalWrites
+              << " writes, " << r.logicalReads << " reads)\n";
+    TablePrinter t({"metric", "value"});
+    t.addRow({"write reduction", TablePrinter::pct(r.writeReduction())});
+    t.addRow({"NVMM writes (data/total)",
+              std::to_string(r.nvmDataWrites) + " / " +
+                  std::to_string(r.nvmWritesTotal)});
+    t.addRow({"NVMM reads (total)", std::to_string(r.nvmReadsTotal)});
+    t.addRow({"write latency mean/p99",
+              TablePrinter::num(r.writeLatency.mean(), 1) + " / " +
+                  TablePrinter::num(r.writeLatency.percentile(99), 0) +
+                  " ns"});
+    t.addRow({"read latency mean/p99",
+              TablePrinter::num(r.readLatency.mean(), 1) + " / " +
+                  TablePrinter::num(r.readLatency.percentile(99), 0) +
+                  " ns"});
+    t.addRow({"IPC", TablePrinter::num(r.ipc, 3)});
+    t.addRow({"energy", TablePrinter::num(r.energy.total() / 1e6, 2) +
+                            " uJ"});
+    t.addRow({"metadata in NVMM",
+              TablePrinter::num(r.metadataNvmBytes / 1024.0, 1) + " KB"});
+    t.print();
+
+    if (!opt.latencyOut.empty()) {
+        std::ofstream out(opt.latencyOut);
+        if (!out)
+            esd_fatal("cannot open '%s'", opt.latencyOut.c_str());
+        for (double v : r.writeLatency.samples())
+            out << v << "\n";
+        std::cout << "wrote " << r.writeLatency.count()
+                  << " write-latency samples to " << opt.latencyOut
+                  << "\n";
+    }
+    return 0;
+}

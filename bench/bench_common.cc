@@ -2,8 +2,12 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
+
+#include "common/json.hh"
+#include "core/run_report.hh"
 
 namespace esd::bench
 {
@@ -50,18 +54,76 @@ benchWarmup()
     return v;
 }
 
+namespace
+{
+
+/** Every run this bench binary performed, in execution order, for the
+ * ESD_BENCH_JSON report: {"app": ..., "result": {...}}. */
+std::map<std::pair<std::string, int>, RunResult> &
+runCache()
+{
+    static std::map<std::pair<std::string, int>, RunResult> cache;
+    return cache;
+}
+
+void
+dumpBenchJson()
+{
+    const char *path = std::getenv("ESD_BENCH_JSON");
+    if (!path || !*path)
+        return;
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "bench: cannot open ESD_BENCH_JSON path '" << path
+                  << "'\n";
+        return;
+    }
+    JsonWriter w(out);
+    w.beginObject();
+    w.kv("records_per_run", benchRecords());
+    w.kv("warmup", benchWarmup());
+    w.key("config");
+    writeConfigJson(w, benchConfig());
+    w.key("runs");
+    w.beginArray();
+    for (const auto &[key, r] : runCache()) {
+        w.beginObject();
+        w.kv("app", key.first);
+        w.kv("scheme_kind", key.second);
+        w.key("result");
+        writeRunResultJson(w, r);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    out << "\n";
+    std::cerr << "bench: wrote " << runCache().size() << " runs to "
+              << path << "\n";
+}
+
+} // namespace
+
 const RunResult &
 cachedRun(const std::string &app, SchemeKind kind)
 {
-    static std::map<std::pair<std::string, int>, RunResult> cache;
+    static const bool registered = []
+    {
+        // Construct the cache first: exit-time teardown is LIFO, so
+        // the dump handler then runs while the cache is still alive.
+        runCache();
+        std::atexit(dumpBenchJson);
+        return true;
+    }();
+    (void)registered;
+
     auto key = std::make_pair(app, static_cast<int>(kind));
-    auto it = cache.find(key);
-    if (it != cache.end())
+    auto it = runCache().find(key);
+    if (it != runCache().end())
         return it->second;
     SyntheticWorkload trace(findApp(app), /*global_seed=*/1);
     RunResult r = runWorkload(benchConfig(), kind, trace, benchRecords(),
                               benchWarmup());
-    return cache.emplace(key, std::move(r)).first->second;
+    return runCache().emplace(key, std::move(r)).first->second;
 }
 
 std::vector<std::string>

@@ -6,6 +6,8 @@
  *
  *   ESD_BENCH_RECORDS  total trace records per run (default 60000)
  *   ESD_BENCH_WARMUP   leading records excluded from stats (default 12000)
+ *   ESD_BENCH_JSON     path: at exit, dump every run this bench
+ *                      performed as one machine-readable JSON report
  *
  * Every bench prints the same rows/series as the corresponding paper
  * figure; EXPERIMENTS.md records the paper-vs-measured comparison.

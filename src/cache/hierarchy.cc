@@ -3,6 +3,14 @@
 namespace esd
 {
 
+void
+CacheHierarchy::registerStats(StatRegistry &reg) const
+{
+    l1_.registerStats(reg, "cache.l1");
+    l2_.registerStats(reg, "cache.l2");
+    l3_.registerStats(reg, "cache.l3");
+}
+
 CacheHierarchy::CacheHierarchy(const CacheConfig &cfg)
     : cfg_(cfg),
       l1_("L1", cfg.l1Size, cfg.l1Assoc),

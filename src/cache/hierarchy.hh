@@ -77,6 +77,9 @@ class CacheHierarchy
     const SetAssocCache &l2() const { return l2_; }
     const SetAssocCache &l3() const { return l3_; }
 
+    /** Register all three levels under "cache.l1.*" .. "cache.l3.*". */
+    void registerStats(StatRegistry &reg) const;
+
     void resetStats();
 
   private:

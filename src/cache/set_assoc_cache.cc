@@ -1,9 +1,23 @@
 #include "cache/set_assoc_cache.hh"
 
 #include "common/logging.hh"
+#include "common/stat_registry.hh"
 
 namespace esd
 {
+
+void
+SetAssocCache::registerStats(StatRegistry &reg,
+                             const std::string &prefix) const
+{
+    auto n = [&](const char *leaf) { return prefix + "." + leaf; };
+
+    reg.addCounter(n("hits"), stats_.hits);
+    reg.addCounter(n("misses"), stats_.misses);
+    reg.addCounter(n("evictions"), stats_.evictions);
+    reg.addCounter(n("dirty_evictions"), stats_.dirtyEvictions);
+    reg.addGauge(n("hit_rate"), [this] { return stats_.hitRate(); });
+}
 
 SetAssocCache::SetAssocCache(std::string name, std::uint64_t size_bytes,
                              unsigned assoc)

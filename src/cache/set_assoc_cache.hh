@@ -18,6 +18,8 @@
 namespace esd
 {
 
+class StatRegistry;
+
 /** A victim pushed out of the cache by an allocation. */
 struct CacheVictim
 {
@@ -93,6 +95,11 @@ class SetAssocCache
 
     const CacheStats &stats() const { return stats_; }
     void resetStats() { stats_ = CacheStats{}; }
+
+    /** Register hit/miss/eviction counters and the hit rate under
+     * "<prefix>.*". */
+    void registerStats(StatRegistry &reg,
+                       const std::string &prefix) const;
 
   private:
     struct Way

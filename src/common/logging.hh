@@ -14,6 +14,7 @@
 #ifndef ESD_COMMON_LOGGING_HH
 #define ESD_COMMON_LOGGING_HH
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>

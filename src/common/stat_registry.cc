@@ -1,0 +1,146 @@
+#include "common/stat_registry.hh"
+
+#include <algorithm>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace esd
+{
+
+StatRegistry::Entry &
+StatRegistry::add(const std::string &name, Kind kind,
+                  const std::string &desc)
+{
+    esd_assert(!name.empty(), "stat name must be non-empty");
+    if (index_.count(name))
+        esd_panic("duplicate stat registration: '%s'", name.c_str());
+    index_[name] = entries_.size();
+    entries_.push_back(Entry{});
+    Entry &e = entries_.back();
+    e.name = name;
+    e.desc = desc;
+    e.kind = kind;
+    return e;
+}
+
+void
+StatRegistry::addCounter(const std::string &name, const Counter &c,
+                         const std::string &desc)
+{
+    add(name, Kind::Counter, desc).counter = &c;
+}
+
+void
+StatRegistry::addGauge(const std::string &name, GaugeFn fn,
+                       const std::string &desc)
+{
+    esd_assert(fn != nullptr, "gauge needs a callback");
+    add(name, Kind::Gauge, desc).gauge = std::move(fn);
+}
+
+void
+StatRegistry::addLatency(const std::string &name, const LatencyStat &s,
+                         const std::string &desc)
+{
+    add(name, Kind::Latency, desc).latency = &s;
+}
+
+bool
+StatRegistry::has(const std::string &name) const
+{
+    return index_.count(name) != 0;
+}
+
+const StatRegistry::Entry *
+StatRegistry::find(const std::string &name) const
+{
+    auto it = index_.find(name);
+    return it == index_.end() ? nullptr : &entries_[it->second];
+}
+
+double
+StatRegistry::scalar(const std::string &name) const
+{
+    const Entry *e = find(name);
+    if (!e)
+        esd_panic("unknown stat '%s'", name.c_str());
+    switch (e->kind) {
+      case Kind::Counter:
+        return static_cast<double>(e->counter->value());
+      case Kind::Gauge:
+        return e->gauge();
+      case Kind::Latency:
+        esd_panic("stat '%s' is a latency distribution", name.c_str());
+    }
+    return 0; // unreachable
+}
+
+std::vector<std::string>
+StatRegistry::scalarNames() const
+{
+    std::vector<std::string> out;
+    for (const Entry &e : entries_)
+        if (e.kind != Kind::Latency)
+            out.push_back(e.name);
+    return out;
+}
+
+std::vector<double>
+StatRegistry::scalarValues() const
+{
+    std::vector<double> out;
+    for (const Entry &e : entries_) {
+        if (e.kind == Kind::Counter)
+            out.push_back(static_cast<double>(e.counter->value()));
+        else if (e.kind == Kind::Gauge)
+            out.push_back(e.gauge());
+    }
+    return out;
+}
+
+void
+writeLatencyJson(JsonWriter &w, const LatencyStat &s)
+{
+    w.beginObject();
+    w.kv("count", s.count());
+    w.kv("mean", s.mean());
+    w.kv("min", s.min());
+    w.kv("max", s.max());
+    w.kv("p50", s.percentile(50));
+    w.kv("p90", s.percentile(90));
+    w.kv("p99", s.percentile(99));
+    w.endObject();
+}
+
+void
+StatRegistry::writeJson(JsonWriter &w) const
+{
+    std::vector<const Entry *> sorted;
+    sorted.reserve(entries_.size());
+    for (const Entry &e : entries_)
+        sorted.push_back(&e);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Entry *a, const Entry *b) {
+                  return a->name < b->name;
+              });
+
+    w.beginObject();
+    for (const Entry *e : sorted) {
+        w.key(e->name);
+        switch (e->kind) {
+          case Kind::Counter:
+            w.value(e->counter->value());
+            break;
+          case Kind::Gauge:
+            w.value(e->gauge());
+            break;
+          case Kind::Latency:
+            writeLatencyJson(w, *e->latency);
+            break;
+        }
+    }
+    w.endObject();
+}
+
+} // namespace esd

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Central statistics registry — the ramulator2-style "register every
+ * stat in one place" layer.
+ *
+ * Components keep owning their counters (so hot paths stay a bare
+ * member increment) and register *references* under hierarchical
+ * dot-separated names ("esd.efit.hits", "pcm.bank3.reads",
+ * "scheme.write_latency"). The registry is then the single surface
+ * the JSON report writer, the interval sampler, and any future
+ * tooling read — no more per-bench ad-hoc field plumbing.
+ *
+ * Three stat kinds:
+ *   - counter: a live reference to a Counter (monotonic u64);
+ *   - gauge:   a callback returning the current value (occupancies,
+ *              accumulated energies, hit rates);
+ *   - latency: a live reference to a LatencyStat (serialized as a
+ *              summary object, excluded from interval sampling).
+ */
+
+#ifndef ESD_COMMON_STAT_REGISTRY_HH
+#define ESD_COMMON_STAT_REGISTRY_HH
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace esd
+{
+
+class JsonWriter;
+
+/** The registry. Registration order is preserved; JSON output is
+ * name-sorted so reports diff cleanly across code motion. */
+class StatRegistry
+{
+  public:
+    using GaugeFn = std::function<double()>;
+
+    enum class Kind
+    {
+        Counter,
+        Gauge,
+        Latency
+    };
+
+    /** One registered statistic. */
+    struct Entry
+    {
+        std::string name;
+        std::string desc;
+        Kind kind = Kind::Counter;
+        const Counter *counter = nullptr;
+        GaugeFn gauge;
+        const LatencyStat *latency = nullptr;
+    };
+
+    /**
+     * Register a counter under @p name. The referenced Counter must
+     * outlive the registry (components register members whose address
+     * is stable across resetStats()). Duplicate names are a bug and
+     * panic.
+     */
+    void addCounter(const std::string &name, const Counter &c,
+                    const std::string &desc = "");
+
+    /** Register a polled gauge. */
+    void addGauge(const std::string &name, GaugeFn fn,
+                  const std::string &desc = "");
+
+    /** Register a latency distribution. */
+    void addLatency(const std::string &name, const LatencyStat &s,
+                    const std::string &desc = "");
+
+    bool has(const std::string &name) const;
+    std::size_t size() const { return entries_.size(); }
+
+    /** All entries in registration order. */
+    const std::vector<Entry> &entries() const { return entries_; }
+
+    /** Entry by name; nullptr when absent. */
+    const Entry *find(const std::string &name) const;
+
+    /**
+     * Current numeric value of counter/gauge @p name.
+     * Panics on unknown names and on latency stats (which have no
+     * single scalar value).
+     */
+    double scalar(const std::string &name) const;
+
+    /** Names of all scalar (counter + gauge) stats, registration
+     * order — the interval sampler's column set. */
+    std::vector<std::string> scalarNames() const;
+
+    /** Current values aligned with scalarNames(). */
+    std::vector<double> scalarValues() const;
+
+    /**
+     * Serialize every stat as one flat name-sorted JSON object:
+     * counters/gauges as numbers, latency stats as summary objects
+     * {count, mean, min, max, p50, p90, p99}.
+     */
+    void writeJson(JsonWriter &w) const;
+
+  private:
+    Entry &add(const std::string &name, Kind kind,
+               const std::string &desc);
+
+    std::vector<Entry> entries_;
+    std::unordered_map<std::string, std::size_t> index_;
+};
+
+/** Serialize one latency stat as the registry's summary object. */
+void writeLatencyJson(JsonWriter &w, const LatencyStat &s);
+
+} // namespace esd
+
+#endif // ESD_COMMON_STAT_REGISTRY_HH

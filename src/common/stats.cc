@@ -8,6 +8,16 @@ namespace esd
 {
 
 void
+LatencyStat::setReservoirCapacity(std::size_t cap)
+{
+    esd_assert(count_ == 0,
+               "reservoir capacity must be set before sampling");
+    cap_ = cap;
+    if (cap_ > 0)
+        samples_.reserve(cap_);
+}
+
+void
 LatencyStat::ensureSorted() const
 {
     if (sorted_)

@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "common/random.hh"
+
 namespace esd
 {
 
@@ -36,48 +38,81 @@ class Counter
 /**
  * A reservoir of latency samples.
  *
- * Stores every sample (the simulated request counts are small enough to
- * keep exact distributions), reporting mean, min/max, arbitrary
- * percentiles, and an evenly-spaced CDF for Fig. 15-style plots.
+ * By default every sample is stored exactly (the simulated request
+ * counts are small enough to keep full distributions), reporting
+ * mean, min/max, arbitrary percentiles, and an evenly-spaced CDF for
+ * Fig. 15-style plots. For multi-billion-write runs a reservoir cap
+ * can be set: the stat then keeps a uniform random subsample of that
+ * size (Vitter's Algorithm R, deterministic PCG stream) on which
+ * percentiles/CDF are computed, while count, sum, mean, min, and max
+ * stay exact.
  */
 class LatencyStat
 {
   public:
+    LatencyStat() = default;
+
+    /** @param reservoir_cap max stored samples; 0 = unbounded. */
+    explicit LatencyStat(std::size_t reservoir_cap) : cap_(reservoir_cap)
+    {
+    }
+
+    /**
+     * Cap the stored-sample reservoir at @p cap (0 = unbounded). Must
+     * be set before the first sample so the reservoir stays a uniform
+     * subsample.
+     */
+    void setReservoirCapacity(std::size_t cap);
+
+    std::size_t reservoirCapacity() const { return cap_; }
+
     /** Record one sample (nanoseconds). */
     void
     sample(double v)
     {
-        samples_.push_back(v);
+        ++count_;
         sum_ += v;
+        if (v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+        if (cap_ == 0 || samples_.size() < cap_) {
+            samples_.push_back(v);
+        } else {
+            // Algorithm R: replace a random slot with probability
+            // cap/count, keeping the reservoir a uniform subsample.
+            std::uint64_t j = rng_.next64() % count_;
+            if (j >= cap_)
+                return;
+            samples_[static_cast<std::size_t>(j)] = v;
+        }
         sorted_ = false;
     }
 
-    std::uint64_t count() const { return samples_.size(); }
+    /** Total samples observed (exact, even when capped). */
+    std::uint64_t count() const { return count_; }
+
     double sum() const { return sum_; }
 
-    /** Arithmetic mean; 0 when empty. */
+    /** Arithmetic mean; 0 when empty. Exact even when capped. */
     double
     mean() const
     {
-        return samples_.empty() ? 0.0 : sum_ / samples_.size();
+        return count_ == 0 ? 0.0 : sum_ / count_;
     }
 
+    /** Running minimum — O(1), exact even when capped. */
     double
     min() const
     {
-        double m = std::numeric_limits<double>::infinity();
-        for (double v : samples_)
-            m = std::min(m, v);
-        return samples_.empty() ? 0.0 : m;
+        return count_ == 0 ? 0.0 : min_;
     }
 
+    /** Running maximum — O(1), exact even when capped. */
     double
     max() const
     {
-        double m = -std::numeric_limits<double>::infinity();
-        for (double v : samples_)
-            m = std::max(m, v);
-        return samples_.empty() ? 0.0 : m;
+        return count_ == 0 ? 0.0 : max_;
     }
 
     /**
@@ -92,22 +127,31 @@ class LatencyStat
      */
     std::vector<std::pair<double, double>> cdf(std::size_t points) const;
 
-    /** All raw samples (for tests). */
+    /** The stored samples — everything observed when unbounded, the
+     * uniform reservoir when capped. */
     const std::vector<double> &samples() const { return samples_; }
 
     void
     reset()
     {
         samples_.clear();
+        count_ = 0;
         sum_ = 0;
+        min_ = std::numeric_limits<double>::infinity();
+        max_ = -std::numeric_limits<double>::infinity();
         sorted_ = false;
     }
 
   private:
     void ensureSorted() const;
 
+    std::size_t cap_ = 0;
     std::vector<double> samples_;
+    std::uint64_t count_ = 0;
     double sum_ = 0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+    Pcg32 rng_{0x6c61746e63797374ull};  // fixed stream: reproducible
     mutable bool sorted_ = false;
     mutable std::vector<double> sortedSamples_;
 };

@@ -1,0 +1,88 @@
+#include "common/write_trace.hh"
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace esd
+{
+
+const char *
+writeOutcomeName(WriteOutcome o)
+{
+    switch (o) {
+      case WriteOutcome::Unique: return "unique";
+      case WriteOutcome::Dedup: return "dedup";
+      case WriteOutcome::Collision: return "collision";
+      case WriteOutcome::SaturatedRewrite: return "saturated_rewrite";
+    }
+    return "?";
+}
+
+const char *
+fpProbeName(FpProbe p)
+{
+    switch (p) {
+      case FpProbe::None: return "none";
+      case FpProbe::Miss: return "miss";
+      case FpProbe::Hit: return "hit";
+    }
+    return "?";
+}
+
+const char *
+compareVerdictName(CompareVerdict v)
+{
+    switch (v) {
+      case CompareVerdict::None: return "none";
+      case CompareVerdict::Equal: return "equal";
+      case CompareVerdict::Mismatch: return "mismatch";
+    }
+    return "?";
+}
+
+WriteEventTrace::WriteEventTrace(std::size_t capacity)
+{
+    esd_assert(capacity > 0, "trace capacity must be positive");
+    ring_.resize(capacity);
+}
+
+const WriteEvent &
+WriteEventTrace::at(std::size_t i) const
+{
+    esd_assert(i < size_, "trace index out of range");
+    // Oldest record sits at head_ once the ring has wrapped.
+    std::size_t base = size_ == ring_.size() ? head_ : 0;
+    return ring_[(base + i) % ring_.size()];
+}
+
+void
+WriteEventTrace::clear()
+{
+    head_ = 0;
+    size_ = 0;
+    total_ = 0;
+}
+
+void
+WriteEventTrace::writeJsonl(std::ostream &os) const
+{
+    for (std::size_t i = 0; i < size_; ++i) {
+        const WriteEvent &e = at(i);
+        JsonWriter w(os, /*indent=*/0);
+        w.beginObject();
+        w.kv("tick", static_cast<std::uint64_t>(e.tick));
+        w.kv("addr", static_cast<std::uint64_t>(e.addr));
+        w.kv("fp", e.fingerprint);
+        w.kv("efit", fpProbeName(e.probe));
+        w.kv("compare", compareVerdictName(e.compare));
+        w.kv("outcome", writeOutcomeName(e.outcome));
+        w.kv("bank", static_cast<std::uint64_t>(e.bank));
+        w.kv("queue_ns", static_cast<std::uint64_t>(e.queueWaitNs));
+        w.kv("encrypt_ns", static_cast<std::uint64_t>(e.encryptNs));
+        w.kv("latency_ns", static_cast<std::uint64_t>(e.latencyNs));
+        w.endObject();
+        os << '\n';
+    }
+}
+
+} // namespace esd

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Per-write structured event tracing.
+ *
+ * Every scheme write path can emit one WriteEvent describing *why*
+ * the write ended the way it did: the fingerprint probed, whether the
+ * EFIT / fingerprint index hit, the byte-compare verdict, the final
+ * outcome (unique / dedup / collision / saturated rewrite), and where
+ * the resulting device access landed (bank, bank-queue wait) plus the
+ * encryption time and total latency.
+ *
+ * Events land in a fixed-capacity ring buffer so multi-million-write
+ * runs keep the most recent window; the whole buffer dumps to JSONL
+ * (`esd_sim -trace-out=`). When no trace is attached the write path
+ * pays a single null-pointer test.
+ */
+
+#ifndef ESD_COMMON_WRITE_TRACE_HH
+#define ESD_COMMON_WRITE_TRACE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace esd
+{
+
+/** How a traced write concluded. */
+enum class WriteOutcome : std::uint8_t
+{
+    Unique = 0,           ///< no duplicate found: encrypted + written
+    Dedup = 1,            ///< duplicate confirmed, data write eliminated
+    Collision = 2,        ///< fingerprint hit but bytes differed
+    SaturatedRewrite = 3, ///< referH saturated: rewritten as new line
+};
+
+/** Result of the fingerprint-structure probe (EFIT or fp index). */
+enum class FpProbe : std::uint8_t
+{
+    None = 0, ///< scheme has no fingerprint structure (Baseline)
+    Miss = 1,
+    Hit = 2,
+};
+
+/** Byte-compare verdict of the candidate line. */
+enum class CompareVerdict : std::uint8_t
+{
+    None = 0, ///< no comparison performed
+    Equal = 1,
+    Mismatch = 2,
+};
+
+/** One structured write-path record. */
+struct WriteEvent
+{
+    Tick tick = 0;                 ///< issue time (ns)
+    Addr addr = 0;                 ///< logical line address
+    std::uint64_t fingerprint = 0; ///< ECC / hash / CRC fingerprint
+    WriteOutcome outcome = WriteOutcome::Unique;
+    FpProbe probe = FpProbe::None;
+    CompareVerdict compare = CompareVerdict::None;
+    std::uint16_t bank = 0; ///< bank of the decisive device access
+    Tick queueWaitNs = 0;   ///< bank-queue wait of that access
+    Tick encryptNs = 0;     ///< encryption time on the critical path
+    Tick latencyNs = 0;     ///< total observed write latency
+};
+
+const char *writeOutcomeName(WriteOutcome o);
+const char *fpProbeName(FpProbe p);
+const char *compareVerdictName(CompareVerdict v);
+
+/**
+ * The ring buffer of write events.
+ */
+class WriteEventTrace
+{
+  public:
+    /** @param capacity max retained events (most recent win). */
+    explicit WriteEventTrace(std::size_t capacity);
+
+    /** Append @p e, overwriting the oldest record when full. */
+    void
+    record(const WriteEvent &e)
+    {
+        ring_[head_] = e;
+        head_ = (head_ + 1) % ring_.size();
+        if (size_ < ring_.size())
+            ++size_;
+        ++total_;
+    }
+
+    std::size_t capacity() const { return ring_.size(); }
+
+    /** Events currently retained. */
+    std::size_t size() const { return size_; }
+
+    /** Events ever recorded (retained + overwritten). */
+    std::uint64_t totalRecorded() const { return total_; }
+
+    /** Events lost to ring wrap-around. */
+    std::uint64_t dropped() const { return total_ - size_; }
+
+    /** Retained event @p i, oldest first. */
+    const WriteEvent &at(std::size_t i) const;
+
+    void clear();
+
+    /** Dump the retained window as JSONL, oldest first: one compact
+     * JSON object per line (schema documented in README.md). */
+    void writeJsonl(std::ostream &os) const;
+
+  private:
+    std::vector<WriteEvent> ring_;
+    std::size_t head_ = 0;  ///< next slot to write
+    std::size_t size_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace esd
+
+#endif // ESD_COMMON_WRITE_TRACE_HH

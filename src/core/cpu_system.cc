@@ -10,6 +10,9 @@ CpuSystem::CpuSystem(const SimConfig &cfg, SchemeKind kind)
       scheme_(makeScheme(kind, cfg, device_, store_)),
       hierarchy_(cfg.cache)
 {
+    scheme_->registerStats(registry_);
+    device_.registerStats(registry_);
+    hierarchy_.registerStats(registry_);
 }
 
 CpuAccessResult

@@ -14,6 +14,7 @@
 
 #include "cache/hierarchy.hh"
 #include "common/config.hh"
+#include "common/stat_registry.hh"
 #include "dedup/scheme.hh"
 #include "dedup/scheme_factory.hh"
 #include "nvm/nvm_store.hh"
@@ -58,6 +59,10 @@ class CpuSystem
     DedupScheme &scheme() { return *scheme_; }
     PcmDevice &device() { return device_; }
 
+    /** Every stat of the full stack: "cache.l1..l3.*" plus the
+     * memory-level names the Simulator registry also carries. */
+    const StatRegistry &statRegistry() const { return registry_; }
+
   private:
     CpuAccessResult access(Addr addr, bool is_write,
                            const CacheLine &data);
@@ -67,6 +72,7 @@ class CpuSystem
     NvmStore store_;
     std::unique_ptr<DedupScheme> scheme_;
     CacheHierarchy hierarchy_;
+    StatRegistry registry_;
     double now_ = 0;
 };
 

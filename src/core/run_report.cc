@@ -1,0 +1,157 @@
+#include "core/run_report.hh"
+
+#include "common/json.hh"
+
+namespace esd
+{
+
+void
+writeConfigJson(JsonWriter &w, const SimConfig &cfg)
+{
+    w.beginObject();
+
+    w.key("pcm");
+    w.beginObject();
+    w.kv("capacity_bytes", cfg.pcm.capacityBytes);
+    w.kv("read_latency_ns", cfg.pcm.readLatency);
+    w.kv("write_latency_ns", cfg.pcm.writeLatency);
+    w.kv("row_buffer_lines", cfg.pcm.rowBufferLines);
+    w.kv("row_hit_read_latency_ns", cfg.pcm.rowHitReadLatency);
+    w.kv("read_energy_pj", cfg.pcm.readEnergy);
+    w.kv("write_energy_pj", cfg.pcm.writeEnergy);
+    w.kv("channels", cfg.pcm.channels);
+    w.kv("ranks_per_channel", cfg.pcm.ranksPerChannel);
+    w.kv("banks_per_rank", cfg.pcm.banksPerRank);
+    w.kv("write_queue_depth", cfg.pcm.writeQueueDepth);
+    w.kv("read_priority", cfg.pcm.readPriority);
+    w.kv("start_gap_enabled", cfg.pcm.startGapEnabled);
+    w.kv("gap_move_period", cfg.pcm.gapMovePeriod);
+    w.endObject();
+
+    w.key("cache");
+    w.beginObject();
+    w.kv("l1_size", cfg.cache.l1Size);
+    w.kv("l1_assoc", cfg.cache.l1Assoc);
+    w.kv("l2_size", cfg.cache.l2Size);
+    w.kv("l2_assoc", cfg.cache.l2Assoc);
+    w.kv("l3_size", cfg.cache.l3Size);
+    w.kv("l3_assoc", cfg.cache.l3Assoc);
+    w.endObject();
+
+    w.key("crypto");
+    w.beginObject();
+    w.kv("sha1_latency_ns", cfg.crypto.sha1Latency);
+    w.kv("md5_latency_ns", cfg.crypto.md5Latency);
+    w.kv("crc_latency_ns", cfg.crypto.crcLatency);
+    w.kv("encrypt_latency_ns", cfg.crypto.encryptLatency);
+    w.kv("ecc_latency_ns", cfg.crypto.eccLatency);
+    w.kv("metadata_cache_latency_ns", cfg.crypto.metadataCacheLatency);
+    w.kv("compare_latency_ns", cfg.crypto.compareLatency);
+    w.endObject();
+
+    w.key("metadata");
+    w.beginObject();
+    w.kv("efit_cache_bytes", cfg.metadata.efitCacheBytes);
+    w.kv("amt_cache_bytes", cfg.metadata.amtCacheBytes);
+    w.kv("efit_assoc", cfg.metadata.efitAssoc);
+    w.kv("amt_assoc", cfg.metadata.amtAssoc);
+    w.kv("refer_h_max", static_cast<std::uint64_t>(
+                            cfg.metadata.referHMax));
+    w.kv("decay_period", cfg.metadata.decayPeriod);
+    w.kv("use_lrcu", cfg.metadata.useLrcu);
+    w.endObject();
+
+    w.key("core");
+    w.beginObject();
+    w.kv("clock_ghz", cfg.core.clockGhz);
+    w.kv("base_cpi", cfg.core.baseCpi);
+    w.endObject();
+
+    w.kv("seed", cfg.seed);
+    w.endObject();
+}
+
+void
+writeRunResultJson(JsonWriter &w, const RunResult &r)
+{
+    w.beginObject();
+    w.kv("scheme", r.schemeName);
+    w.kv("records", r.records);
+    w.kv("instructions", r.instructions);
+    w.kv("runtime_ns", r.runtimeNs);
+    w.kv("ipc", r.ipc);
+
+    w.key("read_latency");
+    writeLatencyJson(w, r.readLatency);
+    w.key("write_latency");
+    writeLatencyJson(w, r.writeLatency);
+
+    w.kv("logical_writes", r.logicalWrites);
+    w.kv("logical_reads", r.logicalReads);
+    w.kv("dedup_hits", r.dedupHits);
+    w.kv("write_reduction", r.writeReduction());
+    w.kv("nvm_data_writes", r.nvmDataWrites);
+    w.kv("nvm_reads_total", r.nvmReadsTotal);
+    w.kv("nvm_writes_total", r.nvmWritesTotal);
+
+    w.key("energy_pj");
+    w.beginObject();
+    w.kv("device_read", r.energy.deviceRead);
+    w.kv("device_write", r.energy.deviceWrite);
+    w.kv("hash", r.energy.hash);
+    w.kv("crypto", r.energy.crypto);
+    w.kv("metadata", r.energy.metadata);
+    w.kv("total", r.energy.total());
+    w.endObject();
+
+    w.key("write_breakdown_ns");
+    w.beginObject();
+    w.kv("fp_compute", r.breakdown.fpCompute);
+    w.kv("fp_nvm_lookup", r.breakdown.fpNvmLookup);
+    w.kv("read_compare", r.breakdown.readCompare);
+    w.kv("line_write", r.breakdown.lineWrite);
+    w.kv("encrypt", r.breakdown.encrypt);
+    w.kv("metadata", r.breakdown.metadata);
+    w.endObject();
+
+    w.kv("metadata_nvm_bytes", r.metadataNvmBytes);
+    w.kv("unique_lines_stored", r.uniqueLinesStored);
+    w.kv("fp_cache_hit_rate", r.fpCacheHitRate);
+    w.kv("amt_cache_hit_rate", r.amtCacheHitRate);
+    w.kv("dedup_via_fp_cache_frac", r.dedupViaFpCacheFrac);
+    w.kv("dedup_via_fp_nvm_frac", r.dedupViaFpNvmFrac);
+
+    w.key("wear");
+    w.beginObject();
+    w.kv("total_writes", r.wear.totalWrites);
+    w.kv("lines_touched", r.wear.linesTouched);
+    w.kv("max_line_writes", r.wear.maxLineWrites);
+    w.kv("mean_line_writes", r.wear.meanLineWrites());
+    w.kv("imbalance", r.wear.imbalance());
+    w.endObject();
+
+    w.endObject();
+}
+
+void
+writeStatsReport(std::ostream &os, const SimConfig &cfg,
+                 const RunResult &r, const StatRegistry &reg,
+                 const IntervalSampler *sampler)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("config");
+    writeConfigJson(w, cfg);
+    w.key("result");
+    writeRunResultJson(w, r);
+    w.key("stats");
+    reg.writeJson(w);
+    if (sampler && sampler->enabled()) {
+        w.key("intervals");
+        sampler->writeJson(w);
+    }
+    w.endObject();
+    os << "\n";
+}
+
+} // namespace esd

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Machine-readable run reports: the full stats-JSON document emitted
+ * by `esd_sim -stats-json=` — run configuration, the RunResult
+ * summary, every registered stat, and the interval-sampler
+ * time-series — so downstream tooling parses one schema instead of
+ * scraping table output.
+ */
+
+#ifndef ESD_CORE_RUN_REPORT_HH
+#define ESD_CORE_RUN_REPORT_HH
+
+#include <ostream>
+
+#include "core/simulator.hh"
+
+namespace esd
+{
+
+class JsonWriter;
+
+/** Serialize @p cfg as a nested object mirroring SimConfig. */
+void writeConfigJson(JsonWriter &w, const SimConfig &cfg);
+
+/** Serialize the per-run summary (records, IPC, energy, wear, ...). */
+void writeRunResultJson(JsonWriter &w, const RunResult &r);
+
+/**
+ * Write the complete stats report document to @p os:
+ *   {"config": {...}, "result": {...}, "stats": {...},
+ *    "intervals": {...}}        // intervals only when sampler != null
+ */
+void writeStatsReport(std::ostream &os, const SimConfig &cfg,
+                      const RunResult &r, const StatRegistry &reg,
+                      const IntervalSampler *sampler = nullptr);
+
+} // namespace esd
+
+#endif // ESD_CORE_RUN_REPORT_HH

@@ -15,6 +15,12 @@ Simulator::Simulator(const SimConfig &cfg, SchemeKind kind)
       store_(cfg.pcm.capacityBytes),
       scheme_(makeScheme(kind, cfg, device_, store_))
 {
+    scheme_->registerStats(registry_);
+    device_.registerStats(registry_);
+    registry_.addLatency("scheme.read_latency", readLatency_,
+                         "measured LLC-miss fill latency, ns");
+    registry_.addLatency("scheme.write_latency", writeLatency_,
+                         "measured write-path latency, ns");
 }
 
 void
@@ -23,6 +29,9 @@ Simulator::resetMeasurement()
     scheme_->resetStats();
     device_.resetStats();
     device_.resetWear();
+    readLatency_.reset();
+    writeLatency_.reset();
+    sampler_.reset();
 }
 
 RunResult
@@ -39,14 +48,17 @@ Simulator::run(TraceSource &trace, std::uint64_t records,
     double measure_start_time = 0;
     std::uint64_t measure_start_instr = 0;
     std::uint64_t processed = 0;
+    std::uint64_t measured_writes = 0;
     bool measuring = warmup == 0;
+
+    readLatency_.reset();
+    writeLatency_.reset();
+    sampler_.reset();
 
     TraceRecord rec;
     while ((records == 0 || processed < records) && trace.next(rec)) {
         if (!measuring && processed == warmup) {
             resetMeasurement();
-            out.readLatency.reset();
-            out.writeLatency.reset();
             measure_start_time = core_time;
             measure_start_instr = instructions;
             measuring = true;
@@ -59,15 +71,17 @@ Simulator::run(TraceSource &trace, std::uint64_t records,
         auto now = static_cast<Tick>(core_time);
         if (rec.op == OpType::Write) {
             AccessResult r = scheme_->write(rec.addr, rec.data, now);
-            if (measuring)
-                out.writeLatency.sample(static_cast<double>(r.latency));
+            if (measuring) {
+                writeLatency_.sample(static_cast<double>(r.latency));
+                sampler_.onWrite(++measured_writes);
+            }
             // Posted write: only backpressure stalls the core.
             core_time += static_cast<double>(r.issuerStall);
         } else {
             CacheLine data;
             AccessResult r = scheme_->read(rec.addr, data, now);
             if (measuring)
-                out.readLatency.sample(static_cast<double>(r.latency));
+                readLatency_.sample(static_cast<double>(r.latency));
             // Miss fills block the core.
             core_time += static_cast<double>(r.latency + r.issuerStall);
         }
@@ -78,6 +92,8 @@ Simulator::run(TraceSource &trace, std::uint64_t records,
         esd_fatal("trace shorter than the %llu-record warmup",
                   static_cast<unsigned long long>(warmup));
 
+    out.readLatency = readLatency_;
+    out.writeLatency = writeLatency_;
     out.records = processed - warmup;
     out.instructions = instructions - measure_start_instr;
     out.runtimeNs = core_time - measure_start_time;

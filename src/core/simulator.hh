@@ -20,10 +20,13 @@
 #include <string>
 
 #include "common/config.hh"
+#include "common/stat_registry.hh"
 #include "common/stats.hh"
+#include "common/write_trace.hh"
 #include "dedup/scheme.hh"
 #include "dedup/scheme_factory.hh"
 #include "metrics/energy.hh"
+#include "metrics/interval_sampler.hh"
 #include "nvm/nvm_store.hh"
 #include "nvm/pcm_device.hh"
 #include "trace/trace.hh"
@@ -106,6 +109,27 @@ class Simulator
     NvmStore &store() { return store_; }
     const SimConfig &config() const { return cfg_; }
 
+    /** Every stat of the system, hierarchically named: "scheme.*",
+     * "pcm.*" / "pcm.bankN.*", "esd.efit.*", "cache.amt.*", ... */
+    const StatRegistry &statRegistry() const { return registry_; }
+
+    /** Attach (nullptr detaches) a write-event trace sink; events are
+     * recorded for measured and warm-up writes alike. */
+    void setEventTrace(WriteEventTrace *trace)
+    {
+        scheme_->setEventTrace(trace);
+    }
+
+    /** Snapshot every scalar stat each @p every_writes measured
+     * writes (0 disables). Call before run(). */
+    void
+    enableIntervalSampling(std::uint64_t every_writes)
+    {
+        sampler_.configure(registry_, every_writes);
+    }
+
+    const IntervalSampler &sampler() const { return sampler_; }
+
   private:
     void resetMeasurement();
 
@@ -113,6 +137,15 @@ class Simulator
     PcmDevice device_;
     NvmStore store_;
     std::unique_ptr<DedupScheme> scheme_;
+
+    StatRegistry registry_;
+    IntervalSampler sampler_;
+
+    /** Measured-window latency distributions; registered as
+     * "scheme.read_latency" / "scheme.write_latency" and copied into
+     * the RunResult at the end of run(). */
+    LatencyStat readLatency_;
+    LatencyStat writeLatency_;
 };
 
 /**

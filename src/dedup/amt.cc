@@ -1,9 +1,30 @@
 #include "dedup/amt.hh"
 
 #include "common/logging.hh"
+#include "common/stat_registry.hh"
 
 namespace esd
 {
+
+void
+Amt::registerStats(StatRegistry &reg, const std::string &prefix) const
+{
+    auto n = [&](const char *leaf) { return prefix + "." + leaf; };
+
+    reg.addCounter(n("lookups"), stats_.lookups);
+    reg.addCounter(n("cache_hits"), stats_.cacheHits);
+    reg.addCounter(n("cache_misses"), stats_.cacheMisses);
+    reg.addCounter(n("nvm_reads"), stats_.nvmReads);
+    reg.addCounter(n("nvm_writebacks"), stats_.nvmWritebacks);
+    reg.addCounter(n("updates"), stats_.updates);
+
+    reg.addGauge(n("hit_rate"), [this] { return stats_.hitRate(); });
+    reg.addGauge(n("mappings"), [this] {
+        return static_cast<double>(mappingCount());
+    });
+    reg.addGauge(n("nvm_bytes"),
+                 [this] { return static_cast<double>(nvmBytes()); });
+}
 
 Amt::Amt(const MetadataConfig &cfg, Addr nvm_base)
     : cfg_(cfg), nvmBase_(nvm_base),

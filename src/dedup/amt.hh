@@ -35,6 +35,8 @@
 namespace esd
 {
 
+class StatRegistry;
+
 /** Packed 40-bit physical address in the paper's base+offset format. */
 struct PackedPhys
 {
@@ -157,6 +159,11 @@ class Amt
 
     const AmtStats &stats() const { return stats_; }
     void resetStats() { stats_ = AmtStats{}; }
+
+    /** Register counters, hit rate, and footprint under
+     * "<prefix>.*". */
+    void registerStats(StatRegistry &reg,
+                       const std::string &prefix) const;
 
     /** Logical-line entries the cache can hold. */
     std::uint64_t

@@ -28,6 +28,11 @@ BaselineScheme::write(Addr addr, const CacheLine &data, Tick now)
     res.latency = r.complete - now;
     res.issuerStall = r.issuerStall;
     stats_.breakdown.add(bd);
+
+    // No fingerprinting at all: every write is unique by construction.
+    traceWrite(now, addr, ecc, FpProbe::None, CompareVerdict::None,
+               WriteOutcome::Unique, addr, r.queueDelay, enc,
+               res.latency);
     return res;
 }
 

@@ -22,6 +22,13 @@ DedupSha1Scheme::DedupSha1Scheme(const SimConfig &cfg, PcmDevice &device,
 }
 
 void
+DedupSha1Scheme::registerStats(StatRegistry &reg) const
+{
+    MappedDedupScheme::registerStats(reg);
+    fps_.registerStats(reg, "cache.fp");
+}
+
+void
 DedupSha1Scheme::onPhysFreed(Addr phys)
 {
     auto it = physToFp_.find(phys);
@@ -73,7 +80,13 @@ DedupSha1Scheme::write(Addr addr, const CacheLine &data, Tick now)
         fps_.erase(fp);
     }
 
+    FpProbe probe = dup ? FpProbe::Hit : FpProbe::Miss;
+    Addr decisive_addr = addr;
+    Tick decisive_queue = 0;
+    Tick encrypt_ns = 0;
+
     if (dup) {
+        decisive_addr = lr.phys;
         // Fingerprint match is trusted — no byte comparison (classic
         // hash-dedup risk the paper contrasts with ESD in Section V).
         stats_.dedupHits.inc();
@@ -91,6 +104,9 @@ DedupSha1Scheme::write(Addr addr, const CacheLine &data, Tick now)
         Addr phys;
         NvmAccessResult w = writeNewLine(data, phys, t, bd);
         res.issuerStall += w.issuerStall;
+        decisive_addr = phys;
+        decisive_queue = w.queueDelay;
+        encrypt_ns = cfg_.crypto.encryptLatency;
 
         Addr fp_store_addr;
         fps_.insert(fp, phys, fp_store_addr);
@@ -104,6 +120,11 @@ DedupSha1Scheme::write(Addr addr, const CacheLine &data, Tick now)
 
     res.latency = t - now;
     stats_.breakdown.add(bd);
+
+    // Fingerprint match is final here — there is never a compare.
+    traceWrite(now, addr, fp, probe, CompareVerdict::None,
+               dup ? WriteOutcome::Dedup : WriteOutcome::Unique,
+               decisive_addr, decisive_queue, encrypt_ns, res.latency);
     return res;
 }
 

@@ -32,6 +32,9 @@ class DedupSha1Scheme : public MappedDedupScheme
 
     std::uint64_t metadataNvmBytes() const override;
 
+    /** Adds the fingerprint index under "cache.fp.*". */
+    void registerStats(StatRegistry &reg) const override;
+
     const FpTable &fpTable() const { return fps_; }
 
   protected:

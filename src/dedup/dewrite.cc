@@ -1,5 +1,6 @@
 #include "dedup/dewrite.hh"
 
+#include "common/stat_registry.hh"
 #include "crypto/crc.hh"
 
 namespace esd
@@ -19,6 +20,30 @@ DeWriteScheme::DeWriteScheme(const SimConfig &cfg, PcmDevice &device,
       fps_(cfg.metadata.efitCacheBytes, kEntryBytes, cfg.metadata.efitAssoc,
            kFpRegionBase)
 {
+}
+
+void
+DeWriteScheme::registerStats(StatRegistry &reg) const
+{
+    MappedDedupScheme::registerStats(reg);
+    fps_.registerStats(reg, "cache.fp");
+
+    const PredictorStats &p = predictor_.stats();
+    reg.addCounter("scheme.predictor.t1_dup_dup",
+                   p.predictDupActualDup,
+                   "predicted duplicate, was duplicate");
+    reg.addCounter("scheme.predictor.f2_dup_new",
+                   p.predictDupActualNew,
+                   "predicted duplicate, was new");
+    reg.addCounter("scheme.predictor.t3_new_new",
+                   p.predictNewActualNew,
+                   "predicted new, was new");
+    reg.addCounter("scheme.predictor.f4_new_dup",
+                   p.predictNewActualDup,
+                   "predicted new, was duplicate");
+    reg.addGauge("scheme.predictor.accuracy",
+                 [&p] { return p.accuracy(); },
+                 "fraction of correct predictions");
 }
 
 void
@@ -60,11 +85,14 @@ DeWriteScheme::resolveDuplicate(std::uint64_t fp, const CacheLine &data,
             fps_.erase(fp);  // stale entry
         return out;
     }
+    out.probe = FpProbe::Hit;
+    out.cand = lr.phys;
 
     // CRC collides easily (Fig. 8): always verify by byte comparison.
     NvmAccessResult r = deviceRead(lr.phys, t);
     bd.readCompare += static_cast<double>(r.complete - t);
     t = r.complete;
+    out.compareQueue = r.queueDelay;
     stats_.compareReads.inc();
     stats_.metadataEnergy += cfg_.crypto.compareEnergy;
     t += cfg_.crypto.compareLatency;
@@ -74,8 +102,10 @@ DeWriteScheme::resolveDuplicate(std::uint64_t fp, const CacheLine &data,
         out.dup = true;
         out.phys = lr.phys;
         out.viaCache = lr.cacheHit;
+        out.verdict = CompareVerdict::Equal;
     } else {
         stats_.compareMismatches.inc();
+        out.verdict = CompareVerdict::Mismatch;
     }
     return out;
 }
@@ -99,6 +129,9 @@ DeWriteScheme::write(Addr addr, const CacheLine &data, Tick now)
     Tick t_check = now + crc_lat;
     CheckOutcome chk;
     Tick t_end;
+    Addr decisive_addr = addr;
+    Tick decisive_queue = 0;
+    Tick encrypt_ns = 0;
 
     if (predicted_dup) {
         // Serial path: the write waits for the check.
@@ -108,12 +141,17 @@ DeWriteScheme::write(Addr addr, const CacheLine &data, Tick now)
         if (chk.dup) {
             // T1: duplicate confirmed, write eliminated.
             t_end = t_check;
+            decisive_addr = chk.cand;
+            decisive_queue = chk.compareQueue;
         } else {
             // F2: worst case — full check, then encrypt + write.
             Addr phys;
             Tick t = t_check;
             NvmAccessResult w = writeNewLine(data, phys, t, bd);
             res.issuerStall += w.issuerStall;
+            decisive_addr = phys;
+            decisive_queue = w.queueDelay;
+            encrypt_ns = cfg_.crypto.encryptLatency;
 
             Addr fp_store;
             fps_.insert(fp, phys, fp_store);
@@ -137,6 +175,9 @@ DeWriteScheme::write(Addr addr, const CacheLine &data, Tick now)
             Tick t_write = now;
             NvmAccessResult w = writeNewLine(data, phys, t_write, bd);
             res.issuerStall += w.issuerStall;
+            decisive_addr = phys;
+            decisive_queue = w.queueDelay;
+            encrypt_ns = cfg_.crypto.encryptLatency;
 
             Addr fp_store;
             fps_.insert(fp, phys, fp_store);
@@ -153,6 +194,9 @@ DeWriteScheme::write(Addr addr, const CacheLine &data, Tick now)
             stats_.cryptoEnergy += cfg_.crypto.encryptEnergy;
             Tick enc_done = now + cfg_.crypto.encryptLatency;
             t_end = std::max(t_check, enc_done);
+            decisive_addr = chk.cand;
+            decisive_queue = chk.compareQueue;
+            encrypt_ns = cfg_.crypto.encryptLatency;
         }
     }
 
@@ -170,6 +214,14 @@ DeWriteScheme::write(Addr addr, const CacheLine &data, Tick now)
     res.issuerStall += remap(addr, chk.phys, t_end, bd);
     res.latency = t_end - now;
     stats_.breakdown.add(bd);
+
+    WriteOutcome outcome = WriteOutcome::Unique;
+    if (chk.dup)
+        outcome = WriteOutcome::Dedup;
+    else if (chk.verdict == CompareVerdict::Mismatch)
+        outcome = WriteOutcome::Collision;
+    traceWrite(now, addr, fp, chk.probe, chk.verdict, outcome,
+               decisive_addr, decisive_queue, encrypt_ns, res.latency);
     return res;
 }
 

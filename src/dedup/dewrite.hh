@@ -42,6 +42,10 @@ class DeWriteScheme : public MappedDedupScheme
 
     std::uint64_t metadataNvmBytes() const override;
 
+    /** Adds the fingerprint index ("cache.fp.*") and the predictor
+     * ("scheme.predictor.*"). */
+    void registerStats(StatRegistry &reg) const override;
+
     const FpTable &fpTable() const { return fps_; }
     const DupPredictor &predictor() const { return predictor_; }
 
@@ -57,6 +61,12 @@ class DeWriteScheme : public MappedDedupScheme
         bool dup = false;
         Addr phys = kInvalidAddr;
         bool viaCache = false;
+
+        // Trace annotations.
+        FpProbe probe = FpProbe::Miss;
+        CompareVerdict verdict = CompareVerdict::None;
+        Addr cand = kInvalidAddr;  ///< compared candidate line
+        Tick compareQueue = 0;     ///< candidate-read bank wait
     };
     CheckOutcome resolveDuplicate(std::uint64_t fp, const CacheLine &data,
                                   Tick &t, WriteBreakdown &bd);

@@ -1,9 +1,34 @@
 #include "dedup/efit.hh"
 
 #include "common/logging.hh"
+#include "common/stat_registry.hh"
 
 namespace esd
 {
+
+void
+Efit::registerStats(StatRegistry &reg, const std::string &prefix) const
+{
+    auto n = [&](const char *leaf) { return prefix + "." + leaf; };
+
+    reg.addCounter(n("lookups"), stats_.lookups);
+    reg.addCounter(n("hits"), stats_.hits);
+    reg.addCounter(n("misses"), stats_.misses);
+    reg.addCounter(n("inserts"), stats_.inserts);
+    reg.addCounter(n("evictions"), stats_.evictions);
+    reg.addCounter(n("evictions_ref1"), stats_.evictionsRef1,
+                   "victims whose referH was 1 (the LRCU target)");
+    reg.addCounter(n("decay_rounds"), stats_.decayRounds);
+    reg.addCounter(n("referh_saturations"), stats_.referHSaturations);
+
+    reg.addGauge(n("hit_rate"), [this] { return stats_.hitRate(); });
+    reg.addGauge(n("occupancy"),
+                 [this] { return static_cast<double>(validEntries()); },
+                 "valid entries currently cached");
+    reg.addGauge(n("capacity"), [this] {
+        return static_cast<double>(capacityEntries());
+    });
+}
 
 Efit::Efit(const MetadataConfig &cfg) : cfg_(cfg), assoc_(cfg.efitAssoc)
 {

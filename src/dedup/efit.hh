@@ -27,6 +27,8 @@
 namespace esd
 {
 
+class StatRegistry;
+
 /** EFIT statistics. */
 struct EfitStats
 {
@@ -114,6 +116,11 @@ class Efit
 
     const EfitStats &stats() const { return stats_; }
     void resetStats() { stats_ = EfitStats{}; }
+
+    /** Register counters, hit rate, and occupancy under
+     * "<prefix>.*". */
+    void registerStats(StatRegistry &reg,
+                       const std::string &prefix) const;
 
   private:
     std::uint64_t setOf(LineEcc ecc) const;

@@ -10,6 +10,13 @@ EsdScheme::EsdScheme(const SimConfig &cfg, PcmDevice &device,
 }
 
 void
+EsdScheme::registerStats(StatRegistry &reg) const
+{
+    MappedDedupScheme::registerStats(reg);
+    efit_.registerStats(reg, "esd.efit");
+}
+
+void
 EsdScheme::onPhysFreed(Addr phys)
 {
     auto it = physToEcc_.find(phys);
@@ -43,7 +50,14 @@ EsdScheme::write(Addr addr, const CacheLine &data, Tick now)
     bool dedup_done = false;
     bool saturated_rewrite = false;
 
+    FpProbe probe = FpProbe::Miss;
+    CompareVerdict verdict = CompareVerdict::None;
+    Addr decisive_addr = addr;
+    Tick decisive_queue = 0;
+    Tick encrypt_ns = 0;
+
     if (entry && lines_.isLive(entry->phys.toAddr())) {
+        probe = FpProbe::Hit;
         // 3. Similar line: fetch and byte-compare (PCM reads are half
         //    the cost of the write being saved — the asymmetry the
         //    selective design exploits).
@@ -51,12 +65,15 @@ EsdScheme::write(Addr addr, const CacheLine &data, Tick now)
         NvmAccessResult r = deviceRead(cand, t);
         bd.readCompare += static_cast<double>(r.complete - t);
         t = r.complete;
+        decisive_addr = cand;
+        decisive_queue = r.queueDelay;
         stats_.compareReads.inc();
         stats_.metadataEnergy += cfg_.crypto.compareEnergy;
         t += cfg_.crypto.compareLatency;
 
         auto stored = store_.read(cand);
         if (stored && decryptLine(cand, stored->data) == data) {
+            verdict = CompareVerdict::Equal;
             if (efit_.bumpRef(entry)) {
                 // Duplicate eliminated.
                 stats_.dedupHits.inc();
@@ -76,6 +93,7 @@ EsdScheme::write(Addr addr, const CacheLine &data, Tick now)
         } else {
             // ECC collision caught by the content comparison.
             stats_.compareMismatches.inc();
+            verdict = CompareVerdict::Mismatch;
         }
     } else if (entry) {
         // Stale entry whose line died — drop it.
@@ -88,6 +106,9 @@ EsdScheme::write(Addr addr, const CacheLine &data, Tick now)
         Addr phys;
         NvmAccessResult w = writeNewLine(data, phys, t, bd);
         res.issuerStall += w.issuerStall;
+        decisive_addr = phys;
+        decisive_queue = w.queueDelay;
+        encrypt_ns = cfg_.crypto.encryptLatency;
 
         if (saturated_rewrite) {
             // Retarget the saturated entry instead of duplicating it.
@@ -102,6 +123,16 @@ EsdScheme::write(Addr addr, const CacheLine &data, Tick now)
 
     res.latency = t - now;
     stats_.breakdown.add(bd);
+
+    WriteOutcome outcome = WriteOutcome::Unique;
+    if (dedup_done)
+        outcome = WriteOutcome::Dedup;
+    else if (saturated_rewrite)
+        outcome = WriteOutcome::SaturatedRewrite;
+    else if (verdict == CompareVerdict::Mismatch)
+        outcome = WriteOutcome::Collision;
+    traceWrite(now, addr, ecc, probe, verdict, outcome, decisive_addr,
+               decisive_queue, encrypt_ns, res.latency);
     return res;
 }
 

@@ -42,6 +42,9 @@ class EsdScheme : public MappedDedupScheme
 
     std::string name() const override { return "ESD"; }
 
+    /** Adds the EFIT under "esd.efit.*". */
+    void registerStats(StatRegistry &reg) const override;
+
     /** Only the AMT lives in NVMM — no fingerprint store. */
     std::uint64_t metadataNvmBytes() const override
     {

@@ -20,6 +20,13 @@ EsdFullScheme::EsdFullScheme(const SimConfig &cfg, PcmDevice &device,
 }
 
 void
+EsdFullScheme::registerStats(StatRegistry &reg) const
+{
+    MappedDedupScheme::registerStats(reg);
+    fps_.registerStats(reg, "cache.fp");
+}
+
+void
 EsdFullScheme::onPhysFreed(Addr phys)
 {
     auto it = physToFp_.find(phys);
@@ -61,17 +68,27 @@ EsdFullScheme::write(Addr addr, const CacheLine &data, Tick now)
     }
 
     bool dedup = false;
+    FpProbe probe = FpProbe::Miss;
+    CompareVerdict verdict = CompareVerdict::None;
+    Addr decisive_addr = addr;
+    Tick decisive_queue = 0;
+    Tick encrypt_ns = 0;
+
     if (lr.found && lines_.isLive(lr.phys)) {
+        probe = FpProbe::Hit;
+        decisive_addr = lr.phys;
         // Verify by byte comparison (ECC collisions are expected).
         NvmAccessResult r = deviceRead(lr.phys, t);
         bd.readCompare += static_cast<double>(r.complete - t);
         t = r.complete;
+        decisive_queue = r.queueDelay;
         stats_.compareReads.inc();
         stats_.metadataEnergy += cfg_.crypto.compareEnergy;
         t += cfg_.crypto.compareLatency;
 
         auto stored = store_.read(lr.phys);
         if (stored && decryptLine(lr.phys, stored->data) == data) {
+            verdict = CompareVerdict::Equal;
             dedup = true;
             stats_.dedupHits.inc();
             if (data.isZero())
@@ -84,6 +101,7 @@ EsdFullScheme::write(Addr addr, const CacheLine &data, Tick now)
             res.dedup = true;
         } else {
             stats_.compareMismatches.inc();
+            verdict = CompareVerdict::Mismatch;
         }
     } else if (lr.found) {
         fps_.erase(ecc);
@@ -93,6 +111,9 @@ EsdFullScheme::write(Addr addr, const CacheLine &data, Tick now)
         Addr phys;
         NvmAccessResult w = writeNewLine(data, phys, t, bd);
         res.issuerStall += w.issuerStall;
+        decisive_addr = phys;
+        decisive_queue = w.queueDelay;
+        encrypt_ns = cfg_.crypto.encryptLatency;
 
         Addr fp_store;
         fps_.insert(ecc, phys, fp_store);
@@ -106,6 +127,14 @@ EsdFullScheme::write(Addr addr, const CacheLine &data, Tick now)
 
     res.latency = t - now;
     stats_.breakdown.add(bd);
+
+    WriteOutcome outcome = WriteOutcome::Unique;
+    if (dedup)
+        outcome = WriteOutcome::Dedup;
+    else if (verdict == CompareVerdict::Mismatch)
+        outcome = WriteOutcome::Collision;
+    traceWrite(now, addr, ecc, probe, verdict, outcome, decisive_addr,
+               decisive_queue, encrypt_ns, res.latency);
     return res;
 }
 

@@ -1,5 +1,7 @@
 #include "dedup/esd_plus.hh"
 
+#include "common/stat_registry.hh"
+
 namespace esd
 {
 
@@ -9,6 +11,21 @@ EsdPlusScheme::EsdPlusScheme(const SimConfig &cfg, PcmDevice &device,
       hotThreshold_(2),
       capacity_(64)  // 64 lines = 4 KB of SRAM
 {
+}
+
+void
+EsdPlusScheme::registerStats(StatRegistry &reg) const
+{
+    EsdScheme::registerStats(reg);
+    reg.addGauge("esd.content_cache.hits",
+                 [this] { return static_cast<double>(contentHits_); },
+                 "compares answered on chip, no device read");
+    reg.addGauge("esd.content_cache.size",
+                 [this] { return static_cast<double>(lru_.size()); },
+                 "resident hot lines");
+    reg.addGauge("esd.content_cache.capacity",
+                 [this] { return static_cast<double>(capacity_); },
+                 "content-cache capacity in lines");
 }
 
 const CacheLine *
@@ -75,8 +92,16 @@ EsdPlusScheme::write(Addr addr, const CacheLine &data, Tick now)
     bool dedup_done = false;
     bool saturated_rewrite = false;
 
+    FpProbe probe = FpProbe::Miss;
+    CompareVerdict verdict = CompareVerdict::None;
+    Addr decisive_addr = addr;
+    Tick decisive_queue = 0;
+    Tick encrypt_ns = 0;
+
     if (entry && lines_.isLive(entry->phys.toAddr())) {
         Addr cand = entry->phys.toAddr();
+        probe = FpProbe::Hit;
+        decisive_addr = cand;
 
         // Fast path: hot candidate content is on chip — the compare
         // costs comparator latency only, no device read.
@@ -95,6 +120,7 @@ EsdPlusScheme::write(Addr addr, const CacheLine &data, Tick now)
             NvmAccessResult r = deviceRead(cand, t);
             bd.readCompare += static_cast<double>(r.complete - t);
             t = r.complete;
+            decisive_queue = r.queueDelay;
             stats_.compareReads.inc();
             stats_.metadataEnergy += cfg_.crypto.compareEnergy;
             t += cfg_.crypto.compareLatency;
@@ -110,6 +136,7 @@ EsdPlusScheme::write(Addr addr, const CacheLine &data, Tick now)
             }
         }
 
+        verdict = matched ? CompareVerdict::Equal : CompareVerdict::Mismatch;
         if (matched) {
             if (efit_.bumpRef(entry)) {
                 stats_.dedupHits.inc();
@@ -135,6 +162,9 @@ EsdPlusScheme::write(Addr addr, const CacheLine &data, Tick now)
         Addr phys;
         NvmAccessResult w = writeNewLine(data, phys, t, bd);
         res.issuerStall += w.issuerStall;
+        decisive_addr = phys;
+        decisive_queue = w.queueDelay;
+        encrypt_ns = cfg_.crypto.encryptLatency;
 
         if (saturated_rewrite)
             efit_.redirect(entry, phys);
@@ -147,6 +177,16 @@ EsdPlusScheme::write(Addr addr, const CacheLine &data, Tick now)
 
     res.latency = t - now;
     stats_.breakdown.add(bd);
+
+    WriteOutcome outcome = WriteOutcome::Unique;
+    if (dedup_done)
+        outcome = WriteOutcome::Dedup;
+    else if (saturated_rewrite)
+        outcome = WriteOutcome::SaturatedRewrite;
+    else if (verdict == CompareVerdict::Mismatch)
+        outcome = WriteOutcome::Collision;
+    traceWrite(now, addr, ecc, probe, verdict, outcome, decisive_addr,
+               decisive_queue, encrypt_ns, res.latency);
     return res;
 }
 

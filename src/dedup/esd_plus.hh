@@ -37,6 +37,9 @@ class EsdPlusScheme : public EsdScheme
 
     std::string name() const override { return "ESD+"; }
 
+    /** Adds the content cache under "esd.content_cache.*". */
+    void registerStats(StatRegistry &reg) const override;
+
     /** Compares answered without a device read. */
     std::uint64_t contentCacheHits() const { return contentHits_; }
     std::uint64_t contentCacheCapacity() const { return capacity_; }

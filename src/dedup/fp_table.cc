@@ -1,9 +1,32 @@
 #include "dedup/fp_table.hh"
 
 #include "common/logging.hh"
+#include "common/stat_registry.hh"
 
 namespace esd
 {
+
+void
+FpTable::registerStats(StatRegistry &reg, const std::string &prefix) const
+{
+    auto n = [&](const char *leaf) { return prefix + "." + leaf; };
+
+    reg.addCounter(n("lookups"), stats_.lookups);
+    reg.addCounter(n("cache_hits"), stats_.cacheHits);
+    reg.addCounter(n("cache_misses"), stats_.cacheMisses);
+    reg.addCounter(n("nvm_lookups"), stats_.nvmLookups);
+    reg.addCounter(n("nvm_found_after_miss"), stats_.nvmFoundAfterMiss);
+    reg.addCounter(n("nvm_stores"), stats_.nvmStores);
+    reg.addCounter(n("erases"), stats_.erases);
+
+    reg.addGauge(n("hit_rate"),
+                 [this] { return stats_.cacheHitRate(); });
+    reg.addGauge(n("nvm_entries"), [this] {
+        return static_cast<double>(nvmEntries());
+    });
+    reg.addGauge(n("nvm_bytes"),
+                 [this] { return static_cast<double>(nvmBytes()); });
+}
 
 FpTable::FpTable(std::uint64_t cache_bytes, std::uint64_t entry_bytes,
                  unsigned assoc, Addr nvm_base)

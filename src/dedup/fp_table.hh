@@ -97,6 +97,11 @@ class FpTable
     const FpTableStats &stats() const { return stats_; }
     void resetStats() { stats_ = FpTableStats{}; }
 
+    /** Register counters, hit rate, and footprint under
+     * "<prefix>.*". */
+    void registerStats(StatRegistry &reg,
+                       const std::string &prefix) const;
+
   private:
     struct Way
     {

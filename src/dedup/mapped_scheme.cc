@@ -19,6 +19,13 @@ MappedDedupScheme::MappedDedupScheme(const SimConfig &cfg,
 {
 }
 
+void
+MappedDedupScheme::registerStats(StatRegistry &reg) const
+{
+    DedupScheme::registerStats(reg);
+    amt_.registerStats(reg, "cache.amt");
+}
+
 Tick
 MappedDedupScheme::remap(Addr addr, Addr phys, Tick &t, WriteBreakdown &bd)
 {

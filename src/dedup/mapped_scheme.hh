@@ -26,6 +26,9 @@ class MappedDedupScheme : public DedupScheme
     /** AMT-indirected miss fill, common to all dedup schemes. */
     AccessResult read(Addr addr, CacheLine &out, Tick now) override;
 
+    /** Adds the AMT metadata cache under "cache.amt.*". */
+    void registerStats(StatRegistry &reg) const override;
+
     const Amt &amt() const { return amt_; }
     const LineStore &lineStore() const { return lines_; }
 

@@ -1,7 +1,61 @@
 #include "dedup/scheme.hh"
 
+#include "common/stat_registry.hh"
+
 namespace esd
 {
+
+void
+SchemeStats::registerIn(StatRegistry &reg, const std::string &prefix) const
+{
+    auto n = [&](const char *leaf) { return prefix + "." + leaf; };
+
+    reg.addCounter(n("logical_writes"), logicalWrites);
+    reg.addCounter(n("logical_reads"), logicalReads);
+    reg.addCounter(n("dedup_hits"), dedupHits,
+                   "data writes eliminated by deduplication");
+    reg.addCounter(n("dedup_hits_zero_line"), dedupHitsZeroLine);
+    reg.addCounter(n("dedup_hits_fp_cache"), dedupHitsFpCache);
+    reg.addCounter(n("dedup_hits_fp_nvm"), dedupHitsFpNvm);
+    reg.addCounter(n("nvm_data_writes"), nvmDataWrites);
+    reg.addCounter(n("nvm_data_reads"), nvmDataReads);
+    reg.addCounter(n("compare_reads"), compareReads);
+    reg.addCounter(n("compare_mismatches"), compareMismatches,
+                   "fingerprint collisions caught by byte comparison");
+    reg.addCounter(n("fp_nvm_lookups"), fpNvmLookups);
+    reg.addCounter(n("fp_nvm_stores"), fpNvmStores);
+    reg.addCounter(n("amt_traffic_reads"), amtTrafficReads);
+    reg.addCounter(n("amt_traffic_writes"), amtTrafficWrites);
+    reg.addCounter(n("referh_overflow_rewrites"), refHOverflowRewrites);
+    reg.addCounter(n("ecc_corrected_reads"), eccCorrectedReads);
+    reg.addCounter(n("ecc_uncorrectable_reads"), eccUncorrectableReads);
+
+    reg.addGauge(n("dedup_rate"), [this] { return writeReduction(); },
+                 "dedup_hits / logical_writes");
+    reg.addGauge(n("energy.hash_pj"), [this] { return hashEnergy; });
+    reg.addGauge(n("energy.crypto_pj"), [this] { return cryptoEnergy; });
+    reg.addGauge(n("energy.metadata_pj"),
+                 [this] { return metadataEnergy; });
+
+    reg.addGauge(n("breakdown.fp_compute_ns"),
+                 [this] { return breakdown.fpCompute; });
+    reg.addGauge(n("breakdown.fp_nvm_lookup_ns"),
+                 [this] { return breakdown.fpNvmLookup; });
+    reg.addGauge(n("breakdown.read_compare_ns"),
+                 [this] { return breakdown.readCompare; });
+    reg.addGauge(n("breakdown.line_write_ns"),
+                 [this] { return breakdown.lineWrite; });
+    reg.addGauge(n("breakdown.encrypt_ns"),
+                 [this] { return breakdown.encrypt; });
+    reg.addGauge(n("breakdown.metadata_ns"),
+                 [this] { return breakdown.metadata; });
+}
+
+void
+DedupScheme::registerStats(StatRegistry &reg) const
+{
+    stats_.registerIn(reg, "scheme");
+}
 
 namespace
 {

@@ -20,6 +20,7 @@
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "common/write_trace.hh"
 #include "crypto/ctr_mode.hh"
 #include "dedup/amt.hh"
 #include "dedup/line_store.hh"
@@ -29,6 +30,8 @@
 
 namespace esd
 {
+
+class StatRegistry;
 
 /** Nanoseconds attributed to each write-path component (Fig. 17). */
 struct WriteBreakdown
@@ -107,6 +110,12 @@ struct SchemeStats
                    : static_cast<double>(dedupHits.value()) /
                          logicalWrites.value();
     }
+
+    /** Register every field under "<prefix>." in @p reg. The struct's
+     * address must be stable for the registry's lifetime (it is: it
+     * sits by value inside the scheme, and resetStats() assigns over
+     * it rather than replacing it). */
+    void registerIn(StatRegistry &reg, const std::string &prefix) const;
 };
 
 /**
@@ -137,6 +146,17 @@ class DedupScheme
 
     const SchemeStats &stats() const { return stats_; }
     virtual void resetStats() { stats_ = SchemeStats{}; }
+
+    /**
+     * Register this scheme's statistics (and those of any owned
+     * metadata structures) in @p reg under hierarchical names
+     * ("scheme.*", "esd.efit.*", "cache.amt.*", ...). Call once per
+     * registry; the scheme must outlive it.
+     */
+    virtual void registerStats(StatRegistry &reg) const;
+
+    /** Attach (or detach with nullptr) a write-event trace sink. */
+    void setEventTrace(WriteEventTrace *trace) { trace_ = trace; }
 
     /** Total scheme-side (non-device) energy in pJ. */
     Energy
@@ -207,11 +227,43 @@ class DedupScheme
         return r.line;
     }
 
+    /**
+     * Emit one write-path trace record (no-op without an attached
+     * trace — one pointer test on the hot path).
+     *
+     * @param bank_addr the decisive device access's address: the new
+     *        physical line for unique writes, the compared candidate
+     *        for dedup hits (its bank and queue wait are what the
+     *        record reports)
+     */
+    void
+    traceWrite(Tick now, Addr addr, std::uint64_t fp, FpProbe probe,
+               CompareVerdict compare, WriteOutcome outcome,
+               Addr bank_addr, Tick queue_wait, Tick encrypt_ns,
+               Tick latency)
+    {
+        if (!trace_)
+            return;
+        WriteEvent e;
+        e.tick = now;
+        e.addr = addr;
+        e.fingerprint = fp;
+        e.probe = probe;
+        e.compare = compare;
+        e.outcome = outcome;
+        e.bank = static_cast<std::uint16_t>(device_.bankOf(bank_addr));
+        e.queueWaitNs = queue_wait;
+        e.encryptNs = encrypt_ns;
+        e.latencyNs = latency;
+        trace_->record(e);
+    }
+
     SimConfig cfg_;
     PcmDevice &device_;
     NvmStore &store_;
     CtrModeEngine crypto_;
     SchemeStats stats_;
+    WriteEventTrace *trace_ = nullptr;
 };
 
 } // namespace esd

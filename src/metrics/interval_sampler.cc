@@ -1,0 +1,63 @@
+#include "metrics/interval_sampler.hh"
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace esd
+{
+
+void
+IntervalSampler::configure(const StatRegistry &reg,
+                           std::uint64_t every_writes)
+{
+    reg_ = &reg;
+    every_ = every_writes;
+    columns_ = reg.scalarNames();
+    reset();
+}
+
+void
+IntervalSampler::reset()
+{
+    sampleWrites_.clear();
+    rows_.clear();
+}
+
+void
+IntervalSampler::takeSample(std::uint64_t writes_so_far)
+{
+    esd_assert(reg_ != nullptr, "sampler not configured");
+    sampleWrites_.push_back(writes_so_far);
+    rows_.push_back(reg_->scalarValues());
+    esd_assert(rows_.back().size() == columns_.size(),
+               "registry grew after sampler configuration");
+}
+
+void
+IntervalSampler::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.kv("every_writes", every_);
+    w.key("columns");
+    w.beginArray();
+    for (const std::string &c : columns_)
+        w.value(c);
+    w.endArray();
+    w.key("writes");
+    w.beginArray();
+    for (std::uint64_t n : sampleWrites_)
+        w.value(n);
+    w.endArray();
+    w.key("rows");
+    w.beginArray();
+    for (const auto &row : rows_) {
+        w.beginArray();
+        for (double v : row)
+            w.value(v);
+        w.endArray();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+} // namespace esd

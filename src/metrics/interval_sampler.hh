@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Interval sampling of the stat registry: a snapshot of every scalar
+ * stat (counters + gauges) every N simulated writes, producing the
+ * time-series behind "dedup rate over time", EFIT occupancy curves,
+ * and bank-utilization plots from a single run.
+ *
+ * Snapshots are columnar — one column list captured up front, one row
+ * of values per sample — and serialize into the stats-JSON report as
+ *   {"every_writes": N, "columns": [...], "writes": [...],
+ *    "rows": [[...], ...]}.
+ */
+
+#ifndef ESD_METRICS_INTERVAL_SAMPLER_HH
+#define ESD_METRICS_INTERVAL_SAMPLER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stat_registry.hh"
+
+namespace esd
+{
+
+/** The sampler. Disabled (zero overhead beyond one branch) until
+ * configure() is called with a positive interval. */
+class IntervalSampler
+{
+  public:
+    /**
+     * Attach to @p reg and snapshot every @p every_writes writes.
+     * Columns are frozen at configure time, so configure after all
+     * components registered their stats.
+     */
+    void configure(const StatRegistry &reg, std::uint64_t every_writes);
+
+    bool enabled() const { return every_ > 0; }
+    std::uint64_t interval() const { return every_; }
+
+    /** Notify one completed (measured) write; samples on multiples of
+     * the interval. @p writes_so_far is the running measured count. */
+    void
+    onWrite(std::uint64_t writes_so_far)
+    {
+        if (every_ == 0 || writes_so_far % every_ != 0)
+            return;
+        takeSample(writes_so_far);
+    }
+
+    /** Drop accumulated samples (measurement restart after warm-up). */
+    void reset();
+
+    const std::vector<std::string> &columns() const { return columns_; }
+    const std::vector<std::uint64_t> &sampleWrites() const
+    {
+        return sampleWrites_;
+    }
+    const std::vector<std::vector<double>> &rows() const { return rows_; }
+
+    /** Serialize as the "intervals" report section. */
+    void writeJson(JsonWriter &w) const;
+
+  private:
+    void takeSample(std::uint64_t writes_so_far);
+
+    const StatRegistry *reg_ = nullptr;
+    std::uint64_t every_ = 0;
+    std::vector<std::string> columns_;
+    std::vector<std::uint64_t> sampleWrites_;
+    std::vector<std::vector<double>> rows_;
+};
+
+} // namespace esd
+
+#endif // ESD_METRICS_INTERVAL_SAMPLER_HH

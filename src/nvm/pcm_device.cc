@@ -1,6 +1,7 @@
 #include "nvm/pcm_device.hh"
 
 #include "common/logging.hh"
+#include "common/stat_registry.hh"
 
 namespace esd
 {
@@ -10,8 +11,37 @@ PcmDevice::PcmDevice(const PcmConfig &cfg) : cfg_(cfg)
     if (cfg_.totalBanks() == 0)
         esd_fatal("PCM device needs at least one bank");
     banks_.assign(cfg_.totalBanks(), 0);
+    bankStats_.resize(cfg_.totalBanks());
     readChain_.assign(cfg_.totalBanks(), 0);
     openRow_.assign(cfg_.totalBanks(), ~std::uint64_t{0});
+}
+
+void
+PcmDevice::registerStats(StatRegistry &reg) const
+{
+    reg.addCounter("pcm.reads", stats_.reads);
+    reg.addCounter("pcm.writes", stats_.writes);
+    reg.addCounter("pcm.write_queue_stalls", stats_.writeQueueStalls,
+                   "writes that back-pressured the issuer");
+    reg.addCounter("pcm.row_hits", stats_.rowHits);
+    reg.addCounter("pcm.gap_moves", stats_.gapMoves);
+    reg.addGauge("pcm.energy.read_pj", [this] { return stats_.readEnergy; });
+    reg.addGauge("pcm.energy.write_pj",
+                 [this] { return stats_.writeEnergy; });
+    reg.addGauge("pcm.write_queue.occupancy", [this] {
+        return static_cast<double>(writeCompletions_.size());
+    }, "outstanding writes at sampling time");
+
+    for (std::size_t b = 0; b < bankStats_.size(); ++b) {
+        std::string p = "pcm.bank" + std::to_string(b) + ".";
+        const BankStats &s = bankStats_[b];
+        reg.addCounter(p + "reads", s.reads);
+        reg.addCounter(p + "writes", s.writes);
+        reg.addGauge(p + "queue_wait_ns", [&s] { return s.queueWaitNs; },
+                     "accumulated bank-queue wait");
+        reg.addGauge(p + "busy_ns", [&s] { return s.busyNs; },
+                     "accumulated service time");
+    }
 }
 
 unsigned
@@ -111,11 +141,17 @@ PcmDevice::access(OpType type, Addr addr, Tick arrival)
     }
     res.queueDelay = res.start - arrival;
 
+    BankStats &bs = bankStats_[bank];
+    bs.queueWaitNs += static_cast<double>(res.queueDelay);
+    bs.busyNs += static_cast<double>(latency);
+
     if (type == OpType::Read) {
         stats_.reads.inc();
         stats_.readEnergy += cfg_.readEnergy;
+        bs.reads.inc();
     } else {
         stats_.writes.inc();
+        bs.writes.inc();
         stats_.writeEnergy += cfg_.writeEnergy;
         writeCompletions_.push(res.complete);
 

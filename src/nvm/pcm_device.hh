@@ -34,6 +34,8 @@
 namespace esd
 {
 
+class StatRegistry;
+
 /** Timing outcome of one device access. */
 struct NvmAccessResult
 {
@@ -63,6 +65,19 @@ struct NvmStats
     Energy writeEnergy = 0;
 
     Energy totalEnergy() const { return readEnergy + writeEnergy; }
+};
+
+/** Per-bank accounting (bank utilization / queue-wait time-series). */
+struct BankStats
+{
+    Counter reads;
+    Counter writes;
+
+    /** Accumulated time requests waited for this bank, ns. */
+    double queueWaitNs = 0;
+
+    /** Bank busy time accumulated over serviced requests, ns. */
+    double busyNs = 0;
 };
 
 /**
@@ -97,14 +112,29 @@ class PcmDevice
     }
 
     const NvmStats &stats() const { return stats_; }
+
+    /** Per-bank accounting for bank @p b. */
+    const BankStats &bankStats(unsigned b) const { return bankStats_[b]; }
+
     const PcmConfig &config() const { return cfg_; }
 
     /** Per-line endurance accounting (always on). */
     const WearTracker &wear() const { return wear_; }
 
+    /** Register device-wide and per-bank statistics under "pcm.*" /
+     * "pcm.bankN.*". */
+    void registerStats(StatRegistry &reg) const;
+
     /** Zero all statistics (after warm-up); wear is cumulative and
      * reset separately via resetWear(). */
-    void resetStats() { stats_ = NvmStats{}; }
+    void
+    resetStats()
+    {
+        stats_ = NvmStats{};
+        // Assign in place: registered stat references stay valid.
+        for (BankStats &b : bankStats_)
+            b = BankStats{};
+    }
 
     /** Clear endurance accounting. */
     void resetWear() { wear_.reset(); }
@@ -114,6 +144,7 @@ class PcmDevice
 
     PcmConfig cfg_;
     std::vector<Tick> banks_;
+    std::vector<BankStats> bankStats_;
 
     /** Read-chain clocks per bank (used only under readPriority). */
     std::vector<Tick> readChain_;

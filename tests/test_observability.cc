@@ -1,0 +1,203 @@
+/**
+ * @file
+ * End-to-end observability tests: a real simulated run must produce a
+ * parseable stats-JSON report with entries from every layer (scheme,
+ * EFIT, metadata caches, PCM banks), interval snapshots, and a JSONL
+ * event trace whose records carry the EFIT outcome and bank queue
+ * wait — the `esd_sim -stats-json= -trace-out=` contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/json.hh"
+#include "common/write_trace.hh"
+#include "core/cpu_system.hh"
+#include "core/run_report.hh"
+#include "core/simulator.hh"
+#include "trace/workloads.hh"
+
+namespace esd
+{
+namespace
+{
+
+SimConfig
+fastConfig()
+{
+    SimConfig cfg;
+    cfg.pcm.channels = 1;
+    cfg.pcm.banksPerRank = 4;
+    return cfg;
+}
+
+TEST(Observability, StatsReportCoversEveryLayer)
+{
+    SimConfig cfg = fastConfig();
+    Simulator sim(cfg, SchemeKind::Esd);
+    sim.enableIntervalSampling(1000);
+
+    SyntheticWorkload trace(findApp("gcc"), 1);
+    RunResult r = sim.run(trace, 20000, 2000);
+
+    std::ostringstream os;
+    writeStatsReport(os, cfg, r, sim.statRegistry(), &sim.sampler());
+
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(tryParseJson(os.str(), doc, &err)) << err;
+
+    // Top-level sections.
+    for (const char *k : {"config", "result", "stats", "intervals"})
+        ASSERT_NE(doc.find(k), nullptr) << k;
+
+    // Config round-trips key parameters.
+    const JsonValue *pcm = doc.find("config")->find("pcm");
+    ASSERT_NE(pcm, nullptr);
+    EXPECT_EQ(pcm->find("write_latency_ns")->number, 150.0);
+
+    // Result mirrors the RunResult.
+    const JsonValue *res = doc.find("result");
+    EXPECT_EQ(res->find("scheme")->str, "ESD");
+    EXPECT_EQ(res->find("records")->number,
+              static_cast<double>(r.records));
+    EXPECT_GT(res->find("write_latency")->find("count")->number, 0.0);
+
+    // Stats carry hierarchically named entries from every layer.
+    const JsonValue *stats = doc.find("stats");
+    ASSERT_TRUE(stats->isObject());
+    for (const char *name :
+         {"scheme.logical_writes", "scheme.dedup_hits",
+          "scheme.write_latency", "esd.efit.hits", "esd.efit.occupancy",
+          "cache.amt.hit_rate", "pcm.writes", "pcm.bank0.writes",
+          "pcm.bank3.queue_wait_ns"})
+        ASSERT_NE(stats->find(name), nullptr) << name;
+
+    EXPECT_EQ(stats->find("scheme.logical_writes")->number,
+              static_cast<double>(r.logicalWrites));
+
+    // Interval snapshots: rows sampled every 1000 measured writes.
+    const JsonValue *iv = doc.find("intervals");
+    EXPECT_EQ(iv->find("every_writes")->number, 1000.0);
+    ASSERT_GT(iv->find("rows")->array.size(), 0u);
+    EXPECT_EQ(iv->find("columns")->array.size(),
+              iv->find("rows")->array[0].array.size());
+}
+
+TEST(Observability, EventTraceRecordsCarryEfitOutcomeAndQueueWait)
+{
+    SimConfig cfg = fastConfig();
+    Simulator sim(cfg, SchemeKind::Esd);
+    WriteEventTrace events(4096);
+    sim.setEventTrace(&events);
+
+    SyntheticWorkload trace(findApp("deepsjeng"), 1);
+    RunResult r = sim.run(trace, 10000, 0);
+
+    // Every logical write produced exactly one event.
+    EXPECT_EQ(events.totalRecorded(), r.logicalWrites);
+    ASSERT_GT(events.size(), 0u);
+
+    std::ostringstream os;
+    events.writeJsonl(os);
+    std::istringstream is(os.str());
+    std::string line;
+    bool saw_hit = false, saw_dedup = false, saw_queue_wait = false;
+    while (std::getline(is, line)) {
+        JsonValue v;
+        std::string err;
+        ASSERT_TRUE(tryParseJson(line, v, &err)) << err;
+        ASSERT_NE(v.find("efit"), nullptr);
+        ASSERT_NE(v.find("queue_ns"), nullptr);
+        ASSERT_NE(v.find("bank"), nullptr);
+        EXPECT_LT(v.find("bank")->number, cfg.pcm.totalBanks());
+        saw_hit |= v.find("efit")->str == "hit";
+        saw_dedup |= v.find("outcome")->str == "dedup";
+        saw_queue_wait |= v.find("queue_ns")->number > 0;
+    }
+    // A dedup-heavy workload must show EFIT hits and dedup outcomes,
+    // and a single-channel config must queue at banks.
+    EXPECT_TRUE(saw_hit);
+    EXPECT_TRUE(saw_dedup);
+    EXPECT_TRUE(saw_queue_wait);
+}
+
+TEST(Observability, DetachedTraceRecordsNothing)
+{
+    SimConfig cfg = fastConfig();
+    Simulator sim(cfg, SchemeKind::Esd);
+    WriteEventTrace events(64);
+    sim.setEventTrace(&events);
+    sim.setEventTrace(nullptr);
+
+    SyntheticWorkload trace(findApp("gcc"), 1);
+    sim.run(trace, 2000, 0);
+    EXPECT_EQ(events.totalRecorded(), 0u);
+}
+
+TEST(Observability, EverySchemeEmitsOneEventPerWrite)
+{
+    for (SchemeKind k :
+         {SchemeKind::Baseline, SchemeKind::DedupSha1, SchemeKind::DeWrite,
+          SchemeKind::Esd, SchemeKind::EsdFull, SchemeKind::EsdPlus}) {
+        SimConfig cfg = fastConfig();
+        Simulator sim(cfg, k);
+        WriteEventTrace events(1 << 14);
+        sim.setEventTrace(&events);
+        SyntheticWorkload trace(findApp("gcc"), 1);
+        RunResult r = sim.run(trace, 5000, 0);
+        EXPECT_EQ(events.totalRecorded(), r.logicalWrites)
+            << schemeName(k);
+    }
+}
+
+TEST(Observability, RegistryNamesAreUniquePerScheme)
+{
+    // Constructing a Simulator registers every component; a duplicate
+    // name would panic in the constructor.
+    for (SchemeKind k :
+         {SchemeKind::Baseline, SchemeKind::DedupSha1, SchemeKind::DeWrite,
+          SchemeKind::Esd, SchemeKind::EsdFull, SchemeKind::EsdPlus}) {
+        Simulator sim(fastConfig(), k);
+        EXPECT_GT(sim.statRegistry().size(), 0u) << schemeName(k);
+    }
+}
+
+TEST(Observability, StatsStayLiveAcrossMeasurementReset)
+{
+    // The registry holds references; resetStats() assigns in place, so
+    // a warmed-up run's registry must match the RunResult, not the
+    // pre-warmup totals.
+    SimConfig cfg = fastConfig();
+    Simulator sim(cfg, SchemeKind::Esd);
+    SyntheticWorkload trace(findApp("gcc"), 1);
+    RunResult r = sim.run(trace, 20000, 10000);
+
+    const StatRegistry &reg = sim.statRegistry();
+    EXPECT_EQ(reg.scalar("scheme.logical_writes"),
+              static_cast<double>(r.logicalWrites));
+    EXPECT_EQ(reg.scalar("scheme.dedup_hits"),
+              static_cast<double>(r.dedupHits));
+    EXPECT_EQ(reg.scalar("pcm.writes"),
+              static_cast<double>(r.nvmWritesTotal));
+}
+
+TEST(Observability, CpuSystemRegistersCacheHierarchy)
+{
+    CpuSystem sys(fastConfig(), SchemeKind::Esd);
+    const StatRegistry &reg = sys.statRegistry();
+    for (const char *name :
+         {"cache.l1.hits", "cache.l2.misses", "cache.l3.hit_rate",
+          "cache.amt.cache_hits", "esd.efit.hits", "pcm.reads"})
+        EXPECT_TRUE(reg.has(name)) << name;
+
+    CacheLine data;
+    data.setWord(0, 1);
+    sys.store(0x1000, data);
+    sys.load(0x1000);
+    EXPECT_GT(reg.scalar("cache.l1.hits"), 0.0);
+}
+
+} // namespace
+} // namespace esd

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the write-event trace ring buffer and its JSONL dump.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/json.hh"
+#include "common/write_trace.hh"
+
+namespace esd
+{
+namespace
+{
+
+WriteEvent
+eventAt(Tick tick)
+{
+    WriteEvent e;
+    e.tick = tick;
+    e.addr = tick * 64;
+    e.fingerprint = 0xabcd0000 + tick;
+    e.outcome = WriteOutcome::Dedup;
+    e.probe = FpProbe::Hit;
+    e.compare = CompareVerdict::Equal;
+    e.bank = static_cast<std::uint16_t>(tick % 4);
+    e.queueWaitNs = 10 + tick;
+    e.encryptNs = 24;
+    e.latencyNs = 150 + tick;
+    return e;
+}
+
+TEST(WriteEventTrace, FillsUpToCapacity)
+{
+    WriteEventTrace trace(8);
+    EXPECT_EQ(trace.capacity(), 8u);
+    EXPECT_EQ(trace.size(), 0u);
+
+    for (Tick t = 0; t < 5; ++t)
+        trace.record(eventAt(t));
+    EXPECT_EQ(trace.size(), 5u);
+    EXPECT_EQ(trace.totalRecorded(), 5u);
+    EXPECT_EQ(trace.dropped(), 0u);
+    EXPECT_EQ(trace.at(0).tick, 0u);
+    EXPECT_EQ(trace.at(4).tick, 4u);
+}
+
+TEST(WriteEventTrace, WrapKeepsMostRecentOldestFirst)
+{
+    WriteEventTrace trace(4);
+    for (Tick t = 0; t < 10; ++t)
+        trace.record(eventAt(t));
+
+    EXPECT_EQ(trace.size(), 4u);
+    EXPECT_EQ(trace.totalRecorded(), 10u);
+    EXPECT_EQ(trace.dropped(), 6u);
+    // Retained window is ticks 6..9, oldest first.
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(trace.at(i).tick, 6u + i);
+}
+
+TEST(WriteEventTrace, ClearEmptiesEverything)
+{
+    WriteEventTrace trace(4);
+    for (Tick t = 0; t < 6; ++t)
+        trace.record(eventAt(t));
+    trace.clear();
+    EXPECT_EQ(trace.size(), 0u);
+    EXPECT_EQ(trace.totalRecorded(), 0u);
+    trace.record(eventAt(42));
+    EXPECT_EQ(trace.at(0).tick, 42u);
+}
+
+TEST(WriteEventTrace, JsonlLinesParseWithFullSchema)
+{
+    WriteEventTrace trace(4);
+    for (Tick t = 0; t < 7; ++t)
+        trace.record(eventAt(t));
+
+    std::ostringstream os;
+    trace.writeJsonl(os);
+
+    std::istringstream is(os.str());
+    std::string line;
+    std::size_t lines = 0;
+    Tick expect_tick = 3;
+    while (std::getline(is, line)) {
+        JsonValue v;
+        std::string err;
+        ASSERT_TRUE(tryParseJson(line, v, &err)) << err << ": " << line;
+        ASSERT_TRUE(v.isObject());
+        for (const char *k : {"tick", "addr", "fp", "efit", "compare",
+                              "outcome", "bank", "queue_ns",
+                              "encrypt_ns", "latency_ns"})
+            ASSERT_NE(v.find(k), nullptr) << k;
+        EXPECT_EQ(v.find("tick")->number,
+                  static_cast<double>(expect_tick));
+        EXPECT_EQ(v.find("efit")->str, "hit");
+        EXPECT_EQ(v.find("compare")->str, "equal");
+        EXPECT_EQ(v.find("outcome")->str, "dedup");
+        ++expect_tick;
+        ++lines;
+    }
+    EXPECT_EQ(lines, 4u);
+}
+
+TEST(WriteEventTrace, EnumNames)
+{
+    EXPECT_STREQ(writeOutcomeName(WriteOutcome::Unique), "unique");
+    EXPECT_STREQ(writeOutcomeName(WriteOutcome::Collision), "collision");
+    EXPECT_STREQ(writeOutcomeName(WriteOutcome::SaturatedRewrite),
+                 "saturated_rewrite");
+    EXPECT_STREQ(fpProbeName(FpProbe::None), "none");
+    EXPECT_STREQ(fpProbeName(FpProbe::Miss), "miss");
+    EXPECT_STREQ(compareVerdictName(CompareVerdict::Mismatch),
+                 "mismatch");
+}
+
+} // namespace
+} // namespace esd

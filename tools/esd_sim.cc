@@ -7,14 +7,24 @@
  *           (-InputFile=<trace> | -app=<name>)
  *           [-records=N] [-warmup=N] [-seed=N]
  *           [-latency-out=<path>] [-dump-config]
+ *           [-stats-json=<path>] [-stats-interval=N]
+ *           [-trace-out=<path>] [-trace-cap=N]
  *
  * Scheme selector follows the artifact: 0 Baseline, 1 Tra_sha1,
  * 2 DeWrite, 3 ESD (4 adds the ESD_Full ablation). `-InputFile`
  * accepts both the text and binary trace formats (by extension:
  * `.bin` is binary). `-latency-out` writes the raw write-latency
  * samples, one per line, for external CDF plotting (Fig. 15).
+ *
+ * Observability outputs:
+ *   `-stats-json` writes the machine-readable run report (config +
+ *   result + every registered stat + interval snapshots every
+ *   `-stats-interval` measured writes);
+ *   `-trace-out` dumps the last `-trace-cap` per-write events as
+ *   JSONL (one record per line).
  */
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -22,6 +32,8 @@
 
 #include "common/config_io.hh"
 #include "common/logging.hh"
+#include "common/write_trace.hh"
+#include "core/run_report.hh"
 #include "core/simulator.hh"
 #include "metrics/report.hh"
 #include "trace/trace_io.hh"
@@ -39,6 +51,10 @@ struct Options
     std::string inputFile;
     std::string app;
     std::string latencyOut;
+    std::string statsJson;
+    std::string traceOut;
+    std::uint64_t traceCap = 65536;
+    std::uint64_t statsInterval = 10000;
     std::uint64_t records = 200000;
     std::uint64_t warmup = 40000;
     std::uint64_t seed = 1;
@@ -53,6 +69,8 @@ usage()
            "               (-InputFile=trace | -app=name)\n"
            "               [-records=N] [-warmup=N] [-seed=N]\n"
            "               [-latency-out=path] [-dump-config]\n"
+           "               [-stats-json=path] [-stats-interval=N]\n"
+           "               [-trace-out=path] [-trace-cap=N]\n"
            "schemes: 0 Baseline, 1 Tra_sha1, 2 DeWrite, 3 ESD, "
            "4 ESD_Full\napps: ";
     for (const AppProfile &p : paperApps())
@@ -85,6 +103,14 @@ parseArgs(int argc, char **argv)
             opt.seed = std::stoull(value("-seed="));
         } else if (arg.rfind("-latency-out=", 0) == 0) {
             opt.latencyOut = value("-latency-out=");
+        } else if (arg.rfind("-stats-json=", 0) == 0) {
+            opt.statsJson = value("-stats-json=");
+        } else if (arg.rfind("-stats-interval=", 0) == 0) {
+            opt.statsInterval = std::stoull(value("-stats-interval="));
+        } else if (arg.rfind("-trace-out=", 0) == 0) {
+            opt.traceOut = value("-trace-out=");
+        } else if (arg.rfind("-trace-cap=", 0) == 0) {
+            opt.traceCap = std::stoull(value("-trace-cap="));
         } else if (arg == "-dump-config") {
             opt.dumpConfig = true;
         } else if (arg == "-h" || arg == "--help") {
@@ -139,6 +165,15 @@ main(int argc, char **argv)
     std::uint64_t warmup = opt.inputFile.empty() ? opt.warmup : 0;
 
     Simulator sim(cfg, opt.scheme);
+
+    if (!opt.traceOut.empty() && opt.traceCap == 0)
+        esd_fatal("-trace-cap must be > 0 when -trace-out= is set");
+    WriteEventTrace events(std::max<std::size_t>(opt.traceCap, 1));
+    if (!opt.traceOut.empty())
+        sim.setEventTrace(&events);
+    if (!opt.statsJson.empty())
+        sim.enableIntervalSampling(opt.statsInterval);
+
     RunResult r = sim.run(*trace, records, warmup);
 
     std::cout << "scheme: " << r.schemeName << "\n"
@@ -174,6 +209,27 @@ main(int argc, char **argv)
         std::cout << "wrote " << r.writeLatency.count()
                   << " write-latency samples to " << opt.latencyOut
                   << "\n";
+    }
+
+    if (!opt.statsJson.empty()) {
+        std::ofstream out(opt.statsJson);
+        if (!out)
+            esd_fatal("cannot open '%s'", opt.statsJson.c_str());
+        writeStatsReport(out, cfg, r, sim.statRegistry(),
+                         &sim.sampler());
+        std::cout << "wrote stats report (" << sim.statRegistry().size()
+                  << " stats, " << sim.sampler().rows().size()
+                  << " interval samples) to " << opt.statsJson << "\n";
+    }
+
+    if (!opt.traceOut.empty()) {
+        std::ofstream out(opt.traceOut);
+        if (!out)
+            esd_fatal("cannot open '%s'", opt.traceOut.c_str());
+        events.writeJsonl(out);
+        std::cout << "wrote " << events.size() << " of "
+                  << events.totalRecorded() << " write events to "
+                  << opt.traceOut << "\n";
     }
     return 0;
 }

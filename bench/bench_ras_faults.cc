@@ -1,0 +1,106 @@
+/**
+ * @file
+ * RAS extension: reliability behaviour of every scheme under an online
+ * media-fault campaign. For each (scheme, raw BER) point one workload
+ * runs with fault injection, demand + patrol scrubbing, and
+ * write-verify enabled; the table reports how many faults the RAS
+ * pipeline corrected, how many lines it retired, what slipped through
+ * as silent data corruption, and the refcount-weighted dedup blast
+ * radius of the uncorrectable errors — the reliability cost unique to
+ * deduplicated memory, where one corrupt unique line loses every
+ * logical line mapped onto it.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "metrics/report.hh"
+
+namespace
+{
+
+using namespace esd;
+
+struct RasPoint
+{
+    RunResult result;
+    std::uint64_t corrected = 0;
+    std::uint64_t ue = 0;
+    std::uint64_t retired = 0;
+    std::uint64_t sdc = 0;
+    std::uint64_t blast = 0;
+    std::uint64_t injected = 0;
+};
+
+RasPoint
+run(const std::string &app, SchemeKind kind, double ber)
+{
+    SimConfig cfg = bench::benchConfig();
+    cfg.ras.enabled = true;
+    cfg.ras.readBer = ber;
+    cfg.ras.writeBer = ber / 10;
+    cfg.ras.demandScrub = true;
+    cfg.ras.patrolIntervalWrites = 512;
+    cfg.ras.patrolLinesPerSweep = 8;
+    cfg.ras.writeVerifyRetries = 2;
+    cfg.ras.writeVerifyBackoffNs = 100;
+
+    SyntheticWorkload trace(findApp(app), 1);
+    Simulator sim(cfg, kind);
+    RasPoint p;
+    p.result = sim.run(trace, bench::benchRecords(), bench::benchWarmup());
+
+    const SchemeStats &ss = sim.scheme().stats();
+    const RasStats &rs = sim.scheme().ras().stats();
+    const FaultModelStats &fs = sim.scheme().ras().faults().stats();
+    p.corrected =
+        ss.eccCorrectedReads.value() + rs.patrolCorrected.value();
+    p.ue = rs.ueEvents.value();
+    p.retired = rs.linesRetired.value();
+    p.sdc = ss.sdcEvents.value();
+    p.blast = rs.blastRadiusRefs.value();
+    p.injected = fs.bitFlipsRead.value() + fs.bitFlipsWrite.value();
+    return p;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace esd;
+    bench::printHeader(
+        "RAS fault campaign",
+        "per-scheme fault tolerance vs raw BER (gcc workload): "
+        "injected/corrected faults, retired lines, UEs, silent data "
+        "corruptions, and the dedup blast radius");
+
+    const double bers[] = {0.0, 1e-6, 1e-5, 1e-4};
+
+    TablePrinter table({"scheme", "read-BER", "injected", "corrected",
+                        "retired", "UE", "SDC", "blast-radius",
+                        "dedup-rate"});
+    for (SchemeKind k : allSchemeKinds()) {
+        for (double ber : bers) {
+            RasPoint p = run("gcc", k, ber);
+            table.addRow({schemeName(k), TablePrinter::num(ber, 6),
+                          std::to_string(p.injected),
+                          std::to_string(p.corrected),
+                          std::to_string(p.retired),
+                          std::to_string(p.ue), std::to_string(p.sdc),
+                          std::to_string(p.blast),
+                          TablePrinter::pct(
+                              p.result.writeReduction())});
+        }
+    }
+    table.print();
+    std::cout
+        << "\nexpected: at BER 0 every RAS column is zero and each "
+           "scheme reproduces its fault-free dedup rate. As BER grows, "
+           "corrected counts track injected faults (scrubbing keeps "
+           "single faults from accumulating into double faults), SDC "
+           "stays far below the injected count, and the blast-radius "
+           "column exceeds the UE column only for dedup schemes — "
+           "refcounts amplify each lost unique line.\n";
+    return 0;
+}

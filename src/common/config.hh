@@ -165,6 +165,66 @@ struct MetadataConfig
     bool useLrcu = true;
 };
 
+/**
+ * RAS (reliability/availability/serviceability) pipeline parameters.
+ *
+ * Default-disabled: with `enabled = false` every hook is a no-op and
+ * the simulation is numerically identical to a build without the RAS
+ * subsystem. With faults on, the pipeline is: inject (raw bit errors
+ * plus wear-coupled stuck-at cells) -> correct (per-word SEC-DED on
+ * every content read) -> scrub (demand + patrol) -> verify (PCM
+ * write-verify with bounded retry) -> retire (remap to a spare region,
+ * poison lost lines, account the dedup blast radius).
+ */
+struct RasConfig
+{
+    /** Master switch; everything below is inert when false. */
+    bool enabled = false;
+
+    /** Raw bit-error probability per stored bit per line *read*
+     * (transient/retention faults surfacing on access). */
+    double readBer = 0.0;
+
+    /** Raw bit-error probability per stored bit per line *write*
+     * (programming noise). */
+    double writeBer = 0.0;
+
+    /** Line write count beyond which wear-coupled stuck-at faults can
+     * form (0 disables the wear process). */
+    std::uint64_t stuckAtOnsetWrites = 0;
+
+    /** Probability per post-onset write that one more cell of the
+     * line sticks at a fixed value. */
+    double stuckAtPerWrite = 0.0;
+
+    /** Write the corrected line + ECC back on every ECC-corrected
+     * read (demand scrubbing). */
+    bool demandScrub = true;
+
+    /** Device writes between patrol-scrub sweeps (0 disables the
+     * patrol scrubber). */
+    std::uint64_t patrolIntervalWrites = 0;
+
+    /** Resident lines scrubbed per patrol sweep. */
+    std::uint64_t patrolLinesPerSweep = 8;
+
+    /** Write-verify: read back every content write and rewrite up to
+     * this many times while the stored line fails ECC (0 disables
+     * write-verify). Persistent failures retire the line. */
+    std::uint64_t writeVerifyRetries = 0;
+
+    /** Extra nanoseconds of backoff charged per write-verify retry. */
+    Tick writeVerifyBackoffNs = 0;
+
+    /** Capacity of the spare region (in lines) that retired lines
+     * remap into. */
+    std::uint64_t spareRegionLines = 4096;
+
+    /** Suspend deduplication once this many uncorrectable errors have
+     * been seen (0 = never suspend). */
+    std::uint64_t dedupSuspendUes = 0;
+};
+
 /** Core timing model: in-order, 1 IPC peak, stalling on LLC misses and
  * on memory-controller write-queue backpressure. */
 struct CoreConfig
@@ -183,6 +243,7 @@ struct SimConfig
     CacheConfig cache;
     CryptoCostConfig crypto;
     MetadataConfig metadata;
+    RasConfig ras;
     CoreConfig core;
 
     /** Master random seed for any stochastic machinery. */

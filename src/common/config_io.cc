@@ -24,8 +24,21 @@ trim(const std::string &s)
 std::uint64_t
 asU64(const std::string &key, const std::string &v)
 {
+    // std::stoull silently wraps negative inputs; reject them first.
+    if (!v.empty() && v[0] == '-')
+        esd_fatal("config key '%s': '%s' is negative (expected an "
+                  "unsigned integer)",
+                  key.c_str(), v.c_str());
     try {
-        return std::stoull(v, nullptr, 0);
+        std::size_t consumed = 0;
+        std::uint64_t out = std::stoull(v, &consumed, 0);
+        if (consumed != v.size())
+            esd_fatal("config key '%s': trailing garbage in '%s'",
+                      key.c_str(), v.c_str());
+        return out;
+    } catch (const std::out_of_range &) {
+        esd_fatal("config key '%s': '%s' does not fit in 64 bits",
+                  key.c_str(), v.c_str());
     } catch (...) {
         esd_fatal("config key '%s': '%s' is not an integer", key.c_str(),
                   v.c_str());
@@ -36,11 +49,45 @@ double
 asDouble(const std::string &key, const std::string &v)
 {
     try {
-        return std::stod(v);
+        std::size_t consumed = 0;
+        double out = std::stod(v, &consumed);
+        if (consumed != v.size())
+            esd_fatal("config key '%s': trailing garbage in '%s'",
+                      key.c_str(), v.c_str());
+        return out;
+    } catch (const std::out_of_range &) {
+        esd_fatal("config key '%s': '%s' is out of double range",
+                  key.c_str(), v.c_str());
     } catch (...) {
         esd_fatal("config key '%s': '%s' is not a number", key.c_str(),
                   v.c_str());
     }
+}
+
+/** A probability: a double constrained to [0, 1]. */
+double
+asProb(const std::string &key, const std::string &v)
+{
+    double p = asDouble(key, v);
+    if (p < 0.0 || p > 1.0)
+        esd_fatal("config key '%s': %s is out of range (probability "
+                  "must be in [0, 1])",
+                  key.c_str(), v.c_str());
+    return p;
+}
+
+/** An unsigned integer constrained to [lo, hi]. */
+std::uint64_t
+asU64In(const std::string &key, const std::string &v, std::uint64_t lo,
+        std::uint64_t hi)
+{
+    std::uint64_t u = asU64(key, v);
+    if (u < lo || u > hi)
+        esd_fatal("config key '%s': %s is out of range [%llu, %llu]",
+                  key.c_str(), v.c_str(),
+                  static_cast<unsigned long long>(lo),
+                  static_cast<unsigned long long>(hi));
+    return u;
 }
 
 bool
@@ -135,6 +182,32 @@ applyConfigKey(SimConfig &cfg, const std::string &key,
     } else if (k == "metadata.use_lrcu") {
         cfg.metadata.useLrcu = asBool(k, v);
     }
+    // RAS.
+    else if (k == "ras.enabled") {
+        cfg.ras.enabled = asBool(k, v);
+    } else if (k == "ras.read_ber") {
+        cfg.ras.readBer = asProb(k, v);
+    } else if (k == "ras.write_ber") {
+        cfg.ras.writeBer = asProb(k, v);
+    } else if (k == "ras.stuck_at_onset_writes") {
+        cfg.ras.stuckAtOnsetWrites = asU64(k, v);
+    } else if (k == "ras.stuck_at_per_write") {
+        cfg.ras.stuckAtPerWrite = asProb(k, v);
+    } else if (k == "ras.demand_scrub") {
+        cfg.ras.demandScrub = asBool(k, v);
+    } else if (k == "ras.patrol_interval_writes") {
+        cfg.ras.patrolIntervalWrites = asU64(k, v);
+    } else if (k == "ras.patrol_lines_per_sweep") {
+        cfg.ras.patrolLinesPerSweep = asU64In(k, v, 1, 1u << 20);
+    } else if (k == "ras.write_verify_retries") {
+        cfg.ras.writeVerifyRetries = asU64In(k, v, 0, 64);
+    } else if (k == "ras.write_verify_backoff_ns") {
+        cfg.ras.writeVerifyBackoffNs = asU64(k, v);
+    } else if (k == "ras.spare_region_lines") {
+        cfg.ras.spareRegionLines = asU64In(k, v, 1, 1ull << 30);
+    } else if (k == "ras.dedup_suspend_ues") {
+        cfg.ras.dedupSuspendUes = asU64(k, v);
+    }
     // Core.
     else if (k == "core.clock_ghz") {
         cfg.core.clockGhz = asDouble(k, v);
@@ -219,6 +292,24 @@ renderConfig(const SimConfig &cfg)
        << "metadata.decay_delta = " << cfg.metadata.decayDelta << "\n"
        << "metadata.use_lrcu = "
        << (cfg.metadata.useLrcu ? "true" : "false") << "\n"
+       << "ras.enabled = " << (cfg.ras.enabled ? "true" : "false") << "\n"
+       << "ras.read_ber = " << cfg.ras.readBer << "\n"
+       << "ras.write_ber = " << cfg.ras.writeBer << "\n"
+       << "ras.stuck_at_onset_writes = " << cfg.ras.stuckAtOnsetWrites
+       << "\n"
+       << "ras.stuck_at_per_write = " << cfg.ras.stuckAtPerWrite << "\n"
+       << "ras.demand_scrub = "
+       << (cfg.ras.demandScrub ? "true" : "false") << "\n"
+       << "ras.patrol_interval_writes = " << cfg.ras.patrolIntervalWrites
+       << "\n"
+       << "ras.patrol_lines_per_sweep = " << cfg.ras.patrolLinesPerSweep
+       << "\n"
+       << "ras.write_verify_retries = " << cfg.ras.writeVerifyRetries
+       << "\n"
+       << "ras.write_verify_backoff_ns = " << cfg.ras.writeVerifyBackoffNs
+       << "\n"
+       << "ras.spare_region_lines = " << cfg.ras.spareRegionLines << "\n"
+       << "ras.dedup_suspend_ues = " << cfg.ras.dedupSuspendUes << "\n"
        << "core.clock_ghz = " << cfg.core.clockGhz << "\n"
        << "core.base_cpi = " << cfg.core.baseCpi << "\n"
        << "seed = " << cfg.seed << "\n";

@@ -61,6 +61,22 @@ writeConfigJson(JsonWriter &w, const SimConfig &cfg)
     w.kv("use_lrcu", cfg.metadata.useLrcu);
     w.endObject();
 
+    w.key("ras");
+    w.beginObject();
+    w.kv("enabled", cfg.ras.enabled);
+    w.kv("read_ber", cfg.ras.readBer);
+    w.kv("write_ber", cfg.ras.writeBer);
+    w.kv("stuck_at_onset_writes", cfg.ras.stuckAtOnsetWrites);
+    w.kv("stuck_at_per_write", cfg.ras.stuckAtPerWrite);
+    w.kv("demand_scrub", cfg.ras.demandScrub);
+    w.kv("patrol_interval_writes", cfg.ras.patrolIntervalWrites);
+    w.kv("patrol_lines_per_sweep", cfg.ras.patrolLinesPerSweep);
+    w.kv("write_verify_retries", cfg.ras.writeVerifyRetries);
+    w.kv("write_verify_backoff_ns", cfg.ras.writeVerifyBackoffNs);
+    w.kv("spare_region_lines", cfg.ras.spareRegionLines);
+    w.kv("dedup_suspend_ues", cfg.ras.dedupSuspendUes);
+    w.endObject();
+
     w.key("core");
     w.beginObject();
     w.kv("clock_ghz", cfg.core.clockGhz);

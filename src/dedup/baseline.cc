@@ -19,9 +19,7 @@ BaselineScheme::write(Addr addr, const CacheLine &data, Tick now)
     bd.encrypt += static_cast<double>(enc);
 
     LineEcc ecc = LineEccCodec::encode(data);
-    store_.write(addr, cipher, ecc);
-
-    NvmAccessResult r = deviceWrite(addr, t);
+    NvmAccessResult r = writeLine(addr, cipher, ecc, t);
     bd.lineWrite += static_cast<double>(r.complete - t);
     stats_.nvmDataWrites.inc();
 
@@ -46,10 +44,11 @@ BaselineScheme::read(Addr addr, CacheLine &out, Tick now)
     NvmAccessResult r = deviceRead(addr, now);
     stats_.nvmDataReads.inc();
 
-    if (auto stored = store_.read(addr))
-        out = readVerified(addr, *stored);
-    else
-        out = CacheLine{};
+    VerifiedRead vr = fetchStored(addr, r.complete);
+    out = vr.line;
+    res.integrity = vr.integrity;
+    if (vr.integrity == ReadIntegrity::Uncorrectable)
+        stats_.sdcEvents.inc();
 
     res.latency = r.complete - now;
     return res;

@@ -66,7 +66,9 @@ DedupSha1Scheme::write(Addr addr, const CacheLine &data, Tick now)
     t += m;
     bd.metadata += static_cast<double>(m);
 
-    FpTable::LookupResult lr = fps_.lookup(fp);
+    bool suspended = dedupSuspended();
+    FpTable::LookupResult lr =
+        suspended ? FpTable::LookupResult{} : fps_.lookup(fp);
     if (lr.nvmLookup) {
         stats_.fpNvmLookups.inc();
         NvmAccessResult r = deviceRead(lr.nvmAddr, t);
@@ -108,12 +110,14 @@ DedupSha1Scheme::write(Addr addr, const CacheLine &data, Tick now)
         decisive_queue = w.queueDelay;
         encrypt_ns = cfg_.crypto.encryptLatency;
 
-        Addr fp_store_addr;
-        fps_.insert(fp, phys, fp_store_addr);
-        stats_.fpNvmStores.inc();
-        NvmAccessResult fs = deviceWrite(fp_store_addr, t);
-        res.issuerStall += fs.issuerStall;
-        physToFp_[phys] = fp;
+        if (!suspended) {
+            Addr fp_store_addr;
+            fps_.insert(fp, phys, fp_store_addr);
+            stats_.fpNvmStores.inc();
+            NvmAccessResult fs = deviceWrite(fp_store_addr, t);
+            res.issuerStall += fs.issuerStall;
+            physToFp_[phys] = fp;
+        }
 
         res.issuerStall += remap(addr, phys, t, bd);
     }

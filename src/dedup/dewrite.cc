@@ -68,6 +68,10 @@ DeWriteScheme::resolveDuplicate(std::uint64_t fp, const CacheLine &data,
 {
     CheckOutcome out;
 
+    // Suspended dedup: no probe, no compare — the write goes unique.
+    if (dedupSuspended())
+        return out;
+
     Tick m = metadataAccess();
     t += m;
     bd.metadata += static_cast<double>(m);
@@ -97,8 +101,7 @@ DeWriteScheme::resolveDuplicate(std::uint64_t fp, const CacheLine &data,
     stats_.metadataEnergy += cfg_.crypto.compareEnergy;
     t += cfg_.crypto.compareLatency;
 
-    auto stored = store_.read(lr.phys);
-    if (stored && decryptLine(lr.phys, stored->data) == data) {
+    if (compareStored(lr.phys, data, t)) {
         out.dup = true;
         out.phys = lr.phys;
         out.viaCache = lr.cacheHit;
@@ -153,12 +156,14 @@ DeWriteScheme::write(Addr addr, const CacheLine &data, Tick now)
             decisive_queue = w.queueDelay;
             encrypt_ns = cfg_.crypto.encryptLatency;
 
-            Addr fp_store;
-            fps_.insert(fp, phys, fp_store);
-            stats_.fpNvmStores.inc();
-            NvmAccessResult fs = deviceWrite(fp_store, t);
-            res.issuerStall += fs.issuerStall;
-            physToFp_[phys] = fp;
+            if (!ras_.dedupSuspended()) {
+                Addr fp_store;
+                fps_.insert(fp, phys, fp_store);
+                stats_.fpNvmStores.inc();
+                NvmAccessResult fs = deviceWrite(fp_store, t);
+                res.issuerStall += fs.issuerStall;
+                physToFp_[phys] = fp;
+            }
 
             chk.phys = phys;
             t_end = t;
@@ -179,12 +184,14 @@ DeWriteScheme::write(Addr addr, const CacheLine &data, Tick now)
             decisive_queue = w.queueDelay;
             encrypt_ns = cfg_.crypto.encryptLatency;
 
-            Addr fp_store;
-            fps_.insert(fp, phys, fp_store);
-            stats_.fpNvmStores.inc();
-            NvmAccessResult fs = deviceWrite(fp_store, t_check);
-            res.issuerStall += fs.issuerStall;
-            physToFp_[phys] = fp;
+            if (!ras_.dedupSuspended()) {
+                Addr fp_store;
+                fps_.insert(fp, phys, fp_store);
+                stats_.fpNvmStores.inc();
+                NvmAccessResult fs = deviceWrite(fp_store, t_check);
+                res.issuerStall += fs.issuerStall;
+                physToFp_[phys] = fp;
+            }
 
             chk.phys = phys;
             t_end = std::max(t_check, t_write);

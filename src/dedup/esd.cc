@@ -46,7 +46,10 @@ EsdScheme::write(Addr addr, const CacheLine &data, Tick now)
     t += m;
     bd.metadata += static_cast<double>(m);
 
-    Efit::Entry *entry = efit_.lookup(ecc);
+    // The RAS UE policy can suspend dedup: skip the probe, never
+    // insert, and let every write take the unique path.
+    bool suspended = dedupSuspended();
+    Efit::Entry *entry = suspended ? nullptr : efit_.lookup(ecc);
     bool dedup_done = false;
     bool saturated_rewrite = false;
 
@@ -71,8 +74,7 @@ EsdScheme::write(Addr addr, const CacheLine &data, Tick now)
         stats_.metadataEnergy += cfg_.crypto.compareEnergy;
         t += cfg_.crypto.compareLatency;
 
-        auto stored = store_.read(cand);
-        if (stored && decryptLine(cand, stored->data) == data) {
+        if (compareStored(cand, data, t)) {
             verdict = CompareVerdict::Equal;
             if (efit_.bumpRef(entry)) {
                 // Duplicate eliminated.
@@ -113,10 +115,11 @@ EsdScheme::write(Addr addr, const CacheLine &data, Tick now)
         if (saturated_rewrite) {
             // Retarget the saturated entry instead of duplicating it.
             efit_.redirect(entry, phys);
-        } else {
+            physToEcc_[phys] = ecc;
+        } else if (!suspended) {
             efit_.insert(ecc, phys);
+            physToEcc_[phys] = ecc;
         }
-        physToEcc_[phys] = ecc;
 
         res.issuerStall += remap(addr, phys, t, bd);
     }

@@ -59,7 +59,9 @@ EsdFullScheme::write(Addr addr, const CacheLine &data, Tick now)
     bd.metadata += static_cast<double>(m);
 
     // Full dedup: a cache miss forces the fingerprint NVMM_lookup.
-    FpTable::LookupResult lr = fps_.lookup(ecc);
+    bool suspended = dedupSuspended();
+    FpTable::LookupResult lr =
+        suspended ? FpTable::LookupResult{} : fps_.lookup(ecc);
     if (lr.nvmLookup) {
         stats_.fpNvmLookups.inc();
         NvmAccessResult r = deviceRead(lr.nvmAddr, t);
@@ -86,8 +88,7 @@ EsdFullScheme::write(Addr addr, const CacheLine &data, Tick now)
         stats_.metadataEnergy += cfg_.crypto.compareEnergy;
         t += cfg_.crypto.compareLatency;
 
-        auto stored = store_.read(lr.phys);
-        if (stored && decryptLine(lr.phys, stored->data) == data) {
+        if (compareStored(lr.phys, data, t)) {
             verdict = CompareVerdict::Equal;
             dedup = true;
             stats_.dedupHits.inc();
@@ -115,12 +116,14 @@ EsdFullScheme::write(Addr addr, const CacheLine &data, Tick now)
         decisive_queue = w.queueDelay;
         encrypt_ns = cfg_.crypto.encryptLatency;
 
-        Addr fp_store;
-        fps_.insert(ecc, phys, fp_store);
-        stats_.fpNvmStores.inc();
-        NvmAccessResult fs = deviceWrite(fp_store, t);
-        res.issuerStall += fs.issuerStall;
-        physToFp_[phys] = ecc;
+        if (!suspended) {
+            Addr fp_store;
+            fps_.insert(ecc, phys, fp_store);
+            stats_.fpNvmStores.inc();
+            NvmAccessResult fs = deviceWrite(fp_store, t);
+            res.issuerStall += fs.issuerStall;
+            physToFp_[phys] = ecc;
+        }
 
         res.issuerStall += remap(addr, phys, t, bd);
     }

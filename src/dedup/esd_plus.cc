@@ -88,7 +88,8 @@ EsdPlusScheme::write(Addr addr, const CacheLine &data, Tick now)
     t += m;
     bd.metadata += static_cast<double>(m);
 
-    Efit::Entry *entry = efit_.lookup(ecc);
+    bool suspended = dedupSuspended();
+    Efit::Entry *entry = suspended ? nullptr : efit_.lookup(ecc);
     bool dedup_done = false;
     bool saturated_rewrite = false;
 
@@ -125,15 +126,11 @@ EsdPlusScheme::write(Addr addr, const CacheLine &data, Tick now)
             stats_.metadataEnergy += cfg_.crypto.compareEnergy;
             t += cfg_.crypto.compareLatency;
 
-            auto stored = store_.read(cand);
             CacheLine plain;
-            if (stored) {
-                plain = decryptLine(cand, stored->data);
-                matched = (plain == data);
-                // Promote proven-hot lines into the content cache.
-                if (matched && entry->referH + 1 >= hotThreshold_)
-                    installContent(cand, plain);
-            }
+            matched = compareStored(cand, data, t, &plain);
+            // Promote proven-hot lines into the content cache.
+            if (matched && entry->referH + 1 >= hotThreshold_)
+                installContent(cand, plain);
         }
 
         verdict = matched ? CompareVerdict::Equal : CompareVerdict::Mismatch;
@@ -166,11 +163,13 @@ EsdPlusScheme::write(Addr addr, const CacheLine &data, Tick now)
         decisive_queue = w.queueDelay;
         encrypt_ns = cfg_.crypto.encryptLatency;
 
-        if (saturated_rewrite)
+        if (saturated_rewrite) {
             efit_.redirect(entry, phys);
-        else
+            physToEcc_[phys] = ecc;
+        } else if (!suspended) {
             efit_.insert(ecc, phys);
-        physToEcc_[phys] = ecc;
+            physToEcc_[phys] = ecc;
+        }
 
         res.issuerStall += remap(addr, phys, t, bd);
     }

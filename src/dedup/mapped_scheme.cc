@@ -17,6 +17,14 @@ MappedDedupScheme::MappedDedupScheme(const SimConfig &cfg,
       lines_(store),
       amt_(cfg.metadata, kAmtRegionBase)
 {
+    // RAS retirement must see dedup reference counts (blast radius)
+    // and invalidate the scheme's fingerprint metadata.
+    RasEngine::Hooks hooks;
+    hooks.refCountOf = [this](Addr phys) {
+        return static_cast<std::uint64_t>(lines_.refCount(phys));
+    };
+    hooks.onRetire = [this](Addr phys) { onPhysFreed(phys); };
+    ras_.setHooks(std::move(hooks));
 }
 
 void
@@ -77,9 +85,7 @@ MappedDedupScheme::writeNewLine(const CacheLine &data, Addr &phys_out,
     bd.encrypt += static_cast<double>(enc);
 
     LineEcc ecc = LineEccCodec::encode(data);
-    store_.write(phys_out, cipher, ecc);
-
-    NvmAccessResult r = deviceWrite(phys_out, t);
+    NvmAccessResult r = writeLine(phys_out, cipher, ecc, t);
     bd.lineWrite += static_cast<double>(r.complete - t);
     t = r.complete;
     stats_.nvmDataWrites.inc();
@@ -118,8 +124,11 @@ MappedDedupScheme::read(Addr addr, CacheLine &out, Tick now)
 
     out = CacheLine{};
     if (lr.found) {
-        if (auto stored = store_.read(phys))
-            out = readVerified(phys, *stored);
+        VerifiedRead vr = fetchStored(phys, t);
+        out = vr.line;
+        res.integrity = vr.integrity;
+        if (vr.integrity == ReadIntegrity::Uncorrectable)
+            stats_.sdcEvents.inc();
     }
 
     res.latency = t - now;

@@ -5,6 +5,22 @@
 namespace esd
 {
 
+const char *
+toString(ReadIntegrity integrity)
+{
+    switch (integrity) {
+    case ReadIntegrity::Ok:
+        return "ok";
+    case ReadIntegrity::Corrected:
+        return "corrected";
+    case ReadIntegrity::Poisoned:
+        return "poisoned";
+    case ReadIntegrity::Uncorrectable:
+        return "uncorrectable";
+    }
+    return "?";
+}
+
 void
 SchemeStats::registerIn(StatRegistry &reg, const std::string &prefix) const
 {
@@ -29,6 +45,12 @@ SchemeStats::registerIn(StatRegistry &reg, const std::string &prefix) const
     reg.addCounter(n("referh_overflow_rewrites"), refHOverflowRewrites);
     reg.addCounter(n("ecc_corrected_reads"), eccCorrectedReads);
     reg.addCounter(n("ecc_uncorrectable_reads"), eccUncorrectableReads);
+    reg.addCounter(n("sdc_events"), sdcEvents,
+                   "corrupt data returned to a consumer");
+    reg.addCounter(n("poisoned_reads"), poisonedReads,
+                   "demand reads of retired (poisoned) lines");
+    reg.addCounter(n("dedup_suspended_writes"), dedupSuspendedWrites,
+                   "writes that bypassed suspended deduplication");
 
     reg.addGauge(n("dedup_rate"), [this] { return writeReduction(); },
                  "dedup_hits / logical_writes");
@@ -55,6 +77,7 @@ void
 DedupScheme::registerStats(StatRegistry &reg) const
 {
     stats_.registerIn(reg, "scheme");
+    ras_.registerStats(reg, "ras");
 }
 
 namespace
@@ -75,7 +98,8 @@ defaultKey(std::uint64_t seed)
 DedupScheme::DedupScheme(const SimConfig &cfg, PcmDevice &device,
                          NvmStore &store)
     : cfg_(cfg), device_(device), store_(store),
-      crypto_(defaultKey(cfg.seed))
+      crypto_(defaultKey(cfg.seed)),
+      ras_(cfg.ras, store, device, crypto_, cfg.seed)
 {
 }
 

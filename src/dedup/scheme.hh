@@ -27,11 +27,30 @@
 #include "ecc/line_ecc.hh"
 #include "nvm/nvm_store.hh"
 #include "nvm/pcm_device.hh"
+#include "ras/ras_engine.hh"
 
 namespace esd
 {
 
 class StatRegistry;
+
+/** Integrity of the data a read handed back. */
+enum class ReadIntegrity
+{
+    Ok,             ///< clean (or never-written zero line)
+    Corrected,      ///< media faults repaired by ECC
+    Poisoned,       ///< line was retired after a UE; defined zero line
+    Uncorrectable,  ///< double fault: the returned data is corrupt
+};
+
+const char *toString(ReadIntegrity integrity);
+
+/** A decrypted, ECC-scrubbed stored line. */
+struct VerifiedRead
+{
+    CacheLine line;
+    ReadIntegrity integrity = ReadIntegrity::Ok;
+};
 
 /** Nanoseconds attributed to each write-path component (Fig. 17). */
 struct WriteBreakdown
@@ -73,6 +92,9 @@ struct AccessResult
 
     /** Write was eliminated by deduplication. */
     bool dedup = false;
+
+    /** Integrity of the returned data (reads only). */
+    ReadIntegrity integrity = ReadIntegrity::Ok;
 };
 
 /** Per-scheme aggregate statistics. */
@@ -95,6 +117,9 @@ struct SchemeStats
     Counter refHOverflowRewrites;
     Counter eccCorrectedReads;      ///< media faults repaired on read
     Counter eccUncorrectableReads;  ///< double faults detected on read
+    Counter sdcEvents;              ///< corrupt data returned to a consumer
+    Counter poisonedReads;          ///< demand reads of retired lines
+    Counter dedupSuspendedWrites;   ///< writes bypassing suspended dedup
 
     Energy hashEnergy = 0;       ///< SHA-1 / MD5 / CRC computation
     Energy cryptoEnergy = 0;     ///< counter-mode encryption
@@ -145,7 +170,18 @@ class DedupScheme
     virtual std::uint64_t metadataNvmBytes() const = 0;
 
     const SchemeStats &stats() const { return stats_; }
-    virtual void resetStats() { stats_ = SchemeStats{}; }
+
+    virtual void
+    resetStats()
+    {
+        stats_ = SchemeStats{};
+        ras_.resetStats();
+    }
+
+    /** The scheme's RAS pipeline (fault planting and inspection in
+     * tests and benches). */
+    RasEngine &ras() { return ras_; }
+    const RasEngine &ras() const { return ras_; }
 
     /**
      * Register this scheme's statistics (and those of any owned
@@ -167,18 +203,34 @@ class DedupScheme
     }
 
   protected:
-    /** Timed read of @p addr content; charges device stats. */
+    /** Timed read of @p addr content; charges device stats, injects
+     * read-path media faults, and follows retirement remaps. */
     NvmAccessResult
     deviceRead(Addr addr, Tick arrival)
     {
-        return device_.access(OpType::Read, addr, arrival);
+        ras_.beforeRead(addr);
+        return device_.access(OpType::Read, ras_.resolve(addr), arrival);
     }
 
-    /** Timed write; charges device stats. */
+    /** Timed write (metadata traffic); charges device stats and feeds
+     * the patrol-scrub write budget. */
     NvmAccessResult
     deviceWrite(Addr addr, Tick arrival)
     {
-        return device_.access(OpType::Write, addr, arrival);
+        NvmAccessResult r =
+            device_.access(OpType::Write, ras_.resolve(addr), arrival);
+        ras_.patrolTick(r.complete);
+        return r;
+    }
+
+    /** Content write: store @p cipher + @p ecc at @p phys and issue
+     * the timed device write through the RAS pipeline (fault
+     * injection, write-verify/retry, retirement). */
+    NvmAccessResult
+    writeLine(Addr phys, const CacheLine &cipher, LineEcc ecc,
+              Tick arrival)
+    {
+        return ras_.storeAndWrite(phys, cipher, ecc, arrival);
     }
 
     /** Charge one metadata-cache access (latency returned, energy
@@ -210,21 +262,96 @@ class DedupScheme
      * mode maps each flipped ciphertext bit to exactly one plaintext
      * bit, so the per-word SEC-DED (computed over plaintext) corrects
      * single media faults after decryption and flags double faults.
+     *
+     * Corrected reads trigger a demand scrub; uncorrectable ones run
+     * the retirement policy and return the corrupt plaintext marked
+     * Uncorrectable — the *caller* decides whether handing it on is a
+     * silent data corruption (demand fills) or a detected failure
+     * (candidate compares, which simply never match).
      */
-    CacheLine
-    readVerified(Addr phys, const StoredLine &stored)
+    VerifiedRead
+    verifyStored(Addr phys, const StoredLine &stored, Tick now)
     {
+        VerifiedRead out;
         CacheLine plain = decryptLine(phys, stored.data);
         LineDecodeResult r = LineEccCodec::decode(plain, stored.ecc);
         if (r.status == EccStatus::Uncorrectable) {
             stats_.eccUncorrectableReads.inc();
-            esd_warn("uncorrectable media fault at phys 0x%llx",
-                     static_cast<unsigned long long>(phys));
-            return plain;
+            if (!ras_.enabled()) {
+                // Legacy offline-injection path: corruption is
+                // unexpected, make it loud.
+                esd_warn("uncorrectable media fault at phys 0x%llx",
+                         static_cast<unsigned long long>(phys));
+            }
+            ras_.onUncorrectable(phys, now);
+            out.line = plain;
+            out.integrity = ReadIntegrity::Uncorrectable;
+            return out;
         }
-        if (r.correctedWords > 0)
+        if (r.correctedWords > 0) {
             stats_.eccCorrectedReads.inc();
-        return r.line;
+            ras_.demandScrub(phys, r.line, r.ecc, now);
+            out.integrity = ReadIntegrity::Corrected;
+        }
+        out.line = r.line;
+        return out;
+    }
+
+    /**
+     * Demand-fill fetch of the stored content at @p phys: handles
+     * poisoned (retired) and never-written lines, then verifies.
+     * Callers must count sdcEvents when forwarding Uncorrectable data.
+     */
+    VerifiedRead
+    fetchStored(Addr phys, Tick now)
+    {
+        VerifiedRead out;
+        out.line = CacheLine{};
+        if (ras_.isPoisoned(phys)) {
+            stats_.poisonedReads.inc();
+            out.integrity = ReadIntegrity::Poisoned;
+            return out;
+        }
+        auto stored = store_.read(phys);
+        if (!stored)
+            return out;
+        return verifyStored(phys, *stored, now);
+    }
+
+    /**
+     * Verified byte comparison of @p data against the stored candidate
+     * at @p cand. Correctable media faults are repaired (and scrubbed)
+     * before comparing, so a single-bit fault cannot defeat
+     * deduplication; uncorrectable or poisoned candidates never match,
+     * so a fault can never produce a wrong dedup hit.
+     *
+     * @param plain_out when non-null, receives the corrected plaintext
+     */
+    bool
+    compareStored(Addr cand, const CacheLine &data, Tick now,
+                  CacheLine *plain_out = nullptr)
+    {
+        if (ras_.isPoisoned(cand))
+            return false;
+        auto stored = store_.read(cand);
+        if (!stored)
+            return false;
+        VerifiedRead vr = verifyStored(cand, *stored, now);
+        if (plain_out)
+            *plain_out = vr.line;
+        return vr.integrity != ReadIntegrity::Uncorrectable &&
+               vr.line == data;
+    }
+
+    /** True when dedup is suspended by the RAS UE policy; counts the
+     * bypassed write. Call once per write at the fingerprint probe. */
+    bool
+    dedupSuspended()
+    {
+        if (!ras_.dedupSuspended())
+            return false;
+        stats_.dedupSuspendedWrites.inc();
+        return true;
     }
 
     /**
@@ -262,6 +389,7 @@ class DedupScheme
     PcmDevice &device_;
     NvmStore &store_;
     CtrModeEngine crypto_;
+    RasEngine ras_;
     SchemeStats stats_;
     WriteEventTrace *trace_ = nullptr;
 };

@@ -15,6 +15,7 @@
 
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "common/logging.hh"
 #include "common/types.hh"
@@ -81,9 +82,62 @@ class NvmStore
         return true;
     }
 
+    /**
+     * Fault injection: force one stored bit of the line at @p phys to
+     * @p value (stuck-at cells re-asserting after a write). Bit
+     * numbering matches corruptBit().
+     * @return false when no line is resident there.
+     */
+    bool
+    setBit(Addr phys, unsigned bit, bool value)
+    {
+        auto it = lines_.find(lineAlign(phys));
+        if (it == lines_.end())
+            return false;
+        if (bit < 512) {
+            auto mask = static_cast<std::uint8_t>(1u << (bit % 8));
+            if (value)
+                it->second.data[bit / 8] |= mask;
+            else
+                it->second.data[bit / 8] &= static_cast<std::uint8_t>(~mask);
+        } else {
+            std::uint64_t mask = 1ull << (bit - 512);
+            if (value)
+                it->second.ecc |= mask;
+            else
+                it->second.ecc &= ~mask;
+        }
+        return true;
+    }
+
+    /** Current value of stored bit @p bit at @p phys (false when the
+     * line is absent). */
+    bool
+    bitAt(Addr phys, unsigned bit) const
+    {
+        auto it = lines_.find(lineAlign(phys));
+        if (it == lines_.end())
+            return false;
+        if (bit < 512)
+            return (it->second.data[bit / 8] >> (bit % 8)) & 1u;
+        return (it->second.ecc >> (bit - 512)) & 1u;
+    }
+
     bool contains(Addr phys) const
     {
         return lines_.count(lineAlign(phys)) != 0;
+    }
+
+    /** Snapshot of every resident line address (patrol-scrub sweep
+     * order source; unordered). */
+    std::vector<Addr>
+    residentAddrs() const
+    {
+        std::vector<Addr> out;
+        out.reserve(lines_.size());
+        for (const auto &[addr, line] : lines_)
+            out.push_back(addr);
+        return out;
     }
 
     /** Number of resident lines (space-efficiency accounting). */

@@ -1,0 +1,124 @@
+#include "ras/fault_model.hh"
+
+#include <cmath>
+
+#include "common/stat_registry.hh"
+
+namespace esd
+{
+
+namespace
+{
+
+/** Bits per stored codeword: 512 payload + 64 line-ECC. */
+constexpr unsigned kStoredBits = 576;
+
+} // namespace
+
+FaultModel::FaultModel(const RasConfig &cfg, NvmStore &store,
+                       std::uint64_t seed)
+    : cfg_(cfg), store_(store),
+      rng_(seed ^ 0x52a5f4a17ull, 0x9e3779b97f4a7c15ull),
+      expNegLambdaRead_(std::exp(-(kStoredBits * cfg.readBer))),
+      expNegLambdaWrite_(std::exp(-(kStoredBits * cfg.writeBer)))
+{
+}
+
+unsigned
+FaultModel::poisson(double exp_neg_lambda)
+{
+    // Knuth's product method. For the tiny lambdas of realistic BERs
+    // exp_neg_lambda is close to 1, so the common case is one uniform
+    // draw and an immediate return of 0.
+    unsigned k = 0;
+    double p = 1.0;
+    for (;;) {
+        p *= rng_.uniform();
+        if (p <= exp_neg_lambda)
+            return k;
+        ++k;
+    }
+}
+
+void
+FaultModel::flipRandomStoredBit(Addr phys, Counter &counter)
+{
+    unsigned bit = rng_.below(kStoredBits);
+    if (store_.corruptBit(phys, bit))
+        counter.inc();
+}
+
+void
+FaultModel::onRead(Addr phys)
+{
+    if (!cfg_.enabled || cfg_.readBer <= 0.0)
+        return;
+    unsigned flips = poisson(expNegLambdaRead_);
+    for (unsigned i = 0; i < flips; ++i)
+        flipRandomStoredBit(phys, stats_.bitFlipsRead);
+}
+
+void
+FaultModel::onWrite(Addr phys, Addr medium, std::uint64_t line_writes)
+{
+    if (!cfg_.enabled)
+        return;
+
+    if (cfg_.writeBer > 0.0) {
+        unsigned flips = poisson(expNegLambdaWrite_);
+        for (unsigned i = 0; i < flips; ++i)
+            flipRandomStoredBit(phys, stats_.bitFlipsWrite);
+    }
+
+    // Wear-out: past the onset write count, each further write may
+    // permanently stick one more cell of this medium slot.
+    if (cfg_.stuckAtOnsetWrites != 0 && cfg_.stuckAtPerWrite > 0.0 &&
+        line_writes >= cfg_.stuckAtOnsetWrites &&
+        rng_.chance(cfg_.stuckAtPerWrite)) {
+        StuckBit sb{rng_.below(kStoredBits), rng_.chance(0.5)};
+        stuck_[lineAlign(medium)].push_back(sb);
+        stats_.stuckBitsCreated.inc();
+    }
+
+    // Stuck cells re-assert their value over whatever was just
+    // programmed — the persistent, position-stable error write-verify
+    // is there to catch.
+    auto it = stuck_.find(lineAlign(medium));
+    if (it == stuck_.end())
+        return;
+    for (const StuckBit &sb : it->second) {
+        if (store_.bitAt(phys, sb.bit) != sb.value &&
+            store_.setBit(phys, sb.bit, sb.value)) {
+            stats_.stuckBitsAsserted.inc();
+        }
+    }
+}
+
+void
+FaultModel::plantStuckBit(Addr medium, unsigned bit, bool value)
+{
+    stuck_[lineAlign(medium)].push_back(StuckBit{bit, value});
+    stats_.stuckBitsCreated.inc();
+}
+
+std::size_t
+FaultModel::stuckBits(Addr medium) const
+{
+    auto it = stuck_.find(lineAlign(medium));
+    return it == stuck_.end() ? 0 : it->second.size();
+}
+
+void
+FaultModel::registerStats(StatRegistry &reg, const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".bit_flips_read", stats_.bitFlipsRead,
+                   "raw bit errors injected on line reads");
+    reg.addCounter(prefix + ".bit_flips_write", stats_.bitFlipsWrite,
+                   "raw bit errors injected on line writes");
+    reg.addCounter(prefix + ".stuck_bits_created", stats_.stuckBitsCreated,
+                   "wear-coupled stuck-at cells formed");
+    reg.addCounter(prefix + ".stuck_bits_asserted", stats_.stuckBitsAsserted,
+                   "stuck cell values re-asserted after writes");
+}
+
+} // namespace esd

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Online media-fault injection process for the NVMM content store.
+ *
+ * Two fault populations, both injected *during* simulation (unlike the
+ * offline ErrorInjector used by the ECC validation tests):
+ *
+ *   - raw bit errors: every content-bearing line read/write draws a
+ *     Poisson-distributed number of bit flips with rate
+ *     576 bits x BER (the 512 payload + 64 ECC bits of a stored
+ *     codeword), modelling retention/read-disturb and programming
+ *     noise respectively;
+ *
+ *   - wear-coupled stuck-at cells: once a line's write count passes a
+ *     configurable onset, each further write may permanently stick one
+ *     cell at a fixed value — the dominant PCM end-of-life failure
+ *     mode. Stuck cells re-assert their value after every write, so
+ *     write-verify sees a persistent, position-stable error.
+ *
+ * Stuck cells are keyed by the *medium* address (post-retirement
+ * slot), so remapping a worn-out line to a spare genuinely escapes its
+ * faults, while the injected corruption lands in the stored content
+ * wherever the NvmStore keeps it.
+ *
+ * All randomness flows through one Pcg32 seeded from the simulation
+ * seed: identical (seed, access sequence) pairs inject identical
+ * faults.
+ */
+
+#ifndef ESD_RAS_FAULT_MODEL_HH
+#define ESD_RAS_FAULT_MODEL_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "nvm/nvm_store.hh"
+
+namespace esd
+{
+
+class StatRegistry;
+
+/** Fault-injection accounting. */
+struct FaultModelStats
+{
+    Counter bitFlipsRead;      ///< raw flips injected on line reads
+    Counter bitFlipsWrite;     ///< raw flips injected on line writes
+    Counter stuckBitsCreated;  ///< wear-coupled stuck-at cells formed
+    Counter stuckBitsAsserted; ///< stuck values re-asserted after writes
+};
+
+/** The online fault process. */
+class FaultModel
+{
+  public:
+    FaultModel(const RasConfig &cfg, NvmStore &store, std::uint64_t seed);
+
+    /** Inject read-path raw bit errors into the stored line at
+     * @p phys. No-op when no line is resident. */
+    void onRead(Addr phys);
+
+    /**
+     * Inject write-path faults into the freshly stored line at
+     * @p phys: programming noise plus the stuck-at process.
+     *
+     * @param medium      physical medium slot (post-retirement) whose
+     *                    cells wear out and stick
+     * @param line_writes cumulative write count of @p medium
+     */
+    void onWrite(Addr phys, Addr medium, std::uint64_t line_writes);
+
+    /** Test hook: deterministically stick bit @p bit of @p medium at
+     * @p value (asserted into stored content on the next write). */
+    void plantStuckBit(Addr medium, unsigned bit, bool value);
+
+    /** Number of stuck cells on @p medium. */
+    std::size_t stuckBits(Addr medium) const;
+
+    const FaultModelStats &stats() const { return stats_; }
+    void resetStats() { stats_ = FaultModelStats{}; }
+
+    /** Register counters under "<prefix>.*". */
+    void registerStats(StatRegistry &reg, const std::string &prefix) const;
+
+  private:
+    /** One permanently failed cell. */
+    struct StuckBit
+    {
+        unsigned bit;
+        bool value;
+    };
+
+    /** Poisson draw via Knuth's product method; @p exp_neg_lambda is
+     * the precomputed e^-lambda (cheap for the small lambdas of
+     * realistic BERs: usually a single uniform draw returning 0). */
+    unsigned poisson(double exp_neg_lambda);
+
+    void flipRandomStoredBit(Addr phys, Counter &counter);
+
+    RasConfig cfg_;
+    NvmStore &store_;
+    Pcg32 rng_;
+    double expNegLambdaRead_;
+    double expNegLambdaWrite_;
+    std::unordered_map<Addr, std::vector<StuckBit>> stuck_;
+    FaultModelStats stats_;
+};
+
+} // namespace esd
+
+#endif // ESD_RAS_FAULT_MODEL_HH

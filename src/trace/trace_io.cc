@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/logging.hh"
 
@@ -90,7 +91,18 @@ TextTraceReader::next(TraceRecord &rec)
             esd_fatal("%s:%llu: bad op '%s'", path_.c_str(),
                       static_cast<unsigned long long>(lineNo_), op.c_str());
         }
-        rec.addr = std::stoull(addr_s, nullptr, 16);
+        // std::stoull throws (uncaught -> abort) on junk; fail with a
+        // diagnostic that names the file and line instead.
+        try {
+            std::size_t consumed = 0;
+            rec.addr = std::stoull(addr_s, &consumed, 16);
+            if (consumed != addr_s.size())
+                throw std::invalid_argument(addr_s);
+        } catch (const std::exception &) {
+            esd_fatal("%s:%llu: bad hex address '%s'", path_.c_str(),
+                      static_cast<unsigned long long>(lineNo_),
+                      addr_s.c_str());
+        }
         if (rec.op == OpType::Write) {
             std::string data_s;
             if (!(is >> data_s) || data_s.size() != kLineSize * 2)
@@ -175,6 +187,9 @@ BinaryTraceReader::next(TraceRecord &rec)
         !in_.read(reinterpret_cast<char *>(&rec.icount), 4)) {
         esd_fatal("'%s': truncated record", path_.c_str());
     }
+    if (op > 1)
+        esd_fatal("'%s': bad op byte %u (corrupt trace?)", path_.c_str(),
+                  static_cast<unsigned>(op));
     rec.op = op ? OpType::Write : OpType::Read;
     if (rec.op == OpType::Write) {
         if (!in_.read(reinterpret_cast<char *>(rec.data.data()), kLineSize))

@@ -136,5 +136,87 @@ TEST(ConfigIoDeath, BadIntegerIsFatal)
                 ::testing::ExitedWithCode(1), "not an integer");
 }
 
+TEST(ConfigIoDeath, NegativeIntegerIsFatal)
+{
+    // std::stoull would silently wrap -1 to 2^64-1.
+    SimConfig cfg;
+    EXPECT_EXIT(applyConfigKey(cfg, "pcm.read_latency", "-1"),
+                ::testing::ExitedWithCode(1), "negative");
+}
+
+TEST(ConfigIoDeath, TrailingGarbageIsFatal)
+{
+    SimConfig cfg;
+    EXPECT_EXIT(applyConfigKey(cfg, "pcm.read_latency", "75ns"),
+                ::testing::ExitedWithCode(1), "trailing garbage");
+    EXPECT_EXIT(applyConfigKey(cfg, "core.clock_ghz", "2.0GHz"),
+                ::testing::ExitedWithCode(1), "trailing garbage");
+}
+
+TEST(ConfigIoDeath, OverflowIsFatal)
+{
+    SimConfig cfg;
+    EXPECT_EXIT(applyConfigKey(cfg, "pcm.read_latency",
+                               "99999999999999999999999999"),
+                ::testing::ExitedWithCode(1), "does not fit");
+}
+
+TEST(ConfigIo, RasKeysApply)
+{
+    SimConfig cfg;
+    EXPECT_TRUE(applyConfigKey(cfg, "ras.enabled", "true"));
+    EXPECT_TRUE(cfg.ras.enabled);
+    EXPECT_TRUE(applyConfigKey(cfg, "ras.read_ber", "1e-6"));
+    EXPECT_DOUBLE_EQ(cfg.ras.readBer, 1e-6);
+    EXPECT_TRUE(applyConfigKey(cfg, "ras.write_ber", "0.5"));
+    EXPECT_DOUBLE_EQ(cfg.ras.writeBer, 0.5);
+    EXPECT_TRUE(applyConfigKey(cfg, "ras.stuck_at_onset_writes", "100"));
+    EXPECT_EQ(cfg.ras.stuckAtOnsetWrites, 100u);
+    EXPECT_TRUE(applyConfigKey(cfg, "ras.write_verify_retries", "3"));
+    EXPECT_EQ(cfg.ras.writeVerifyRetries, 3u);
+    EXPECT_TRUE(applyConfigKey(cfg, "ras.spare_region_lines", "1024"));
+    EXPECT_EQ(cfg.ras.spareRegionLines, 1024u);
+    EXPECT_TRUE(applyConfigKey(cfg, "ras.dedup_suspend_ues", "5"));
+    EXPECT_EQ(cfg.ras.dedupSuspendUes, 5u);
+}
+
+TEST(ConfigIoDeath, RasBerOutOfRangeIsFatal)
+{
+    SimConfig cfg;
+    EXPECT_EXIT(applyConfigKey(cfg, "ras.read_ber", "1.5"),
+                ::testing::ExitedWithCode(1), "out of range");
+    EXPECT_EXIT(applyConfigKey(cfg, "ras.write_ber", "-0.1"),
+                ::testing::ExitedWithCode(1), "out of range");
+}
+
+TEST(ConfigIoDeath, RasRetriesOutOfRangeIsFatal)
+{
+    SimConfig cfg;
+    EXPECT_EXIT(applyConfigKey(cfg, "ras.write_verify_retries", "65"),
+                ::testing::ExitedWithCode(1), "out of range");
+    EXPECT_EXIT(applyConfigKey(cfg, "ras.patrol_lines_per_sweep", "0"),
+                ::testing::ExitedWithCode(1), "out of range");
+}
+
+TEST_F(ConfigFileTest, RasRoundTrips)
+{
+    SimConfig cfg;
+    cfg.ras.enabled = true;
+    cfg.ras.readBer = 1e-7;
+    cfg.ras.patrolIntervalWrites = 256;
+    cfg.ras.writeVerifyRetries = 2;
+    {
+        std::ofstream out(path_);
+        out << renderConfig(cfg);
+    }
+    SimConfig back;
+    loadConfigFile(back, path_.string());
+    EXPECT_TRUE(back.ras.enabled);
+    EXPECT_DOUBLE_EQ(back.ras.readBer, 1e-7);
+    EXPECT_EQ(back.ras.patrolIntervalWrites, 256u);
+    EXPECT_EQ(back.ras.writeVerifyRetries, 2u);
+    EXPECT_EQ(renderConfig(back), renderConfig(cfg));
+}
+
 } // namespace
 } // namespace esd

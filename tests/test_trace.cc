@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <unordered_set>
 
 #include "dedup/analyzer.hh"
@@ -300,6 +301,111 @@ TEST_F(TraceIoTest, ReaderResetRestarts)
     ASSERT_TRUE(reader.next(got));
     EXPECT_EQ(got.addr, 0x1240u);
     EXPECT_EQ(got.data.word(0), 77u);
+}
+
+TEST_F(TraceIoTest, TextBadHexAddressIsFatal)
+{
+    {
+        std::ofstream out(path_);
+        out << "W zzzz " << std::string(kLineSize * 2, '0') << " 10\n";
+    }
+    TextTraceReader reader(path_.string());
+    TraceRecord rec;
+    EXPECT_EXIT(reader.next(rec), ::testing::ExitedWithCode(1),
+                "bad hex address 'zzzz'");
+}
+
+TEST_F(TraceIoTest, TextTrailingGarbageAddressIsFatal)
+{
+    {
+        std::ofstream out(path_);
+        out << "R 12g4 10\n";
+    }
+    TextTraceReader reader(path_.string());
+    TraceRecord rec;
+    EXPECT_EXIT(reader.next(rec), ::testing::ExitedWithCode(1),
+                "bad hex address");
+}
+
+TEST_F(TraceIoTest, TextBadOpIsFatal)
+{
+    {
+        std::ofstream out(path_);
+        out << "X 40 10\n";
+    }
+    TextTraceReader reader(path_.string());
+    TraceRecord rec;
+    EXPECT_EXIT(reader.next(rec), ::testing::ExitedWithCode(1),
+                "bad op 'X'");
+}
+
+TEST_F(TraceIoTest, BinaryBadMagicIsFatal)
+{
+    {
+        std::ofstream out(path_, std::ios::binary);
+        out << "NOPE";
+    }
+    EXPECT_EXIT(BinaryTraceReader reader(path_.string()),
+                ::testing::ExitedWithCode(1), "not an ESD binary trace");
+}
+
+TEST_F(TraceIoTest, BinaryTruncatedRecordIsFatal)
+{
+    {
+        BinaryTraceWriter writer(path_.string());
+        TraceRecord r;
+        r.op = OpType::Read;
+        r.addr = 0x40;
+        writer.write(r);
+    }
+    // Chop the last record short.
+    std::filesystem::resize_file(
+        path_, std::filesystem::file_size(path_) - 2);
+    BinaryTraceReader reader(path_.string());
+    TraceRecord got;
+    EXPECT_EXIT(reader.next(got), ::testing::ExitedWithCode(1),
+                "truncated record");
+}
+
+TEST_F(TraceIoTest, BinaryTruncatedPayloadIsFatal)
+{
+    {
+        BinaryTraceWriter writer(path_.string());
+        TraceRecord r;
+        r.op = OpType::Write;
+        r.addr = 0x80;
+        r.data.setWord(0, 42);
+        writer.write(r);
+    }
+    std::filesystem::resize_file(
+        path_, std::filesystem::file_size(path_) - 8);
+    BinaryTraceReader reader(path_.string());
+    TraceRecord got;
+    EXPECT_EXIT(reader.next(got), ::testing::ExitedWithCode(1),
+                "truncated write payload");
+}
+
+TEST_F(TraceIoTest, BinaryBadOpByteIsFatal)
+{
+    {
+        BinaryTraceWriter writer(path_.string());
+        TraceRecord r;
+        r.op = OpType::Read;
+        r.addr = 0x40;
+        writer.write(r);
+    }
+    // Corrupt the op byte (first byte after the 4-byte magic).
+    {
+        std::fstream f(path_, std::ios::binary | std::ios::in |
+                                  std::ios::out);
+        f.seekp(4);
+        char bad = 7;
+        f.write(&bad, 1);
+    }
+    BinaryTraceReader reader(path_.string());
+    TraceRecord got;
+    EXPECT_EXIT(reader.next(got), ::testing::ExitedWithCode(1),
+                "bad op byte 7");
 }
 
 TEST(VectorTrace, PushAndReplay)

@@ -22,6 +22,14 @@
  *   `-stats-interval` measured writes);
  *   `-trace-out` dumps the last `-trace-cap` per-write events as
  *   JSONL (one record per line).
+ *
+ * RAS fault campaign (any of these enables the RAS pipeline; see
+ * `[ras]` config keys for the full parameter set):
+ *   `-ras-read-ber=P` / `-ras-write-ber=P` raw bit-error probability
+ *   per stored bit per line read / write;
+ *   `-ras-patrol-interval=N` patrol-scrub sweep every N device writes;
+ *   `-ras-write-verify=N` verify every content write with up to N
+ *   retries.
  */
 
 #include <algorithm>
@@ -59,7 +67,58 @@ struct Options
     std::uint64_t warmup = 40000;
     std::uint64_t seed = 1;
     bool dumpConfig = false;
+
+    // RAS overrides; negative / max mean "not given" (config-file
+    // values, applied earlier, then stand).
+    double rasReadBer = -1.0;
+    double rasWriteBer = -1.0;
+    std::uint64_t rasPatrolInterval = ~0ull;
+    std::uint64_t rasWriteVerify = ~0ull;
+
+    bool
+    rasRequested() const
+    {
+        return rasReadBer >= 0.0 || rasWriteBer >= 0.0 ||
+               rasPatrolInterval != ~0ull || rasWriteVerify != ~0ull;
+    }
 };
+
+/** Strict u64 parse: the whole flag value must be a number. */
+std::uint64_t
+parseU64(const std::string &flag, const std::string &v)
+{
+    try {
+        std::size_t consumed = 0;
+        if (v.empty() || v[0] == '-')
+            throw std::invalid_argument(v);
+        std::uint64_t out = std::stoull(v, &consumed);
+        if (consumed != v.size())
+            throw std::invalid_argument(v);
+        return out;
+    } catch (const std::exception &) {
+        esd_fatal("%s: '%s' is not an unsigned integer", flag.c_str(),
+                  v.c_str());
+    }
+}
+
+/** Strict probability parse: a double in [0, 1]. */
+double
+parseProb(const std::string &flag, const std::string &v)
+{
+    try {
+        std::size_t consumed = 0;
+        double out = std::stod(v, &consumed);
+        if (consumed != v.size())
+            throw std::invalid_argument(v);
+        if (out < 0.0 || out > 1.0)
+            esd_fatal("%s: %s out of range [0, 1]", flag.c_str(),
+                      v.c_str());
+        return out;
+    } catch (const std::exception &) {
+        esd_fatal("%s: '%s' is not a probability", flag.c_str(),
+                  v.c_str());
+    }
+}
 
 void
 usage()
@@ -71,6 +130,9 @@ usage()
            "               [-latency-out=path] [-dump-config]\n"
            "               [-stats-json=path] [-stats-interval=N]\n"
            "               [-trace-out=path] [-trace-cap=N]\n"
+           "               [-ras-read-ber=P] [-ras-write-ber=P]\n"
+           "               [-ras-patrol-interval=N] "
+           "[-ras-write-verify=N]\n"
            "schemes: 0 Baseline, 1 Tra_sha1, 2 DeWrite, 3 ESD, "
            "4 ESD_Full\napps: ";
     for (const AppProfile &p : paperApps())
@@ -96,21 +158,34 @@ parseArgs(int argc, char **argv)
         } else if (arg.rfind("-app=", 0) == 0) {
             opt.app = value("-app=");
         } else if (arg.rfind("-records=", 0) == 0) {
-            opt.records = std::stoull(value("-records="));
+            opt.records = parseU64("-records", value("-records="));
         } else if (arg.rfind("-warmup=", 0) == 0) {
-            opt.warmup = std::stoull(value("-warmup="));
+            opt.warmup = parseU64("-warmup", value("-warmup="));
         } else if (arg.rfind("-seed=", 0) == 0) {
-            opt.seed = std::stoull(value("-seed="));
+            opt.seed = parseU64("-seed", value("-seed="));
         } else if (arg.rfind("-latency-out=", 0) == 0) {
             opt.latencyOut = value("-latency-out=");
         } else if (arg.rfind("-stats-json=", 0) == 0) {
             opt.statsJson = value("-stats-json=");
         } else if (arg.rfind("-stats-interval=", 0) == 0) {
-            opt.statsInterval = std::stoull(value("-stats-interval="));
+            opt.statsInterval =
+                parseU64("-stats-interval", value("-stats-interval="));
         } else if (arg.rfind("-trace-out=", 0) == 0) {
             opt.traceOut = value("-trace-out=");
         } else if (arg.rfind("-trace-cap=", 0) == 0) {
-            opt.traceCap = std::stoull(value("-trace-cap="));
+            opt.traceCap = parseU64("-trace-cap", value("-trace-cap="));
+        } else if (arg.rfind("-ras-read-ber=", 0) == 0) {
+            opt.rasReadBer =
+                parseProb("-ras-read-ber", value("-ras-read-ber="));
+        } else if (arg.rfind("-ras-write-ber=", 0) == 0) {
+            opt.rasWriteBer =
+                parseProb("-ras-write-ber", value("-ras-write-ber="));
+        } else if (arg.rfind("-ras-patrol-interval=", 0) == 0) {
+            opt.rasPatrolInterval = parseU64(
+                "-ras-patrol-interval", value("-ras-patrol-interval="));
+        } else if (arg.rfind("-ras-write-verify=", 0) == 0) {
+            opt.rasWriteVerify =
+                parseU64("-ras-write-verify", value("-ras-write-verify="));
         } else if (arg == "-dump-config") {
             opt.dumpConfig = true;
         } else if (arg == "-h" || arg == "--help") {
@@ -135,6 +210,18 @@ main(int argc, char **argv)
     cfg.seed = opt.seed;
     if (!opt.configFile.empty())
         loadConfigFile(cfg, opt.configFile);
+
+    // RAS flags layer over (and enable) whatever the config file set.
+    if (opt.rasRequested())
+        cfg.ras.enabled = true;
+    if (opt.rasReadBer >= 0.0)
+        cfg.ras.readBer = opt.rasReadBer;
+    if (opt.rasWriteBer >= 0.0)
+        cfg.ras.writeBer = opt.rasWriteBer;
+    if (opt.rasPatrolInterval != ~0ull)
+        cfg.ras.patrolIntervalWrites = opt.rasPatrolInterval;
+    if (opt.rasWriteVerify != ~0ull)
+        cfg.ras.writeVerifyRetries = opt.rasWriteVerify;
 
     if (opt.dumpConfig) {
         std::cout << renderConfig(cfg);
@@ -199,6 +286,20 @@ main(int argc, char **argv)
     t.addRow({"metadata in NVMM",
               TablePrinter::num(r.metadataNvmBytes / 1024.0, 1) + " KB"});
     t.print();
+
+    if (cfg.ras.enabled) {
+        const SchemeStats &ss = sim.scheme().stats();
+        const RasStats &rs = sim.scheme().ras().stats();
+        std::cout << "ras: corrected=" << ss.eccCorrectedReads.value()
+                  << " uncorrectable=" << rs.ueEvents.value()
+                  << " retired=" << rs.linesRetired.value()
+                  << " sdc=" << ss.sdcEvents.value()
+                  << " blast_radius=" << rs.blastRadiusRefs.value()
+                  << (sim.scheme().ras().dedupSuspended()
+                          ? " dedup_suspended"
+                          : "")
+                  << "\n";
+    }
 
     if (!opt.latencyOut.empty()) {
         std::ofstream out(opt.latencyOut);

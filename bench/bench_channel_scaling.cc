@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Channel scaling — scheme x channel-count sweep on the write-heavy,
+ * memory-bound lbm profile. More channels spread the write stream over
+ * independent WPQs and bank arrays, so mean write completion time
+ * drops and IPC recovers; WPQ coalescing on top absorbs re-writes to
+ * still-queued lines. Baseline gains the most (it writes every line);
+ * the dedup schemes start from less write pressure.
+ *
+ * ESD_BENCH_JSON writes the scheme x channels result grid as one
+ * machine-readable report.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hh"
+#include "common/json.hh"
+#include "core/run_report.hh"
+#include "metrics/report.hh"
+
+int
+main()
+{
+    using namespace esd;
+    bench::printHeader("Channel scaling",
+                       "write latency and IPC vs memory channels (lbm)");
+
+    const unsigned kChannels[] = {1, 2, 4, 8};
+    const SchemeKind kKinds[] = {SchemeKind::Baseline, SchemeKind::DedupSha1,
+                                 SchemeKind::DeWrite, SchemeKind::Esd,
+                                 SchemeKind::EsdFull, SchemeKind::EsdPlus};
+
+    struct Cell
+    {
+        SchemeKind kind;
+        unsigned channels;
+        RunResult result;
+    };
+    std::vector<Cell> grid;
+
+    const AppProfile &app = findApp("lbm");
+    for (SchemeKind kind : kKinds) {
+        for (unsigned ch : kChannels) {
+            SimConfig cfg = bench::benchConfig();
+            cfg.channels.count = ch;
+            cfg.channels.wpqCoalescing = true;
+            SyntheticWorkload trace(app, cfg.seed);
+            grid.push_back(Cell{kind, ch,
+                                runWorkload(cfg, kind, trace,
+                                            bench::benchRecords(),
+                                            bench::benchWarmup())});
+        }
+    }
+
+    TablePrinter table({"scheme", "ch", "write mean ns", "write p99 ns",
+                        "coalesced", "IPC"});
+    for (const Cell &c : grid) {
+        table.addRow({c.result.schemeName, std::to_string(c.channels),
+                      TablePrinter::num(c.result.writeLatency.mean(), 1),
+                      TablePrinter::num(
+                          c.result.writeLatency.percentile(99), 0),
+                      std::to_string(c.result.nvmWritesCoalesced),
+                      TablePrinter::num(c.result.ipc, 3)});
+    }
+    table.print();
+
+    // Headline: how much the channel spread alone buys each scheme.
+    std::cout << "\nwrite-latency speedup, 1 -> 4 channels:\n";
+    for (SchemeKind kind : kKinds) {
+        double one = 0, four = 0;
+        for (const Cell &c : grid) {
+            if (c.kind != kind)
+                continue;
+            if (c.channels == 1)
+                one = c.result.writeLatency.mean();
+            if (c.channels == 4)
+                four = c.result.writeLatency.mean();
+        }
+        std::cout << "  " << schemeName(kind) << ": "
+                  << TablePrinter::num(four > 0 ? one / four : 0, 2)
+                  << "x\n";
+    }
+
+    if (const char *path = std::getenv("ESD_BENCH_JSON");
+        path && *path) {
+        std::ofstream out(path);
+        if (!out) {
+            std::cerr << "bench: cannot open ESD_BENCH_JSON path '"
+                      << path << "'\n";
+            return 1;
+        }
+        JsonWriter w(out);
+        w.beginObject();
+        w.kv("records_per_run", bench::benchRecords());
+        w.kv("warmup", bench::benchWarmup());
+        w.kv("app", std::string("lbm"));
+        w.key("runs");
+        w.beginArray();
+        for (const Cell &c : grid) {
+            w.beginObject();
+            w.kv("scheme_kind", static_cast<int>(c.kind));
+            w.kv("channels", static_cast<std::uint64_t>(c.channels));
+            w.key("result");
+            writeRunResultJson(w, c.result);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        out << "\n";
+        std::cerr << "bench: wrote " << grid.size() << " runs to " << path
+                  << "\n";
+    }
+    return 0;
+}

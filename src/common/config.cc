@@ -28,6 +28,10 @@ SimConfig::summary() const
        << "  Banks:          " << pcm.totalBanks() << " (" << pcm.channels
        << " ch x " << pcm.ranksPerChannel << " rk x " << pcm.banksPerRank
        << " bk)\n"
+       << "  Mem channels:   " << channels.count << ", WPQ depth "
+       << (channels.wpqDepth ? channels.wpqDepth : pcm.writeQueueDepth)
+       << "/ch, coalescing "
+       << (channels.wpqCoalescing ? "on" : "off") << "\n"
        << "Metadata Cache\n"
        << "  EFIT:           " << metadata.efitCacheBytes / 1024 << " KB ("
        << (metadata.useLrcu ? "LRCU" : "LRU") << ")\n"

@@ -80,6 +80,30 @@ struct PcmConfig
                                          banksPerRank; }
 };
 
+/**
+ * Memory-channel layer on top of the banked PCM device ([channels]
+ * section).
+ *
+ * Each channel owns a full copy of the PcmConfig bank geometry and its
+ * own write-pending queue (WPQ); lines interleave across channels with
+ * channelOf(addr) = lineIndex(addr) % count. The defaults (one channel,
+ * coalescing off, inherited queue depth) make the device bit-identical
+ * to the single-channel model that predates this layer.
+ */
+struct ChannelConfig
+{
+    /** Number of address-interleaved memory channels. */
+    unsigned count = 1;
+
+    /** Per-channel WPQ depth; 0 inherits pcm.write_queue_depth. */
+    unsigned wpqDepth = 0;
+
+    /** In-queue write coalescing: a write to a line that already has a
+     * pending WPQ entry updates that entry in place instead of issuing
+     * a second device write. */
+    bool wpqCoalescing = false;
+};
+
 /** CPU-side cache hierarchy parameters (Table I). */
 struct CacheConfig
 {
@@ -240,6 +264,7 @@ struct CoreConfig
 struct SimConfig
 {
     PcmConfig pcm;
+    ChannelConfig channels;
     CacheConfig cache;
     CryptoCostConfig crypto;
     MetadataConfig metadata;

@@ -112,7 +112,7 @@ applyConfigKey(SimConfig &cfg, const std::string &key,
 
     // PCM.
     if (k == "pcm.capacity_gb") {
-        cfg.pcm.capacityBytes = asU64(k, v) << 30;
+        cfg.pcm.capacityBytes = asU64In(k, v, 1, 1u << 20) << 30;
     } else if (k == "pcm.read_latency") {
         cfg.pcm.readLatency = asU64(k, v);
     } else if (k == "pcm.write_latency") {
@@ -122,15 +122,18 @@ applyConfigKey(SimConfig &cfg, const std::string &key,
     } else if (k == "pcm.write_energy_pj") {
         cfg.pcm.writeEnergy = asDouble(k, v);
     } else if (k == "pcm.channels") {
-        cfg.pcm.channels = static_cast<unsigned>(asU64(k, v));
+        cfg.pcm.channels = static_cast<unsigned>(asU64In(k, v, 1, 64));
     } else if (k == "pcm.ranks") {
-        cfg.pcm.ranksPerChannel = static_cast<unsigned>(asU64(k, v));
+        cfg.pcm.ranksPerChannel =
+            static_cast<unsigned>(asU64In(k, v, 1, 64));
     } else if (k == "pcm.banks") {
-        cfg.pcm.banksPerRank = static_cast<unsigned>(asU64(k, v));
+        cfg.pcm.banksPerRank =
+            static_cast<unsigned>(asU64In(k, v, 1, 1024));
     } else if (k == "pcm.write_queue_depth") {
-        cfg.pcm.writeQueueDepth = static_cast<unsigned>(asU64(k, v));
+        cfg.pcm.writeQueueDepth =
+            static_cast<unsigned>(asU64In(k, v, 1, 1u << 20));
     } else if (k == "pcm.row_buffer_lines") {
-        cfg.pcm.rowBufferLines = asU64(k, v);
+        cfg.pcm.rowBufferLines = asU64In(k, v, 0, 1u << 20);
     } else if (k == "pcm.row_hit_read_latency") {
         cfg.pcm.rowHitReadLatency = asU64(k, v);
     } else if (k == "pcm.read_priority") {
@@ -138,9 +141,18 @@ applyConfigKey(SimConfig &cfg, const std::string &key,
     } else if (k == "pcm.start_gap") {
         cfg.pcm.startGapEnabled = asBool(k, v);
     } else if (k == "pcm.gap_move_period") {
-        cfg.pcm.gapMovePeriod = asU64(k, v);
+        cfg.pcm.gapMovePeriod = asU64In(k, v, 1, 1ull << 40);
     } else if (k == "pcm.start_gap_region_lines") {
-        cfg.pcm.startGapRegionLines = asU64(k, v);
+        cfg.pcm.startGapRegionLines = asU64In(k, v, 1, 1ull << 30);
+    }
+    // Memory channels.
+    else if (k == "channels.count") {
+        cfg.channels.count = static_cast<unsigned>(asU64In(k, v, 1, 64));
+    } else if (k == "channels.wpq_depth") {
+        cfg.channels.wpqDepth =
+            static_cast<unsigned>(asU64In(k, v, 0, 1u << 16));
+    } else if (k == "channels.wpq_coalescing") {
+        cfg.channels.wpqCoalescing = asBool(k, v);
     }
     // Cache hierarchy.
     else if (k == "cache.l1_kb") {
@@ -272,6 +284,10 @@ renderConfig(const SimConfig &cfg)
        << "pcm.gap_move_period = " << cfg.pcm.gapMovePeriod << "\n"
        << "pcm.start_gap_region_lines = " << cfg.pcm.startGapRegionLines
        << "\n"
+       << "channels.count = " << cfg.channels.count << "\n"
+       << "channels.wpq_depth = " << cfg.channels.wpqDepth << "\n"
+       << "channels.wpq_coalescing = "
+       << (cfg.channels.wpqCoalescing ? "true" : "false") << "\n"
        << "cache.l1_kb = " << (cfg.cache.l1Size >> 10) << "\n"
        << "cache.l2_kb = " << (cfg.cache.l2Size >> 10) << "\n"
        << "cache.l3_kb = " << (cfg.cache.l3Size >> 10) << "\n"

@@ -77,6 +77,7 @@ WriteEventTrace::writeJsonl(std::ostream &os) const
         w.kv("compare", compareVerdictName(e.compare));
         w.kv("outcome", writeOutcomeName(e.outcome));
         w.kv("bank", static_cast<std::uint64_t>(e.bank));
+        w.kv("channel", static_cast<std::uint64_t>(e.channel));
         w.kv("queue_ns", static_cast<std::uint64_t>(e.queueWaitNs));
         w.kv("encrypt_ns", static_cast<std::uint64_t>(e.encryptNs));
         w.kv("latency_ns", static_cast<std::uint64_t>(e.latencyNs));

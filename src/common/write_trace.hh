@@ -61,8 +61,9 @@ struct WriteEvent
     WriteOutcome outcome = WriteOutcome::Unique;
     FpProbe probe = FpProbe::None;
     CompareVerdict compare = CompareVerdict::None;
-    std::uint16_t bank = 0; ///< bank of the decisive device access
-    Tick queueWaitNs = 0;   ///< bank-queue wait of that access
+    std::uint16_t bank = 0;    ///< bank of the decisive device access
+    std::uint16_t channel = 0; ///< memory channel of that access
+    Tick queueWaitNs = 0;      ///< bank-queue wait of that access
     Tick encryptNs = 0;     ///< encryption time on the critical path
     Tick latencyNs = 0;     ///< total observed write latency
 };

@@ -10,7 +10,7 @@ namespace esd
 MultiCoreSimulator::MultiCoreSimulator(const SimConfig &cfg,
                                        SchemeKind kind)
     : cfg_(cfg),
-      device_(cfg.pcm),
+      device_(cfg.pcm, cfg.channels),
       store_(cfg.pcm.capacityBytes),
       scheme_(makeScheme(kind, cfg, device_, store_))
 {

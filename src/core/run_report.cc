@@ -28,6 +28,13 @@ writeConfigJson(JsonWriter &w, const SimConfig &cfg)
     w.kv("gap_move_period", cfg.pcm.gapMovePeriod);
     w.endObject();
 
+    w.key("channels");
+    w.beginObject();
+    w.kv("count", static_cast<std::uint64_t>(cfg.channels.count));
+    w.kv("wpq_depth", static_cast<std::uint64_t>(cfg.channels.wpqDepth));
+    w.kv("wpq_coalescing", cfg.channels.wpqCoalescing);
+    w.endObject();
+
     w.key("cache");
     w.beginObject();
     w.kv("l1_size", cfg.cache.l1Size);
@@ -109,6 +116,7 @@ writeRunResultJson(JsonWriter &w, const RunResult &r)
     w.kv("nvm_data_writes", r.nvmDataWrites);
     w.kv("nvm_reads_total", r.nvmReadsTotal);
     w.kv("nvm_writes_total", r.nvmWritesTotal);
+    w.kv("nvm_writes_coalesced", r.nvmWritesCoalesced);
 
     w.key("energy_pj");
     w.beginObject();

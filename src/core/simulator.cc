@@ -11,7 +11,7 @@ namespace esd
 
 Simulator::Simulator(const SimConfig &cfg, SchemeKind kind)
     : cfg_(cfg),
-      device_(cfg.pcm),
+      device_(cfg.pcm, cfg.channels),
       store_(cfg.pcm.capacityBytes),
       scheme_(makeScheme(kind, cfg, device_, store_))
 {
@@ -107,6 +107,7 @@ Simulator::run(TraceSource &trace, std::uint64_t records,
     out.nvmDataWrites = ss.nvmDataWrites.value();
     out.nvmReadsTotal = device_.stats().reads.value();
     out.nvmWritesTotal = device_.stats().writes.value();
+    out.nvmWritesCoalesced = device_.stats().writesCoalesced.value();
     out.energy = EnergyBreakdown::collect(device_.stats(), ss);
     out.breakdown = ss.breakdown;
     out.metadataNvmBytes = scheme_->metadataNvmBytes();

@@ -57,6 +57,7 @@ struct RunResult
     std::uint64_t nvmDataWrites = 0;
     std::uint64_t nvmReadsTotal = 0;   ///< incl. metadata traffic
     std::uint64_t nvmWritesTotal = 0;  ///< incl. metadata traffic
+    std::uint64_t nvmWritesCoalesced = 0;  ///< absorbed in a channel WPQ
 
     EnergyBreakdown energy;
     WriteBreakdown breakdown;

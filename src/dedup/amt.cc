@@ -26,16 +26,22 @@ Amt::registerStats(StatRegistry &reg, const std::string &prefix) const
                  [this] { return static_cast<double>(nvmBytes()); });
 }
 
-Amt::Amt(const MetadataConfig &cfg, Addr nvm_base)
+Amt::Amt(const MetadataConfig &cfg, Addr nvm_base, unsigned shards)
     : cfg_(cfg), nvmBase_(nvm_base),
-      entriesPerBlock_(kLineSize / cfg.amtEntryBytes),
+      entriesPerBlock_(kLineSize / cfg.amtEntryBytes), shards_(shards),
       assoc_(cfg.amtAssoc)
 {
     esd_assert(entriesPerBlock_ > 0, "AMT entry larger than a line");
+    if (shards_ == 0)
+        esd_fatal("AMT needs at least one shard");
     std::uint64_t blocks = cfg.amtCacheBytes / kLineSize;
     if (blocks < assoc_)
         esd_fatal("AMT cache too small for %u ways", assoc_);
-    sets_ = blocks / assoc_;
+    std::uint64_t total_sets = blocks / assoc_;
+    if (total_sets < shards_)
+        esd_fatal("AMT cache too small for %u shards", shards_);
+    setsPerShard_ = total_sets / shards_;
+    sets_ = setsPerShard_ * shards_;
     ways_.resize(sets_ * assoc_);
 }
 
@@ -49,7 +55,7 @@ Amt::entryNvmAddr(Addr logical) const
 Amt::Way *
 Amt::findWay(std::uint64_t group)
 {
-    std::uint64_t base = (group % sets_) * assoc_;
+    std::uint64_t base = setOf(group) * assoc_;
     for (unsigned w = 0; w < assoc_; ++w) {
         Way &way = ways_[base + w];
         if (way.valid && way.tag == group)
@@ -64,7 +70,7 @@ Amt::fill(std::uint64_t group, bool dirty)
     std::optional<std::uint64_t> writeback;
     Way *way = findWay(group);
     if (!way) {
-        std::uint64_t base = (group % sets_) * assoc_;
+        std::uint64_t base = setOf(group) * assoc_;
         Way *lru = &ways_[base];
         for (unsigned w = 0; w < assoc_; ++w) {
             Way &cand = ways_[base + w];

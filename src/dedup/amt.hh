@@ -117,8 +117,14 @@ class Amt
      * @param cfg       metadata sizing (cache bytes, entry bytes, assoc)
      * @param nvm_base  byte address where the NVMM-resident table
      *                  begins (entries are packed amtEntryBytes apart)
+     * @param shards    partition the cache sets per memory channel.
+     *                  The AMT is keyed by logical address, so the
+     *                  shard is derived internally from the entry
+     *                  block with the same mod-N interleave the device
+     *                  uses; one shard (default) is the unsharded
+     *                  cache.
      */
-    Amt(const MetadataConfig &cfg, Addr nvm_base);
+    Amt(const MetadataConfig &cfg, Addr nvm_base, unsigned shards = 1);
 
     /** Result of a lookup. */
     struct LookupResult
@@ -189,6 +195,15 @@ class Amt
         return line / entriesPerBlock_;
     }
 
+    /** Set index of @p group: its shard's partition, indexed by the
+     * group bits above the shard selector. */
+    std::uint64_t
+    setOf(std::uint64_t group) const
+    {
+        std::uint64_t shard = group % shards_;
+        return shard * setsPerShard_ + (group / shards_) % setsPerShard_;
+    }
+
     Way *findWay(std::uint64_t group);
     /** Insert @p group, returning the displaced dirty victim group
      * when a write-back is needed. */
@@ -198,6 +213,8 @@ class Amt
     Addr nvmBase_;
     std::uint64_t entriesPerBlock_;
     std::uint64_t sets_;
+    std::uint64_t setsPerShard_;
+    unsigned shards_;
     unsigned assoc_;
     std::uint64_t useClock_ = 0;
     std::vector<Way> ways_;

@@ -17,7 +17,7 @@ DedupSha1Scheme::DedupSha1Scheme(const SimConfig &cfg, PcmDevice &device,
                                  NvmStore &store)
     : MappedDedupScheme(cfg, device, store),
       fps_(cfg.metadata.efitCacheBytes, kEntryBytes, cfg.metadata.efitAssoc,
-           kFpRegionBase)
+           kFpRegionBase, device.channelCount())
 {
 }
 
@@ -33,7 +33,9 @@ DedupSha1Scheme::onPhysFreed(Addr phys)
 {
     auto it = physToFp_.find(phys);
     if (it != physToFp_.end()) {
-        fps_.erase(it->second);
+        // Lines allocate on their logical address's channel, so the
+        // owning fingerprint shard follows from the physical address.
+        fps_.erase(it->second, channelOf(phys));
         physToFp_.erase(it);
     }
 }
@@ -67,8 +69,9 @@ DedupSha1Scheme::write(Addr addr, const CacheLine &data, Tick now)
     bd.metadata += static_cast<double>(m);
 
     bool suspended = dedupSuspended();
+    unsigned shard = channelOf(addr);
     FpTable::LookupResult lr =
-        suspended ? FpTable::LookupResult{} : fps_.lookup(fp);
+        suspended ? FpTable::LookupResult{} : fps_.lookup(fp, shard);
     if (lr.nvmLookup) {
         stats_.fpNvmLookups.inc();
         NvmAccessResult r = deviceRead(lr.nvmAddr, t);
@@ -79,7 +82,7 @@ DedupSha1Scheme::write(Addr addr, const CacheLine &data, Tick now)
     bool dup = lr.found && lines_.isLive(lr.phys);
     if (lr.found && !dup) {
         // Stale index entry pointing at a dead line.
-        fps_.erase(fp);
+        fps_.erase(fp, shard);
     }
 
     FpProbe probe = dup ? FpProbe::Hit : FpProbe::Miss;
@@ -104,7 +107,7 @@ DedupSha1Scheme::write(Addr addr, const CacheLine &data, Tick now)
         // Unique line: register the fingerprint (an NVMM index store,
         // off the critical path), encrypt, and write.
         Addr phys;
-        NvmAccessResult w = writeNewLine(data, phys, t, bd);
+        NvmAccessResult w = writeNewLine(addr, data, phys, t, bd);
         res.issuerStall += w.issuerStall;
         decisive_addr = phys;
         decisive_queue = w.queueDelay;
@@ -112,7 +115,7 @@ DedupSha1Scheme::write(Addr addr, const CacheLine &data, Tick now)
 
         if (!suspended) {
             Addr fp_store_addr;
-            fps_.insert(fp, phys, fp_store_addr);
+            fps_.insert(fp, phys, fp_store_addr, shard);
             stats_.fpNvmStores.inc();
             NvmAccessResult fs = deviceWrite(fp_store_addr, t);
             res.issuerStall += fs.issuerStall;

@@ -18,7 +18,7 @@ DeWriteScheme::DeWriteScheme(const SimConfig &cfg, PcmDevice &device,
                              NvmStore &store)
     : MappedDedupScheme(cfg, device, store),
       fps_(cfg.metadata.efitCacheBytes, kEntryBytes, cfg.metadata.efitAssoc,
-           kFpRegionBase)
+           kFpRegionBase, device.channelCount())
 {
 }
 
@@ -51,7 +51,9 @@ DeWriteScheme::onPhysFreed(Addr phys)
 {
     auto it = physToFp_.find(phys);
     if (it != physToFp_.end()) {
-        fps_.erase(it->second);
+        // Lines allocate on their logical address's channel, so the
+        // owning fingerprint shard follows from the physical address.
+        fps_.erase(it->second, channelOf(phys));
         physToFp_.erase(it);
     }
 }
@@ -64,7 +66,8 @@ DeWriteScheme::metadataNvmBytes() const
 
 DeWriteScheme::CheckOutcome
 DeWriteScheme::resolveDuplicate(std::uint64_t fp, const CacheLine &data,
-                                Tick &t, WriteBreakdown &bd)
+                                unsigned shard, Tick &t,
+                                WriteBreakdown &bd)
 {
     CheckOutcome out;
 
@@ -76,7 +79,7 @@ DeWriteScheme::resolveDuplicate(std::uint64_t fp, const CacheLine &data,
     t += m;
     bd.metadata += static_cast<double>(m);
 
-    FpTable::LookupResult lr = fps_.lookup(fp);
+    FpTable::LookupResult lr = fps_.lookup(fp, shard);
     if (lr.nvmLookup) {
         stats_.fpNvmLookups.inc();
         NvmAccessResult r = deviceRead(lr.nvmAddr, t);
@@ -86,7 +89,7 @@ DeWriteScheme::resolveDuplicate(std::uint64_t fp, const CacheLine &data,
 
     if (!lr.found || !lines_.isLive(lr.phys)) {
         if (lr.found)
-            fps_.erase(fp);  // stale entry
+            fps_.erase(fp, shard);  // stale entry
         return out;
     }
     out.probe = FpProbe::Hit;
@@ -128,6 +131,7 @@ DeWriteScheme::write(Addr addr, const CacheLine &data, Tick now)
     bd.fpCompute += static_cast<double>(crc_lat);
 
     bool predicted_dup = predictor_.predictDuplicate(addr);
+    unsigned shard = channelOf(addr);
 
     Tick t_check = now + crc_lat;
     CheckOutcome chk;
@@ -138,7 +142,7 @@ DeWriteScheme::write(Addr addr, const CacheLine &data, Tick now)
 
     if (predicted_dup) {
         // Serial path: the write waits for the check.
-        chk = resolveDuplicate(fp, data, t_check, bd);
+        chk = resolveDuplicate(fp, data, shard, t_check, bd);
         predictor_.train(addr, predicted_dup, chk.dup);
 
         if (chk.dup) {
@@ -150,7 +154,7 @@ DeWriteScheme::write(Addr addr, const CacheLine &data, Tick now)
             // F2: worst case — full check, then encrypt + write.
             Addr phys;
             Tick t = t_check;
-            NvmAccessResult w = writeNewLine(data, phys, t, bd);
+            NvmAccessResult w = writeNewLine(addr, data, phys, t, bd);
             res.issuerStall += w.issuerStall;
             decisive_addr = phys;
             decisive_queue = w.queueDelay;
@@ -158,7 +162,7 @@ DeWriteScheme::write(Addr addr, const CacheLine &data, Tick now)
 
             if (!ras_.dedupSuspended()) {
                 Addr fp_store;
-                fps_.insert(fp, phys, fp_store);
+                fps_.insert(fp, phys, fp_store, shard);
                 stats_.fpNvmStores.inc();
                 NvmAccessResult fs = deviceWrite(fp_store, t);
                 res.issuerStall += fs.issuerStall;
@@ -171,14 +175,14 @@ DeWriteScheme::write(Addr addr, const CacheLine &data, Tick now)
     } else {
         // Parallel path: encryption (and, for true uniques, the write)
         // overlaps the dedup check.
-        chk = resolveDuplicate(fp, data, t_check, bd);
+        chk = resolveDuplicate(fp, data, shard, t_check, bd);
         predictor_.train(addr, predicted_dup, chk.dup);
 
         if (!chk.dup) {
             // T3: prediction right; write latency overlaps the check.
             Addr phys;
             Tick t_write = now;
-            NvmAccessResult w = writeNewLine(data, phys, t_write, bd);
+            NvmAccessResult w = writeNewLine(addr, data, phys, t_write, bd);
             res.issuerStall += w.issuerStall;
             decisive_addr = phys;
             decisive_queue = w.queueDelay;
@@ -186,7 +190,7 @@ DeWriteScheme::write(Addr addr, const CacheLine &data, Tick now)
 
             if (!ras_.dedupSuspended()) {
                 Addr fp_store;
-                fps_.insert(fp, phys, fp_store);
+                fps_.insert(fp, phys, fp_store, shard);
                 stats_.fpNvmStores.inc();
                 NvmAccessResult fs = deviceWrite(fp_store, t_check);
                 res.issuerStall += fs.issuerStall;

@@ -69,7 +69,8 @@ class DeWriteScheme : public MappedDedupScheme
         Tick compareQueue = 0;     ///< candidate-read bank wait
     };
     CheckOutcome resolveDuplicate(std::uint64_t fp, const CacheLine &data,
-                                  Tick &t, WriteBreakdown &bd);
+                                  unsigned shard, Tick &t,
+                                  WriteBreakdown &bd);
 
     /** DeWrite entry: 16 B + 3 bits, modelled as 17 B. */
     static constexpr std::uint64_t kEntryBytes = 17;

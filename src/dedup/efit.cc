@@ -30,32 +30,43 @@ Efit::registerStats(StatRegistry &reg, const std::string &prefix) const
     });
 }
 
-Efit::Efit(const MetadataConfig &cfg) : cfg_(cfg), assoc_(cfg.efitAssoc)
+Efit::Efit(const MetadataConfig &cfg, unsigned shards)
+    : cfg_(cfg), shards_(shards), assoc_(cfg.efitAssoc)
 {
     std::uint64_t entries = cfg.efitCacheBytes / cfg.efitEntryBytes;
     if (entries < assoc_)
         esd_fatal("EFIT cache too small for %u ways", assoc_);
-    sets_ = entries / assoc_;
+    if (shards_ == 0)
+        esd_fatal("EFIT needs at least one shard");
+    std::uint64_t total_sets = entries / assoc_;
+    if (total_sets < shards_)
+        esd_fatal("EFIT cache too small for %u shards", shards_);
+    // Round the capacity down to a whole number of sets per shard so
+    // every channel owns an equal partition. One shard keeps the full
+    // set count (unsharded behaviour unchanged).
+    setsPerShard_ = total_sets / shards_;
+    sets_ = setsPerShard_ * shards_;
     entries_.resize(sets_ * assoc_);
 }
 
 std::uint64_t
-Efit::setOf(LineEcc ecc) const
+Efit::setOf(LineEcc ecc, unsigned shard) const
 {
+    esd_assert(shard < shards_, "EFIT shard out of range");
     // Mix the 64-bit fingerprint before indexing: check bytes of
     // structured data are far from uniform.
     std::uint64_t h = ecc;
     h ^= h >> 33;
     h *= 0xff51afd7ed558ccdull;
     h ^= h >> 33;
-    return h % sets_;
+    return shard * setsPerShard_ + h % setsPerShard_;
 }
 
 Efit::Entry *
-Efit::lookup(LineEcc ecc)
+Efit::lookup(LineEcc ecc, unsigned shard)
 {
     stats_.lookups.inc();
-    std::uint64_t base = setOf(ecc) * assoc_;
+    std::uint64_t base = setOf(ecc, shard) * assoc_;
     for (unsigned w = 0; w < assoc_; ++w) {
         Entry &e = entries_[base + w];
         if (e.valid && e.ecc == ecc) {
@@ -69,10 +80,10 @@ Efit::lookup(LineEcc ecc)
 }
 
 void
-Efit::insert(LineEcc ecc, Addr phys)
+Efit::insert(LineEcc ecc, Addr phys, unsigned shard)
 {
     stats_.inserts.inc();
-    std::uint64_t base = setOf(ecc) * assoc_;
+    std::uint64_t base = setOf(ecc, shard) * assoc_;
 
     // Reuse an invalid way when available; otherwise LRCU: evict the
     // way with the smallest referH (prioritising referH == 1), break
@@ -133,9 +144,9 @@ Efit::bumpRef(Entry *entry)
 }
 
 void
-Efit::erase(LineEcc ecc, Addr phys)
+Efit::erase(LineEcc ecc, Addr phys, unsigned shard)
 {
-    std::uint64_t base = setOf(ecc) * assoc_;
+    std::uint64_t base = setOf(ecc, shard) * assoc_;
     PackedPhys packed = PackedPhys::fromAddr(phys);
     for (unsigned w = 0; w < assoc_; ++w) {
         Entry &e = entries_[base + w];
@@ -167,6 +178,16 @@ Efit::validEntries() const
     for (const Entry &e : entries_)
         n += e.valid ? 1 : 0;
     return n;
+}
+
+std::vector<Efit::Entry>
+Efit::snapshotValid() const
+{
+    std::vector<Entry> out;
+    for (const Entry &e : entries_)
+        if (e.valid)
+            out.push_back(e);
+    return out;
 }
 
 } // namespace esd

@@ -66,20 +66,27 @@ class Efit
         std::uint64_t lastUse = 0;
     };
 
-    explicit Efit(const MetadataConfig &cfg);
+    /**
+     * @param shards Partition the sets into this many disjoint
+     *               per-channel shards; lookups carry the shard index
+     *               so controllers on different channels never touch
+     *               the same sets. One shard (the default) reproduces
+     *               the unsharded cache exactly.
+     */
+    explicit Efit(const MetadataConfig &cfg, unsigned shards = 1);
 
     /**
-     * Look up @p ecc.
+     * Look up @p ecc within @p shard.
      * @return the matching entry (LRU refreshed) or nullptr.
      */
-    Entry *lookup(LineEcc ecc);
+    Entry *lookup(LineEcc ecc, unsigned shard = 0);
 
     /**
      * Insert a fingerprint for the line stored at @p phys with an
-     * initial referH of 1. Applies LRCU replacement when the set is
-     * full and triggers decay every decayPeriod insertions.
+     * initial referH of 1 into @p shard. Applies LRCU replacement when
+     * the set is full and triggers decay every decayPeriod insertions.
      */
-    void insert(LineEcc ecc, Addr phys);
+    void insert(LineEcc ecc, Addr phys, unsigned shard = 0);
 
     /**
      * Credit one more reference to @p entry.
@@ -103,16 +110,20 @@ class Efit
         entry->lastUse = ++useClock_;
     }
 
-    /** Drop the entry matching (@p ecc, @p phys) if cached — called
-     * when the referenced physical line dies. */
-    void erase(LineEcc ecc, Addr phys);
+    /** Drop the entry matching (@p ecc, @p phys) if cached in
+     * @p shard — called when the referenced physical line dies. */
+    void erase(LineEcc ecc, Addr phys, unsigned shard = 0);
 
     std::uint64_t capacityEntries() const { return sets_ * assoc_; }
     std::uint64_t sets() const { return sets_; }
     unsigned assoc() const { return assoc_; }
+    unsigned shards() const { return shards_; }
 
     /** Count of valid entries (tests / occupancy reporting). */
     std::uint64_t validEntries() const;
+
+    /** Copy of every valid entry (invariant checks in tests). */
+    std::vector<Entry> snapshotValid() const;
 
     const EfitStats &stats() const { return stats_; }
     void resetStats() { stats_ = EfitStats{}; }
@@ -123,11 +134,13 @@ class Efit
                        const std::string &prefix) const;
 
   private:
-    std::uint64_t setOf(LineEcc ecc) const;
+    std::uint64_t setOf(LineEcc ecc, unsigned shard) const;
     void decayAll();
 
     MetadataConfig cfg_;
     std::uint64_t sets_;
+    std::uint64_t setsPerShard_;
+    unsigned shards_;
     unsigned assoc_;
     std::uint64_t useClock_ = 0;
     std::uint64_t insertsSinceDecay_ = 0;

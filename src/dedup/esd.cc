@@ -5,7 +5,8 @@ namespace esd
 
 EsdScheme::EsdScheme(const SimConfig &cfg, PcmDevice &device,
                      NvmStore &store)
-    : MappedDedupScheme(cfg, device, store), efit_(cfg.metadata)
+    : MappedDedupScheme(cfg, device, store),
+      efit_(cfg.metadata, device.channelCount())
 {
 }
 
@@ -21,7 +22,9 @@ EsdScheme::onPhysFreed(Addr phys)
 {
     auto it = physToEcc_.find(phys);
     if (it != physToEcc_.end()) {
-        efit_.erase(it->second, phys);
+        // Lines allocate on their logical address's channel, so the
+        // owning EFIT shard is recoverable from the physical address.
+        efit_.erase(it->second, phys, channelOf(phys));
         physToEcc_.erase(it);
     }
 }
@@ -49,7 +52,8 @@ EsdScheme::write(Addr addr, const CacheLine &data, Tick now)
     // The RAS UE policy can suspend dedup: skip the probe, never
     // insert, and let every write take the unique path.
     bool suspended = dedupSuspended();
-    Efit::Entry *entry = suspended ? nullptr : efit_.lookup(ecc);
+    unsigned shard = channelOf(addr);
+    Efit::Entry *entry = suspended ? nullptr : efit_.lookup(ecc, shard);
     bool dedup_done = false;
     bool saturated_rewrite = false;
 
@@ -99,14 +103,14 @@ EsdScheme::write(Addr addr, const CacheLine &data, Tick now)
         }
     } else if (entry) {
         // Stale entry whose line died — drop it.
-        efit_.erase(entry->ecc, entry->phys.toAddr());
+        efit_.erase(entry->ecc, entry->phys.toAddr(), shard);
     }
 
     if (!dedup_done) {
         // Non-duplicate (or collision / saturation): encrypt + write,
         // then remember the fingerprint under LRCU.
         Addr phys;
-        NvmAccessResult w = writeNewLine(data, phys, t, bd);
+        NvmAccessResult w = writeNewLine(addr, data, phys, t, bd);
         res.issuerStall += w.issuerStall;
         decisive_addr = phys;
         decisive_queue = w.queueDelay;
@@ -117,7 +121,7 @@ EsdScheme::write(Addr addr, const CacheLine &data, Tick now)
             efit_.redirect(entry, phys);
             physToEcc_[phys] = ecc;
         } else if (!suspended) {
-            efit_.insert(ecc, phys);
+            efit_.insert(ecc, phys, shard);
             physToEcc_[phys] = ecc;
         }
 

@@ -15,7 +15,7 @@ EsdFullScheme::EsdFullScheme(const SimConfig &cfg, PcmDevice &device,
                              NvmStore &store)
     : MappedDedupScheme(cfg, device, store),
       fps_(cfg.metadata.efitCacheBytes, kEntryBytes,
-           cfg.metadata.efitAssoc, kFpRegionBase)
+           cfg.metadata.efitAssoc, kFpRegionBase, device.channelCount())
 {
 }
 
@@ -31,7 +31,9 @@ EsdFullScheme::onPhysFreed(Addr phys)
 {
     auto it = physToFp_.find(phys);
     if (it != physToFp_.end()) {
-        fps_.erase(it->second);
+        // Lines allocate on their logical address's channel, so the
+        // owning fingerprint shard follows from the physical address.
+        fps_.erase(it->second, channelOf(phys));
         physToFp_.erase(it);
     }
 }
@@ -60,8 +62,9 @@ EsdFullScheme::write(Addr addr, const CacheLine &data, Tick now)
 
     // Full dedup: a cache miss forces the fingerprint NVMM_lookup.
     bool suspended = dedupSuspended();
+    unsigned shard = channelOf(addr);
     FpTable::LookupResult lr =
-        suspended ? FpTable::LookupResult{} : fps_.lookup(ecc);
+        suspended ? FpTable::LookupResult{} : fps_.lookup(ecc, shard);
     if (lr.nvmLookup) {
         stats_.fpNvmLookups.inc();
         NvmAccessResult r = deviceRead(lr.nvmAddr, t);
@@ -105,12 +108,12 @@ EsdFullScheme::write(Addr addr, const CacheLine &data, Tick now)
             verdict = CompareVerdict::Mismatch;
         }
     } else if (lr.found) {
-        fps_.erase(ecc);
+        fps_.erase(ecc, shard);
     }
 
     if (!dedup) {
         Addr phys;
-        NvmAccessResult w = writeNewLine(data, phys, t, bd);
+        NvmAccessResult w = writeNewLine(addr, data, phys, t, bd);
         res.issuerStall += w.issuerStall;
         decisive_addr = phys;
         decisive_queue = w.queueDelay;
@@ -118,7 +121,7 @@ EsdFullScheme::write(Addr addr, const CacheLine &data, Tick now)
 
         if (!suspended) {
             Addr fp_store;
-            fps_.insert(ecc, phys, fp_store);
+            fps_.insert(ecc, phys, fp_store, shard);
             stats_.fpNvmStores.inc();
             NvmAccessResult fs = deviceWrite(fp_store, t);
             res.issuerStall += fs.issuerStall;

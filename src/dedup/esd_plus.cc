@@ -89,7 +89,8 @@ EsdPlusScheme::write(Addr addr, const CacheLine &data, Tick now)
     bd.metadata += static_cast<double>(m);
 
     bool suspended = dedupSuspended();
-    Efit::Entry *entry = suspended ? nullptr : efit_.lookup(ecc);
+    unsigned shard = channelOf(addr);
+    Efit::Entry *entry = suspended ? nullptr : efit_.lookup(ecc, shard);
     bool dedup_done = false;
     bool saturated_rewrite = false;
 
@@ -152,12 +153,12 @@ EsdPlusScheme::write(Addr addr, const CacheLine &data, Tick now)
             stats_.compareMismatches.inc();
         }
     } else if (entry) {
-        efit_.erase(entry->ecc, entry->phys.toAddr());
+        efit_.erase(entry->ecc, entry->phys.toAddr(), shard);
     }
 
     if (!dedup_done) {
         Addr phys;
-        NvmAccessResult w = writeNewLine(data, phys, t, bd);
+        NvmAccessResult w = writeNewLine(addr, data, phys, t, bd);
         res.issuerStall += w.issuerStall;
         decisive_addr = phys;
         decisive_queue = w.queueDelay;
@@ -167,7 +168,7 @@ EsdPlusScheme::write(Addr addr, const CacheLine &data, Tick now)
             efit_.redirect(entry, phys);
             physToEcc_[phys] = ecc;
         } else if (!suspended) {
-            efit_.insert(ecc, phys);
+            efit_.insert(ecc, phys, shard);
             physToEcc_[phys] = ecc;
         }
 

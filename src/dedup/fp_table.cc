@@ -29,39 +29,48 @@ FpTable::registerStats(StatRegistry &reg, const std::string &prefix) const
 }
 
 FpTable::FpTable(std::uint64_t cache_bytes, std::uint64_t entry_bytes,
-                 unsigned assoc, Addr nvm_base)
-    : entryBytes_(entry_bytes), nvmBase_(nvm_base), assoc_(assoc)
+                 unsigned assoc, Addr nvm_base, unsigned shards)
+    : entryBytes_(entry_bytes), nvmBase_(nvm_base), shards_(shards),
+      assoc_(assoc)
 {
     esd_assert(entry_bytes > 0 && assoc > 0, "bad fp table geometry");
     std::uint64_t entries = cache_bytes / entry_bytes;
     if (entries < assoc)
         esd_fatal("fingerprint cache too small for %u ways", assoc);
-    sets_ = entries / assoc;
+    if (shards_ == 0)
+        esd_fatal("fingerprint table needs at least one shard");
+    std::uint64_t total_sets = entries / assoc;
+    if (total_sets < shards_)
+        esd_fatal("fingerprint cache too small for %u shards", shards_);
+    setsPerShard_ = total_sets / shards_;
+    sets_ = setsPerShard_ * shards_;
     ways_.resize(sets_ * assoc_);
+    maps_.resize(shards_);
 }
 
 std::uint64_t
-FpTable::setOf(std::uint64_t fp) const
+FpTable::setOf(std::uint64_t fp, unsigned shard) const
 {
+    esd_assert(shard < shards_, "fp table shard out of range");
     std::uint64_t h = fp;
     h ^= h >> 33;
     h *= 0xc4ceb9fe1a85ec53ull;
     h ^= h >> 33;
-    return h % sets_;
+    return shard * setsPerShard_ + h % setsPerShard_;
 }
 
 Addr
-FpTable::entryNvmAddr(std::uint64_t fp) const
+FpTable::entryNvmAddr(std::uint64_t fp, unsigned shard) const
 {
     // Bucket the index by fingerprint hash; entries pack into lines.
-    std::uint64_t bucket = setOf(fp) * assoc_ ;
+    std::uint64_t bucket = setOf(fp, shard) * assoc_;
     return lineAlign(nvmBase_ + bucket * entryBytes_);
 }
 
 FpTable::Way *
-FpTable::findWay(std::uint64_t fp)
+FpTable::findWay(std::uint64_t fp, unsigned shard)
 {
-    std::uint64_t base = setOf(fp) * assoc_;
+    std::uint64_t base = setOf(fp, shard) * assoc_;
     for (unsigned w = 0; w < assoc_; ++w) {
         Way &way = ways_[base + w];
         if (way.valid && way.fp == fp)
@@ -71,9 +80,9 @@ FpTable::findWay(std::uint64_t fp)
 }
 
 void
-FpTable::fill(std::uint64_t fp, PackedPhys phys)
+FpTable::fill(std::uint64_t fp, PackedPhys phys, unsigned shard)
 {
-    std::uint64_t base = setOf(fp) * assoc_;
+    std::uint64_t base = setOf(fp, shard) * assoc_;
     Way *lru = &ways_[base];
     for (unsigned w = 0; w < assoc_; ++w) {
         Way &cand = ways_[base + w];
@@ -91,12 +100,12 @@ FpTable::fill(std::uint64_t fp, PackedPhys phys)
 }
 
 FpTable::LookupResult
-FpTable::lookup(std::uint64_t fp)
+FpTable::lookup(std::uint64_t fp, unsigned shard)
 {
     LookupResult res;
     stats_.lookups.inc();
 
-    if (Way *way = findWay(fp)) {
+    if (Way *way = findWay(fp, shard)) {
         stats_.cacheHits.inc();
         way->lastUse = ++useClock_;
         res.found = true;
@@ -110,35 +119,37 @@ FpTable::lookup(std::uint64_t fp)
     // the line unique — this is the fingerprint NVMM_lookup.
     stats_.nvmLookups.inc();
     res.nvmLookup = true;
-    res.nvmAddr = entryNvmAddr(fp);
+    res.nvmAddr = entryNvmAddr(fp, shard);
 
-    auto it = map_.find(fp);
-    if (it == map_.end())
+    auto &map = maps_[shard];
+    auto it = map.find(fp);
+    if (it == map.end())
         return res;
 
     stats_.nvmFoundAfterMiss.inc();
     res.found = true;
     res.phys = it->second.toAddr();
-    fill(fp, it->second);
+    fill(fp, it->second, shard);
     return res;
 }
 
 void
-FpTable::insert(std::uint64_t fp, Addr phys, Addr &nvm_store_addr)
+FpTable::insert(std::uint64_t fp, Addr phys, Addr &nvm_store_addr,
+                unsigned shard)
 {
     PackedPhys packed = PackedPhys::fromAddr(phys);
-    map_[fp] = packed;
-    fill(fp, packed);
+    maps_[shard][fp] = packed;
+    fill(fp, packed, shard);
     stats_.nvmStores.inc();
-    nvm_store_addr = entryNvmAddr(fp);
+    nvm_store_addr = entryNvmAddr(fp, shard);
 }
 
 void
-FpTable::erase(std::uint64_t fp)
+FpTable::erase(std::uint64_t fp, unsigned shard)
 {
     stats_.erases.inc();
-    map_.erase(fp);
-    std::uint64_t base = setOf(fp) * assoc_;
+    maps_[shard].erase(fp);
+    std::uint64_t base = setOf(fp, shard) * assoc_;
     for (unsigned w = 0; w < assoc_; ++w) {
         Way &way = ways_[base + w];
         if (way.valid && way.fp == fp) {

@@ -57,9 +57,12 @@ class FpTable
      *                    Fig. 19 NVMM space accounting
      * @param assoc       cache associativity
      * @param nvm_base    byte address of the NVMM-resident index region
+     * @param shards      partition the cache sets and the NVMM index
+     *                    into this many per-channel shards; one shard
+     *                    (the default) reproduces the unsharded table
      */
     FpTable(std::uint64_t cache_bytes, std::uint64_t entry_bytes,
-            unsigned assoc, Addr nvm_base);
+            unsigned assoc, Addr nvm_base, unsigned shards = 1);
 
     struct LookupResult
     {
@@ -70,27 +73,36 @@ class FpTable
         Addr nvmAddr = kInvalidAddr;
     };
 
-    /** Query @p fp; misses consult (and cache from) the NVMM index. */
-    LookupResult lookup(std::uint64_t fp);
+    /** Query @p fp in @p shard; misses consult (and cache from) the
+     * NVMM index. */
+    LookupResult lookup(std::uint64_t fp, unsigned shard = 0);
 
     /**
      * Register a fresh fingerprint for the line at @p phys. The write
      * to the NVMM-resident index is reported through @p nvm_store_addr
      * so the scheme can charge a device write.
      */
-    void insert(std::uint64_t fp, Addr phys, Addr &nvm_store_addr);
+    void insert(std::uint64_t fp, Addr phys, Addr &nvm_store_addr,
+                unsigned shard = 0);
 
-    /** Remove @p fp (its physical line died). */
-    void erase(std::uint64_t fp);
+    /** Remove @p fp from @p shard (its physical line died). */
+    void erase(std::uint64_t fp, unsigned shard = 0);
 
-    /** NVMM line address of @p fp 's index bucket. */
-    Addr entryNvmAddr(std::uint64_t fp) const;
+    /** NVMM line address of @p fp 's index bucket in @p shard. */
+    Addr entryNvmAddr(std::uint64_t fp, unsigned shard = 0) const;
 
-    /** Entries resident in the NVMM index. */
-    std::uint64_t nvmEntries() const { return map_.size(); }
+    /** Entries resident in the NVMM index (all shards). */
+    std::uint64_t
+    nvmEntries() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &m : maps_)
+            n += m.size();
+        return n;
+    }
 
     /** NVMM bytes consumed by the index (Fig. 19). */
-    std::uint64_t nvmBytes() const { return map_.size() * entryBytes_; }
+    std::uint64_t nvmBytes() const { return nvmEntries() * entryBytes_; }
 
     std::uint64_t cacheCapacityEntries() const { return sets_ * assoc_; }
 
@@ -111,19 +123,22 @@ class FpTable
         std::uint64_t lastUse = 0;
     };
 
-    std::uint64_t setOf(std::uint64_t fp) const;
-    Way *findWay(std::uint64_t fp);
-    void fill(std::uint64_t fp, PackedPhys phys);
+    std::uint64_t setOf(std::uint64_t fp, unsigned shard) const;
+    Way *findWay(std::uint64_t fp, unsigned shard);
+    void fill(std::uint64_t fp, PackedPhys phys, unsigned shard);
 
     std::uint64_t entryBytes_;
     Addr nvmBase_;
     std::uint64_t sets_;
+    std::uint64_t setsPerShard_;
+    unsigned shards_;
     unsigned assoc_;
     std::uint64_t useClock_ = 0;
     std::vector<Way> ways_;
 
-    /** Authoritative NVMM-resident index (functional model). */
-    std::unordered_map<std::uint64_t, PackedPhys> map_;
+    /** Authoritative NVMM-resident index, one partition per shard
+     * (functional model). */
+    std::vector<std::unordered_map<std::uint64_t, PackedPhys>> maps_;
 
     FpTableStats stats_;
 };

@@ -22,29 +22,47 @@
 namespace esd
 {
 
-/** Physical-line allocator with reference counting. */
+/** Physical-line allocator with reference counting.
+ *
+ * With @p shards > 1 the allocator hands out per-shard address
+ * streams: shard s only produces lines with lineIndex % shards == s,
+ * so a line allocated for a logical address lands on the same memory
+ * channel (the device uses the identical mod-N interleave). One shard
+ * reproduces the original bump-pointer sequence exactly. */
 class LineStore
 {
   public:
-    explicit LineStore(NvmStore &store) : store_(store) {}
-
-    /** Allocate a fresh physical line address (refcount starts at 0;
-     * callers addRef() for each mapping created). */
-    Addr
-    allocate()
+    explicit LineStore(NvmStore &store, unsigned shards = 1)
+        : store_(store), shards_(shards), bump_(shards), free_(shards)
     {
+        esd_assert(shards_ > 0, "line store needs at least one shard");
+    }
+
+    /** Allocate a fresh physical line address in @p shard (refcount
+     * starts at 0; callers addRef() for each mapping created). */
+    Addr
+    allocate(unsigned shard = 0)
+    {
+        esd_assert(shard < shards_, "line store shard out of range");
         Addr phys;
-        if (!freeList_.empty()) {
-            phys = freeList_.back();
-            freeList_.pop_back();
+        if (!free_[shard].empty()) {
+            phys = free_[shard].back();
+            free_[shard].pop_back();
         } else {
-            phys = bump_ * kLineSize;
-            ++bump_;
-            esd_assert(bump_ <= store_.capacityLines(),
+            phys = (bump_[shard] * shards_ + shard) * kLineSize;
+            ++bump_[shard];
+            esd_assert(lineIndex(phys) < store_.capacityLines(),
                        "physical line space exhausted");
         }
         refs_[phys] = 0;
         return phys;
+    }
+
+    /** Shard owning physical line @p phys (the device interleave). */
+    unsigned
+    shardOf(Addr phys) const
+    {
+        return static_cast<unsigned>(lineIndex(phys) % shards_);
     }
 
     /** Add one reference to @p phys. */
@@ -70,7 +88,7 @@ class LineStore
         if (--it->second == 0) {
             refs_.erase(it);
             store_.erase(phys);
-            freeList_.push_back(phys);
+            free_[shardOf(phys)].push_back(phys);
             return true;
         }
         return false;
@@ -101,9 +119,10 @@ class LineStore
 
   private:
     NvmStore &store_;
+    unsigned shards_;
     std::unordered_map<Addr, std::uint32_t> refs_;
-    std::vector<Addr> freeList_;
-    std::uint64_t bump_ = 0;
+    std::vector<std::uint64_t> bump_;           ///< per-shard bump pointer
+    std::vector<std::vector<Addr>> free_;       ///< per-shard free lists
 };
 
 } // namespace esd

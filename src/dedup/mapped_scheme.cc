@@ -14,8 +14,8 @@ constexpr Addr kAmtRegionBase = 8ull << 30;
 MappedDedupScheme::MappedDedupScheme(const SimConfig &cfg,
                                      PcmDevice &device, NvmStore &store)
     : DedupScheme(cfg, device, store),
-      lines_(store),
-      amt_(cfg.metadata, kAmtRegionBase)
+      lines_(store, device.channelCount()),
+      amt_(cfg.metadata, kAmtRegionBase, device.channelCount())
 {
     // RAS retirement must see dedup reference counts (blast radius)
     // and invalidate the scheme's fingerprint metadata.
@@ -74,10 +74,13 @@ MappedDedupScheme::remap(Addr addr, Addr phys, Tick &t, WriteBreakdown &bd)
 }
 
 NvmAccessResult
-MappedDedupScheme::writeNewLine(const CacheLine &data, Addr &phys_out,
-                                Tick &t, WriteBreakdown &bd)
+MappedDedupScheme::writeNewLine(Addr addr, const CacheLine &data,
+                                Addr &phys_out, Tick &t,
+                                WriteBreakdown &bd)
 {
-    phys_out = lines_.allocate();
+    // Allocate on the logical address's channel so the data write, and
+    // every later dedup probe for this content, stay channel-local.
+    phys_out = lines_.allocate(channelOf(addr));
 
     Tick enc = cfg_.crypto.encryptLatency;
     CacheLine cipher = encryptLine(phys_out, data);

@@ -49,14 +49,15 @@ class MappedDedupScheme : public DedupScheme
     Tick remap(Addr addr, Addr phys, Tick &t, WriteBreakdown &bd);
 
     /**
-     * Allocate a physical line, encrypt @p data into it, store it, and
-     * issue the timed device write.
+     * Allocate a physical line on logical @p addr 's channel, encrypt
+     * @p data into it, store it, and issue the timed device write.
      *
      * @param t running timestamp; advanced past encryption; the
      *          returned result's complete is the write completion
      */
-    NvmAccessResult writeNewLine(const CacheLine &data, Addr &phys_out,
-                                 Tick &t, WriteBreakdown &bd);
+    NvmAccessResult writeNewLine(Addr addr, const CacheLine &data,
+                                 Addr &phys_out, Tick &t,
+                                 WriteBreakdown &bd);
 
     LineStore lines_;
     Amt amt_;

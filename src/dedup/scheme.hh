@@ -343,6 +343,14 @@ class DedupScheme
                vr.line == data;
     }
 
+    /** Memory channel servicing @p addr — also the metadata shard the
+     * schemes probe, so dedup lookups on different channels touch
+     * disjoint EFIT/AMT/fingerprint partitions. */
+    unsigned channelOf(Addr addr) const { return device_.channelOf(addr); }
+
+    /** Partition count for per-channel metadata shards. */
+    unsigned metadataShards() const { return device_.channelCount(); }
+
     /** True when dedup is suspended by the RAS UE policy; counts the
      * bypassed write. Call once per write at the fingerprint probe. */
     bool
@@ -379,6 +387,8 @@ class DedupScheme
         e.compare = compare;
         e.outcome = outcome;
         e.bank = static_cast<std::uint16_t>(device_.bankOf(bank_addr));
+        e.channel =
+            static_cast<std::uint16_t>(device_.channelOf(bank_addr));
         e.queueWaitNs = queue_wait;
         e.encryptNs = encrypt_ns;
         e.latencyNs = latency;

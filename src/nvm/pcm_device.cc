@@ -6,21 +6,37 @@
 namespace esd
 {
 
-PcmDevice::PcmDevice(const PcmConfig &cfg) : cfg_(cfg)
+PcmDevice::PcmDevice(const PcmConfig &cfg, const ChannelConfig &channels)
+    : cfg_(cfg), chCfg_(channels)
 {
     if (cfg_.totalBanks() == 0)
         esd_fatal("PCM device needs at least one bank");
-    banks_.assign(cfg_.totalBanks(), 0);
-    bankStats_.resize(cfg_.totalBanks());
-    readChain_.assign(cfg_.totalBanks(), 0);
-    openRow_.assign(cfg_.totalBanks(), ~std::uint64_t{0});
+    if (chCfg_.count == 0)
+        esd_fatal("PCM device needs at least one channel");
+    banksPerChannel_ = cfg_.totalBanks();
+    wpqDepth_ = chCfg_.wpqDepth ? chCfg_.wpqDepth : cfg_.writeQueueDepth;
+    if (wpqDepth_ == 0)
+        esd_fatal("write queue depth must be at least 1");
+
+    unsigned total = totalBanks();
+    banks_.assign(total, 0);
+    bankStats_.resize(total);
+    readChain_.assign(total, 0);
+    openRow_.assign(total, ~std::uint64_t{0});
+    channelStats_.resize(chCfg_.count);
+    wpqs_.resize(chCfg_.count);
 }
 
 void
 PcmDevice::registerStats(StatRegistry &reg) const
 {
     reg.addCounter("pcm.reads", stats_.reads);
-    reg.addCounter("pcm.writes", stats_.writes);
+    reg.addCounter("pcm.writes", stats_.writes,
+                   "writes issued to the array");
+    reg.addCounter("pcm.writes_offered", stats_.writesOffered,
+                   "write requests presented to the WPQs");
+    reg.addCounter("pcm.writes_coalesced", stats_.writesCoalesced,
+                   "offered writes merged into a pending WPQ entry");
     reg.addCounter("pcm.write_queue_stalls", stats_.writeQueueStalls,
                    "writes that back-pressured the issuer");
     reg.addCounter("pcm.row_hits", stats_.rowHits);
@@ -29,8 +45,28 @@ PcmDevice::registerStats(StatRegistry &reg) const
     reg.addGauge("pcm.energy.write_pj",
                  [this] { return stats_.writeEnergy; });
     reg.addGauge("pcm.write_queue.occupancy", [this] {
-        return static_cast<double>(writeCompletions_.size());
-    }, "outstanding writes at sampling time");
+        std::size_t n = 0;
+        for (const ChannelWpq &q : wpqs_)
+            n += q.completions.size();
+        return static_cast<double>(n);
+    }, "outstanding writes at sampling time, all channels");
+
+    for (std::size_t c = 0; c < channelStats_.size(); ++c) {
+        std::string p = "pcm.ch" + std::to_string(c) + ".";
+        const ChannelStats &s = channelStats_[c];
+        reg.addCounter(p + "reads", s.reads);
+        reg.addCounter(p + "writes", s.writes);
+        reg.addCounter(p + "coalesced_writes", s.coalescedWrites);
+        reg.addCounter(p + "wpq_stalls", s.wpqStalls);
+        reg.addGauge(p + "queue_wait_ns", [&s] { return s.queueWaitNs; },
+                     "accumulated bank-queue wait on this channel");
+        reg.addGauge(p + "busy_ns", [&s] { return s.busyNs; },
+                     "accumulated service time on this channel");
+        const ChannelWpq &q = wpqs_[c];
+        reg.addGauge(p + "wpq.occupancy", [&q] {
+            return static_cast<double>(q.completions.size());
+        }, "outstanding writes at sampling time");
+    }
 
     for (std::size_t b = 0; b < bankStats_.size(); ++b) {
         std::string p = "pcm.bank" + std::to_string(b) + ".";
@@ -47,16 +83,29 @@ PcmDevice::registerStats(StatRegistry &reg) const
 unsigned
 PcmDevice::bankOf(Addr addr) const
 {
-    // Line-interleaved: consecutive lines land on consecutive banks,
-    // spreading streams across the full bank parallelism.
-    return static_cast<unsigned>(lineIndex(addr) % banks_.size());
+    // Line-interleaved: consecutive lines rotate over the channels,
+    // and within a channel over its banks, spreading streams across
+    // the full channel x bank parallelism.
+    std::uint64_t line = lineIndex(addr);
+    unsigned ch = static_cast<unsigned>(line % chCfg_.count);
+    unsigned local = static_cast<unsigned>(
+        (line / chCfg_.count) % banksPerChannel_);
+    return ch * banksPerChannel_ + local;
 }
 
 void
-PcmDevice::drainCompleted(Tick now)
+PcmDevice::drainCompleted(unsigned ch, Tick now)
 {
-    while (!writeCompletions_.empty() && writeCompletions_.top() <= now)
-        writeCompletions_.pop();
+    ChannelWpq &q = wpqs_[ch];
+    while (!q.completions.empty() && q.completions.top().first <= now) {
+        const auto &[tick, line] = q.completions.top();
+        // The map entry tracks the newest pending write to the line;
+        // only remove it when this heap entry is that write.
+        auto it = q.pending.find(line);
+        if (it != q.pending.end() && it->second == tick)
+            q.pending.erase(it);
+        q.completions.pop();
+    }
 }
 
 Addr
@@ -88,17 +137,41 @@ PcmDevice::access(OpType type, Addr addr, Tick arrival)
 {
     NvmAccessResult res;
 
+    unsigned ch = channelOf(addr);
+    ChannelStats &cs = channelStats_[ch];
+
     if (type == OpType::Write) {
-        drainCompleted(arrival);
-        if (writeCompletions_.size() >= cfg_.writeQueueDepth) {
-            // The queue is full: the issuer stalls until the earliest
-            // outstanding write retires.
-            Tick free_at = writeCompletions_.top();
+        stats_.writesOffered.inc();
+        ChannelWpq &q = wpqs_[ch];
+        drainCompleted(ch, arrival);
+
+        if (chCfg_.wpqCoalescing) {
+            Addr line = lineAlign(addr);
+            auto it = q.pending.find(line);
+            if (it != q.pending.end()) {
+                // Merge into the queued write: the pending array write
+                // will carry the new data, so no second device write,
+                // no energy and no extra wear. Data becomes durable
+                // when the queued write retires.
+                res.start = arrival;
+                res.complete = it->second;
+                res.coalesced = true;
+                stats_.writesCoalesced.inc();
+                cs.coalescedWrites.inc();
+                return res;
+            }
+        }
+
+        if (q.completions.size() >= wpqDepth_) {
+            // The WPQ is full: the issuer stalls until the earliest
+            // outstanding write on this channel retires.
+            Tick free_at = q.completions.top().first;
             esd_assert(free_at > arrival, "stale completion in queue");
             res.issuerStall = free_at - arrival;
             arrival = free_at;
-            drainCompleted(arrival);
+            drainCompleted(ch, arrival);
             stats_.writeQueueStalls.inc();
+            cs.wpqStalls.inc();
         }
     }
 
@@ -144,16 +217,23 @@ PcmDevice::access(OpType type, Addr addr, Tick arrival)
     BankStats &bs = bankStats_[bank];
     bs.queueWaitNs += static_cast<double>(res.queueDelay);
     bs.busyNs += static_cast<double>(latency);
+    cs.queueWaitNs += static_cast<double>(res.queueDelay);
+    cs.busyNs += static_cast<double>(latency);
 
     if (type == OpType::Read) {
         stats_.reads.inc();
         stats_.readEnergy += cfg_.readEnergy;
         bs.reads.inc();
+        cs.reads.inc();
     } else {
         stats_.writes.inc();
         bs.writes.inc();
+        cs.writes.inc();
         stats_.writeEnergy += cfg_.writeEnergy;
-        writeCompletions_.push(res.complete);
+        ChannelWpq &q = wpqs_[ch];
+        q.completions.emplace(res.complete, lineAlign(addr));
+        if (chCfg_.wpqCoalescing)
+            q.pending[lineAlign(addr)] = res.complete;
 
         wear_.recordWrite(wearAddrOf(addr));
 

@@ -1,6 +1,6 @@
 /**
  * @file
- * Timing and energy model of a banked PCM main memory device.
+ * Timing and energy model of a multi-channel, banked PCM main memory.
  *
  * The model captures what the ESD evaluation depends on:
  *   - asymmetric read/write array latency (75 ns / 150 ns) and energy
@@ -8,8 +8,17 @@
  *   - bank-level parallelism with in-order per-bank service, so heavy
  *     write streams delay reads on the same bank (the read/write
  *     interference that deduplication alleviates, Section IV-C),
- *   - a finite controller write queue whose overflow back-pressures the
- *     core model (feeding the IPC results of Fig. 14).
+ *   - channel-level parallelism: lines interleave across N independent
+ *     channels (channelOf = lineIndex % N), each owning a full copy of
+ *     the bank geometry and its own write-pending queue (WPQ),
+ *   - a finite per-channel WPQ whose overflow back-pressures the core
+ *     model (feeding the IPC results of Fig. 14), with optional
+ *     in-queue write coalescing: a write to a line that already has a
+ *     pending WPQ entry updates that entry in place instead of issuing
+ *     a second device write.
+ *
+ * With one channel and coalescing off the device is bit-identical to
+ * the single-channel model that predates the channel layer.
  *
  * Requests are issued with a nanosecond arrival time; the device
  * returns the service start and completion times. There is no global
@@ -23,6 +32,7 @@
 #include <memory>
 #include <queue>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/config.hh"
@@ -51,13 +61,19 @@ struct NvmAccessResult
     /** Extra stall imposed on the *issuer* because the write queue was
      * full at arrival (0 for reads and for non-saturated writes). */
     Tick issuerStall = 0;
+
+    /** The write merged into a pending WPQ entry: no array access was
+     * issued and `complete` is the pending entry's completion time. */
+    bool coalesced = false;
 };
 
 /** Aggregate device statistics. */
 struct NvmStats
 {
     Counter reads;
-    Counter writes;
+    Counter writes;            ///< writes issued to the array
+    Counter writesOffered;     ///< write requests presented to the WPQs
+    Counter writesCoalesced;   ///< offered writes merged into a WPQ entry
     Counter writeQueueStalls;
     Counter rowHits;
     Counter gapMoves;  ///< Start-Gap internal line copies
@@ -80,49 +96,106 @@ struct BankStats
     double busyNs = 0;
 };
 
+/** Per-channel accounting. */
+struct ChannelStats
+{
+    Counter reads;
+    Counter writes;            ///< array writes issued on this channel
+    Counter coalescedWrites;   ///< offered writes merged in the WPQ
+    Counter wpqStalls;         ///< writes that back-pressured the issuer
+
+    /** Accumulated bank-queue wait of this channel's requests, ns. */
+    double queueWaitNs = 0;
+
+    /** Accumulated service time on this channel's banks, ns. */
+    double busyNs = 0;
+};
+
 /**
- * The banked PCM device.
+ * The multi-channel banked PCM device.
  */
 class PcmDevice
 {
   public:
-    explicit PcmDevice(const PcmConfig &cfg);
+    /** Single-channel device (legacy shape: one channel, coalescing
+     * off, WPQ depth = cfg.writeQueueDepth). */
+    explicit PcmDevice(const PcmConfig &cfg)
+        : PcmDevice(cfg, ChannelConfig{}) {}
+
+    PcmDevice(const PcmConfig &cfg, const ChannelConfig &channels);
 
     /**
      * Issue an access.
      *
      * @param type    read (miss fill, metadata fetch) or write
-     * @param addr    byte address; the containing line picks the bank
+     * @param addr    byte address; the containing line picks the
+     *                channel and bank
      * @param arrival issue time in ns, non-decreasing across calls
      */
     NvmAccessResult access(OpType type, Addr addr, Tick arrival);
 
-    /** Bank servicing @p addr (line-interleaved across banks). */
+    /** Channel servicing @p addr (line-interleaved across channels). */
+    unsigned
+    channelOf(Addr addr) const
+    {
+        return static_cast<unsigned>(lineIndex(addr) % chCfg_.count);
+    }
+
+    /** Global bank id servicing @p addr: channel * banksPerChannel +
+     * local bank (line-interleaved within the channel). */
     unsigned bankOf(Addr addr) const;
 
-    /** Busy-until time of bank @p b (for tests). */
+    /** Busy-until time of global bank @p b (for tests). */
     Tick bankBusyUntil(unsigned b) const { return banks_[b]; }
 
-    /** Outstanding (not yet completed relative to @p now) writes. */
+    /** Outstanding (not yet completed relative to @p now) writes,
+     * summed over all channel WPQs. */
     std::size_t
     outstandingWrites(Tick now)
     {
-        drainCompleted(now);
-        return writeCompletions_.size();
+        std::size_t n = 0;
+        for (unsigned c = 0; c < chCfg_.count; ++c) {
+            drainCompleted(c, now);
+            n += wpqs_[c].completions.size();
+        }
+        return n;
     }
 
     const NvmStats &stats() const { return stats_; }
 
-    /** Per-bank accounting for bank @p b. */
+    /** Per-bank accounting for global bank @p b. */
     const BankStats &bankStats(unsigned b) const { return bankStats_[b]; }
 
+    /** Per-channel accounting for channel @p c. */
+    const ChannelStats &
+    channelStats(unsigned c) const
+    {
+        return channelStats_[c];
+    }
+
     const PcmConfig &config() const { return cfg_; }
+
+    unsigned channelCount() const { return chCfg_.count; }
+
+    /** Effective per-channel WPQ depth. */
+    unsigned wpqDepth() const { return wpqDepth_; }
+
+    bool coalescingEnabled() const { return chCfg_.wpqCoalescing; }
+
+    /** Banks owned by each channel (= PcmConfig::totalBanks()). */
+    unsigned banksPerChannel() const { return banksPerChannel_; }
+
+    /** Total banks across all channels. */
+    unsigned totalBanks() const
+    {
+        return banksPerChannel_ * chCfg_.count;
+    }
 
     /** Per-line endurance accounting (always on). */
     const WearTracker &wear() const { return wear_; }
 
-    /** Register device-wide and per-bank statistics under "pcm.*" /
-     * "pcm.bankN.*". */
+    /** Register device-wide, per-channel and per-bank statistics under
+     * "pcm.*" / "pcm.chN.*" / "pcm.bankN.*". */
     void registerStats(StatRegistry &reg) const;
 
     /** Zero all statistics (after warm-up); wear is cumulative and
@@ -134,17 +207,39 @@ class PcmDevice
         // Assign in place: registered stat references stay valid.
         for (BankStats &b : bankStats_)
             b = BankStats{};
+        for (ChannelStats &c : channelStats_)
+            c = ChannelStats{};
     }
 
     /** Clear endurance accounting. */
     void resetWear() { wear_.reset(); }
 
   private:
-    void drainCompleted(Tick now);
+    /** One channel's write-pending queue. */
+    struct ChannelWpq
+    {
+        /** Min-heap of (completion, line) for outstanding writes. */
+        std::priority_queue<std::pair<Tick, Addr>,
+                            std::vector<std::pair<Tick, Addr>>,
+                            std::greater<std::pair<Tick, Addr>>>
+            completions;
+
+        /** Pending line -> completion time, maintained only when
+         * coalescing is on; a hit merges the new data in place. */
+        std::unordered_map<Addr, Tick> pending;
+    };
+
+    void drainCompleted(unsigned ch, Tick now);
 
     PcmConfig cfg_;
+    ChannelConfig chCfg_;
+    unsigned banksPerChannel_ = 0;
+    unsigned wpqDepth_ = 0;
+
     std::vector<Tick> banks_;
     std::vector<BankStats> bankStats_;
+    std::vector<ChannelStats> channelStats_;
+    std::vector<ChannelWpq> wpqs_;
 
     /** Read-chain clocks per bank (used only under readPriority). */
     std::vector<Tick> readChain_;
@@ -160,11 +255,6 @@ class PcmDevice
     /** Lazily created Start-Gap remappers per rotation region. */
     std::unordered_map<std::uint64_t, std::unique_ptr<StartGap>>
         gapRegions_;
-
-    /** Min-heap of outstanding write completion times implementing the
-     * finite write queue. */
-    std::priority_queue<Tick, std::vector<Tick>, std::greater<Tick>>
-        writeCompletions_;
 
     NvmStats stats_;
 };

@@ -198,6 +198,75 @@ TEST(ConfigIoDeath, RasRetriesOutOfRangeIsFatal)
                 ::testing::ExitedWithCode(1), "out of range");
 }
 
+TEST(ConfigIo, ChannelKeysApply)
+{
+    SimConfig cfg;
+    EXPECT_TRUE(applyConfigKey(cfg, "channels.count", "4"));
+    EXPECT_EQ(cfg.channels.count, 4u);
+    EXPECT_TRUE(applyConfigKey(cfg, "channels.wpq_depth", "16"));
+    EXPECT_EQ(cfg.channels.wpqDepth, 16u);
+    EXPECT_TRUE(applyConfigKey(cfg, "channels.wpq_coalescing", "true"));
+    EXPECT_TRUE(cfg.channels.wpqCoalescing);
+    EXPECT_TRUE(applyConfigKey(cfg, "channels.wpq_coalescing", "off"));
+    EXPECT_FALSE(cfg.channels.wpqCoalescing);
+}
+
+TEST(ConfigIoDeath, ChannelCountOutOfRangeIsFatal)
+{
+    SimConfig cfg;
+    EXPECT_EXIT(applyConfigKey(cfg, "channels.count", "0"),
+                ::testing::ExitedWithCode(1), "out of range");
+    EXPECT_EXIT(applyConfigKey(cfg, "channels.count", "65"),
+                ::testing::ExitedWithCode(1), "out of range");
+    EXPECT_EXIT(applyConfigKey(cfg, "channels.wpq_depth", "65537"),
+                ::testing::ExitedWithCode(1), "out of range");
+    EXPECT_EXIT(applyConfigKey(cfg, "channels.count", "-2"),
+                ::testing::ExitedWithCode(1), "negative");
+    EXPECT_EXIT(applyConfigKey(cfg, "channels.count", "4x"),
+                ::testing::ExitedWithCode(1), "trailing garbage");
+    EXPECT_EXIT(applyConfigKey(cfg, "channels.wpq_coalescing", "maybe"),
+                ::testing::ExitedWithCode(1), "not a boolean");
+}
+
+TEST(ConfigIoDeath, PcmGeometryOutOfRangeIsFatal)
+{
+    SimConfig cfg;
+    EXPECT_EXIT(applyConfigKey(cfg, "pcm.channels", "0"),
+                ::testing::ExitedWithCode(1), "out of range");
+    EXPECT_EXIT(applyConfigKey(cfg, "pcm.ranks", "65"),
+                ::testing::ExitedWithCode(1), "out of range");
+    EXPECT_EXIT(applyConfigKey(cfg, "pcm.banks", "0"),
+                ::testing::ExitedWithCode(1), "out of range");
+    EXPECT_EXIT(applyConfigKey(cfg, "pcm.banks", "1025"),
+                ::testing::ExitedWithCode(1), "out of range");
+    EXPECT_EXIT(applyConfigKey(cfg, "pcm.write_queue_depth", "0"),
+                ::testing::ExitedWithCode(1), "out of range");
+    EXPECT_EXIT(applyConfigKey(cfg, "pcm.capacity_gb", "0"),
+                ::testing::ExitedWithCode(1), "out of range");
+    EXPECT_EXIT(applyConfigKey(cfg, "pcm.gap_move_period", "0"),
+                ::testing::ExitedWithCode(1), "out of range");
+    EXPECT_EXIT(applyConfigKey(cfg, "pcm.start_gap_region_lines", "0"),
+                ::testing::ExitedWithCode(1), "out of range");
+}
+
+TEST_F(ConfigFileTest, ChannelRoundTrips)
+{
+    SimConfig cfg;
+    cfg.channels.count = 8;
+    cfg.channels.wpqDepth = 32;
+    cfg.channels.wpqCoalescing = true;
+    {
+        std::ofstream out(path_);
+        out << renderConfig(cfg);
+    }
+    SimConfig back;
+    loadConfigFile(back, path_.string());
+    EXPECT_EQ(back.channels.count, 8u);
+    EXPECT_EQ(back.channels.wpqDepth, 32u);
+    EXPECT_TRUE(back.channels.wpqCoalescing);
+    EXPECT_EQ(renderConfig(back), renderConfig(cfg));
+}
+
 TEST_F(ConfigFileTest, RasRoundTrips)
 {
     SimConfig cfg;

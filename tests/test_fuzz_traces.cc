@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Seeded trace fuzzer for the multi-channel backend: random write/read
+ * soups sweep the duplication rate and the channel count, and after
+ * (and during) each run the structural invariants of the machinery
+ * must hold:
+ *
+ *   - reference counts over live physical lines sum to the AMT's
+ *     mapped logical lines;
+ *   - every valid EFIT entry resolves to a live physical line (the
+ *     eager onPhysFreed erasure keeps the index coherent);
+ *   - per-bank busy-until clocks are monotone non-decreasing — the
+ *     bank model's core assumption under in-order arrival;
+ *   - offered writes are conserved: coalesced + issued = offered,
+ *     globally and per channel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hh"
+#include "core/simulator.hh"
+#include "dedup/esd.hh"
+#include "dedup/mapped_scheme.hh"
+
+namespace esd
+{
+namespace
+{
+
+class FuzzTraceTest
+    : public ::testing::TestWithParam<
+          std::tuple<SchemeKind, unsigned, int>>
+{
+  protected:
+    /** All invariants that must hold at any quiescent point. */
+    static void
+    checkInvariants(const DedupScheme &scheme, const PcmDevice &dev)
+    {
+        if (auto *m = dynamic_cast<const MappedDedupScheme *>(&scheme)) {
+            std::uint64_t refs = 0;
+            for (const auto &[phys, n] : m->lineStore().refTable()) {
+                EXPECT_GT(n, 0u) << "live line with zero refs";
+                refs += n;
+            }
+            EXPECT_EQ(refs, m->amt().mappingCount())
+                << "refcount sum diverged from AMT mappings";
+        }
+
+        if (auto *e = dynamic_cast<const EsdScheme *>(&scheme)) {
+            for (const Efit::Entry &ent : e->efit().snapshotValid()) {
+                Addr phys = ent.phys.toAddr();
+                EXPECT_TRUE(e->lineStore().isLive(phys))
+                    << "EFIT entry points at dead line " << phys;
+                // Sharded index: the entry's line lives on the shard's
+                // channel, so the erase path can find it again.
+                EXPECT_LT(dev.channelOf(phys), dev.channelCount());
+            }
+        }
+
+        const NvmStats &s = dev.stats();
+        EXPECT_EQ(s.writesOffered.value(),
+                  s.writes.value() + s.writesCoalesced.value());
+        std::uint64_t per_channel = 0;
+        for (unsigned c = 0; c < dev.channelCount(); ++c)
+            per_channel += dev.channelStats(c).writes.value() +
+                           dev.channelStats(c).coalescedWrites.value();
+        EXPECT_EQ(per_channel, s.writesOffered.value());
+        if (!dev.coalescingEnabled())
+            EXPECT_EQ(s.writesCoalesced.value(), 0u);
+    }
+};
+
+TEST_P(FuzzTraceTest, InvariantsHoldUnderRandomTraffic)
+{
+    auto [kind, channels, dup_pct] = GetParam();
+
+    SimConfig c;
+    c.pcm.channels = 1;
+    c.pcm.banksPerRank = 4;
+    c.pcm.writeQueueDepth = 4;  // shallow: stalls and drains both fire
+    c.channels.count = channels;
+    c.channels.wpqCoalescing = channels > 1;
+    // Small caches for eviction pressure; the AMT needs >= `channels`
+    // sets to shard.
+    c.metadata.efitCacheBytes = 64 * 16;
+    c.metadata.amtCacheBytes = 64 * kLineSize;
+    c.metadata.referHMax = 15;
+    c.metadata.decayPeriod = 64;
+
+    PcmDevice dev(c.pcm, c.channels);
+    NvmStore store(c.pcm.capacityBytes);
+    auto scheme = makeScheme(kind, c, dev, store);
+
+    Pcg32 rng(0xF0221u + channels * 131u +
+              static_cast<std::uint64_t>(dup_pct));
+    std::vector<Tick> bank_clock(dev.totalBanks(), 0);
+    Tick now = 0;
+
+    for (int op = 0; op < 2500; ++op) {
+        now += 40 + rng.below(120);
+        Addr addr = static_cast<Addr>(rng.below(160)) * kLineSize;
+
+        if (rng.chance(0.65)) {
+            CacheLine data;
+            if (rng.below(100) < static_cast<std::uint32_t>(dup_pct)) {
+                // Duplicate pool content; a handful of hot values.
+                data.setWord(0, rng.below(4));
+                data.setWord(1, 0xBEEF);
+            } else {
+                rng.fillLine(data);
+            }
+            scheme->write(addr, data, now);
+        } else {
+            CacheLine got;
+            scheme->read(addr, got, now);
+        }
+
+        // Bank clocks may only move forward.
+        for (unsigned b = 0; b < dev.totalBanks(); ++b) {
+            ASSERT_GE(dev.bankBusyUntil(b), bank_clock[b])
+                << "bank " << b << " moved backwards at op " << op;
+            bank_clock[b] = dev.bankBusyUntil(b);
+        }
+
+        if (op % 250 == 249)
+            checkInvariants(*scheme, dev);
+    }
+
+    checkInvariants(*scheme, dev);
+
+    // The sweep must have produced real traffic in both directions.
+    EXPECT_GT(scheme->stats().logicalWrites.value(), 0u);
+    EXPECT_GT(dev.stats().reads.value(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DupRateByChannels, FuzzTraceTest,
+    ::testing::Combine(::testing::Values(SchemeKind::DedupSha1,
+                                         SchemeKind::DeWrite,
+                                         SchemeKind::Esd,
+                                         SchemeKind::EsdFull,
+                                         SchemeKind::EsdPlus),
+                       ::testing::Values(1u, 2u, 4u),
+                       ::testing::Values(10, 70)),
+    [](const auto &info) {
+        std::string n = schemeName(std::get<0>(info.param));
+        for (char &ch : n)
+            if (!std::isalnum(static_cast<unsigned char>(ch)))
+                ch = '_';
+        return n + "_ch" + std::to_string(std::get<1>(info.param)) +
+               "_dup" + std::to_string(std::get<2>(info.param));
+    });
+
+} // namespace
+} // namespace esd

@@ -196,6 +196,141 @@ TEST(PcmDevice, WriteOpensRowForSubsequentRead)
     EXPECT_EQ(r.complete - r.start, cfg.rowHitReadLatency);
 }
 
+// ------------------------------------------------- multi-channel WPQ
+
+ChannelConfig
+channelled(unsigned count, bool coalesce = false, unsigned depth = 0)
+{
+    ChannelConfig ch;
+    ch.count = count;
+    ch.wpqCoalescing = coalesce;
+    ch.wpqDepth = depth;
+    return ch;
+}
+
+TEST(PcmDeviceChannels, InterleaveMapsLinesModuloChannels)
+{
+    PcmDevice dev(smallConfig(), channelled(4));
+    EXPECT_EQ(dev.channelCount(), 4u);
+    EXPECT_EQ(dev.banksPerChannel(), 4u);
+    EXPECT_EQ(dev.totalBanks(), 16u);
+    for (std::uint64_t line = 0; line < 32; ++line) {
+        EXPECT_EQ(dev.channelOf(line * kLineSize), line % 4) << line;
+        // Sub-line offsets stay with their line.
+        EXPECT_EQ(dev.channelOf(line * kLineSize + 17), line % 4);
+    }
+    // Global bank = channel * banksPerChannel + local interleave.
+    EXPECT_EQ(dev.bankOf(0), 0u);                   // ch 0, local 0
+    EXPECT_EQ(dev.bankOf(kLineSize), 4u);           // ch 1, local 0
+    EXPECT_EQ(dev.bankOf(4 * kLineSize), 1u);       // ch 0, local 1
+    EXPECT_EQ(dev.bankOf(5 * kLineSize), 5u);       // ch 1, local 1
+    EXPECT_EQ(dev.bankOf(16 * kLineSize), 0u);      // wraps
+}
+
+TEST(PcmDeviceChannels, AdjacentLinesServiceInParallel)
+{
+    // On one channel lines 0 and 4 share bank 0 and serialize; with
+    // four channels they land on different channels' bank 0.
+    PcmDevice dev(smallConfig(), channelled(4));
+    NvmAccessResult r1 = dev.access(OpType::Write, 0, 0);
+    NvmAccessResult r2 = dev.access(OpType::Write, kLineSize, 0);
+    EXPECT_EQ(r1.complete, 150u);
+    EXPECT_EQ(r2.complete, 150u);
+    EXPECT_EQ(dev.channelStats(0).writes.value(), 1u);
+    EXPECT_EQ(dev.channelStats(1).writes.value(), 1u);
+}
+
+TEST(PcmDeviceChannels, CoalescingMergesIntoPendingWrite)
+{
+    PcmDevice dev(smallConfig(), channelled(1, true, 8));
+    NvmAccessResult first = dev.access(OpType::Write, 0, 0);
+    EXPECT_FALSE(first.coalesced);
+    EXPECT_EQ(first.complete, 150u);
+
+    // Re-write while the first is still queued: merged in place.
+    NvmAccessResult second = dev.access(OpType::Write, 0, 10);
+    EXPECT_TRUE(second.coalesced);
+    EXPECT_EQ(second.start, 10u);
+    EXPECT_EQ(second.complete, 150u);  // durable with the queued write
+    EXPECT_EQ(second.issuerStall, 0u);
+
+    EXPECT_EQ(dev.stats().writes.value(), 1u);
+    EXPECT_EQ(dev.stats().writesOffered.value(), 2u);
+    EXPECT_EQ(dev.stats().writesCoalesced.value(), 1u);
+    // No second array access: energy and wear stay flat.
+    EXPECT_DOUBLE_EQ(dev.stats().writeEnergy, 6750.0);
+    EXPECT_EQ(dev.wear().stats().totalWrites, 1u);
+}
+
+TEST(PcmDeviceChannels, CoalescingMissesAfterDrain)
+{
+    PcmDevice dev(smallConfig(), channelled(1, true, 8));
+    dev.access(OpType::Write, 0, 0);  // completes at 150
+    NvmAccessResult later = dev.access(OpType::Write, 0, 200);
+    EXPECT_FALSE(later.coalesced);
+    EXPECT_EQ(dev.stats().writes.value(), 2u);
+}
+
+TEST(PcmDeviceChannels, CoalescingOffIssuesEveryWrite)
+{
+    PcmDevice dev(smallConfig(), channelled(1, false, 8));
+    dev.access(OpType::Write, 0, 0);
+    NvmAccessResult second = dev.access(OpType::Write, 0, 10);
+    EXPECT_FALSE(second.coalesced);
+    EXPECT_EQ(second.complete, 300u);  // serializes behind the first
+    EXPECT_EQ(dev.stats().writesCoalesced.value(), 0u);
+}
+
+TEST(PcmDeviceChannels, BackpressureIsPerChannel)
+{
+    // Depth 2 per channel; saturating channel 0 must not stall
+    // channel 1.
+    PcmDevice dev(smallConfig(), channelled(2, false, 2));
+    dev.access(OpType::Write, 0, 0);                 // ch 0
+    dev.access(OpType::Write, 8 * kLineSize, 0);     // ch 0, same bank
+    NvmAccessResult other = dev.access(OpType::Write, kLineSize, 10);
+    EXPECT_EQ(other.issuerStall, 0u);                // ch 1 is empty
+    NvmAccessResult full = dev.access(OpType::Write, 16 * kLineSize, 10);
+    EXPECT_GT(full.issuerStall, 0u);                 // ch 0 is full
+    EXPECT_EQ(dev.channelStats(0).wpqStalls.value(), 1u);
+    EXPECT_EQ(dev.channelStats(1).wpqStalls.value(), 0u);
+}
+
+TEST(PcmDeviceChannels, WpqDepthOverridesPcmDefault)
+{
+    PcmConfig cfg = smallConfig();  // pcm depth 2
+    PcmDevice dev(cfg, channelled(1, false, 1));
+    EXPECT_EQ(dev.wpqDepth(), 1u);
+    dev.access(OpType::Write, 0, 0);
+    NvmAccessResult r = dev.access(OpType::Write, kLineSize, 0);
+    EXPECT_GT(r.issuerStall, 0u);  // depth 1: one outstanding write
+
+    PcmDevice inherit(cfg, channelled(1));
+    EXPECT_EQ(inherit.wpqDepth(), cfg.writeQueueDepth);
+}
+
+TEST(PcmDeviceChannels, OfferedWritesAreConserved)
+{
+    PcmDevice dev(smallConfig(), channelled(4, true, 4));
+    Pcg32 rng(7);
+    Tick now = 0;
+    for (int i = 0; i < 2000; ++i) {
+        now += rng.below(40);
+        Addr addr = static_cast<Addr>(rng.below(64)) * kLineSize;
+        dev.access(rng.chance(0.7) ? OpType::Write : OpType::Read, addr,
+                   now);
+    }
+    const NvmStats &s = dev.stats();
+    EXPECT_GT(s.writesCoalesced.value(), 0u);  // tight re-writes occur
+    EXPECT_EQ(s.writesOffered.value(),
+              s.writes.value() + s.writesCoalesced.value());
+    std::uint64_t per_channel = 0;
+    for (unsigned c = 0; c < 4; ++c)
+        per_channel += dev.channelStats(c).writes.value() +
+                       dev.channelStats(c).coalescedWrites.value();
+    EXPECT_EQ(per_channel, s.writesOffered.value());
+}
+
 // ------------------------------------------------------------ NvmStore
 
 TEST(NvmStore, ReadBackWhatWasWritten)

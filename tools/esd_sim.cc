@@ -30,6 +30,14 @@
  *   `-ras-patrol-interval=N` patrol-scrub sweep every N device writes;
  *   `-ras-write-verify=N` verify every content write with up to N
  *   retries.
+ *
+ * Memory-channel model (layers over `[channels]` config keys):
+ *   `-channels=N` address-interleaved channels, each replicating the
+ *   `[pcm]` bank geometry with its own write-pending queue;
+ *   `-wpq-depth=N` per-channel WPQ depth (0 inherits
+ *   pcm.write_queue_depth);
+ *   `-wpq-coalescing=B` absorb re-writes to a still-queued line in
+ *   place instead of issuing a second array write.
  */
 
 #include <algorithm>
@@ -75,6 +83,11 @@ struct Options
     std::uint64_t rasPatrolInterval = ~0ull;
     std::uint64_t rasWriteVerify = ~0ull;
 
+    // Channel overrides, same "max means not given" convention.
+    std::uint64_t channels = ~0ull;
+    std::uint64_t wpqDepth = ~0ull;
+    int wpqCoalescing = -1;  // -1 not given, else 0/1
+
     bool
     rasRequested() const
     {
@@ -99,6 +112,18 @@ parseU64(const std::string &flag, const std::string &v)
         esd_fatal("%s: '%s' is not an unsigned integer", flag.c_str(),
                   v.c_str());
     }
+}
+
+/** Strict bool parse: 0/1/true/false/on/off. */
+bool
+parseBool(const std::string &flag, const std::string &v)
+{
+    if (v == "1" || v == "true" || v == "on")
+        return true;
+    if (v == "0" || v == "false" || v == "off")
+        return false;
+    esd_fatal("%s: '%s' is not a boolean (use 0/1/true/false/on/off)",
+              flag.c_str(), v.c_str());
 }
 
 /** Strict probability parse: a double in [0, 1]. */
@@ -133,6 +158,8 @@ usage()
            "               [-ras-read-ber=P] [-ras-write-ber=P]\n"
            "               [-ras-patrol-interval=N] "
            "[-ras-write-verify=N]\n"
+           "               [-channels=N] [-wpq-depth=N] "
+           "[-wpq-coalescing=B]\n"
            "schemes: 0 Baseline, 1 Tra_sha1, 2 DeWrite, 3 ESD, "
            "4 ESD_Full\napps: ";
     for (const AppProfile &p : paperApps())
@@ -186,6 +213,21 @@ parseArgs(int argc, char **argv)
         } else if (arg.rfind("-ras-write-verify=", 0) == 0) {
             opt.rasWriteVerify =
                 parseU64("-ras-write-verify", value("-ras-write-verify="));
+        } else if (arg.rfind("-channels=", 0) == 0) {
+            opt.channels = parseU64("-channels", value("-channels="));
+            if (opt.channels < 1 || opt.channels > 64)
+                esd_fatal("-channels: %llu out of range [1, 64]",
+                          static_cast<unsigned long long>(opt.channels));
+        } else if (arg.rfind("-wpq-depth=", 0) == 0) {
+            opt.wpqDepth = parseU64("-wpq-depth", value("-wpq-depth="));
+            if (opt.wpqDepth > (1u << 16))
+                esd_fatal("-wpq-depth: %llu out of range [0, 65536]",
+                          static_cast<unsigned long long>(opt.wpqDepth));
+        } else if (arg.rfind("-wpq-coalescing=", 0) == 0) {
+            opt.wpqCoalescing = parseBool("-wpq-coalescing",
+                                          value("-wpq-coalescing="))
+                                    ? 1
+                                    : 0;
         } else if (arg == "-dump-config") {
             opt.dumpConfig = true;
         } else if (arg == "-h" || arg == "--help") {
@@ -222,6 +264,14 @@ main(int argc, char **argv)
         cfg.ras.patrolIntervalWrites = opt.rasPatrolInterval;
     if (opt.rasWriteVerify != ~0ull)
         cfg.ras.writeVerifyRetries = opt.rasWriteVerify;
+
+    // Channel flags layer over the [channels] config section.
+    if (opt.channels != ~0ull)
+        cfg.channels.count = static_cast<unsigned>(opt.channels);
+    if (opt.wpqDepth != ~0ull)
+        cfg.channels.wpqDepth = static_cast<unsigned>(opt.wpqDepth);
+    if (opt.wpqCoalescing >= 0)
+        cfg.channels.wpqCoalescing = opt.wpqCoalescing != 0;
 
     if (opt.dumpConfig) {
         std::cout << renderConfig(cfg);
@@ -271,6 +321,11 @@ main(int argc, char **argv)
     t.addRow({"NVMM writes (data/total)",
               std::to_string(r.nvmDataWrites) + " / " +
                   std::to_string(r.nvmWritesTotal)});
+    if (sim.device().channelCount() > 1 || sim.device().coalescingEnabled())
+        t.addRow({"channels (issued+coalesced)",
+                  std::to_string(sim.device().channelCount()) + " ch, " +
+                      std::to_string(r.nvmWritesTotal) + " + " +
+                      std::to_string(r.nvmWritesCoalesced) + " writes"});
     t.addRow({"NVMM reads (total)", std::to_string(r.nvmReadsTotal)});
     t.addRow({"write latency mean/p99",
               TablePrinter::num(r.writeLatency.mean(), 1) + " / " +

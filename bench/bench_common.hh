@@ -8,6 +8,8 @@
  *   ESD_BENCH_WARMUP   leading records excluded from stats (default 12000)
  *   ESD_BENCH_JSON     path: at exit, dump every run this bench
  *                      performed as one machine-readable JSON report
+ *   ESD_BENCH_JOBS     worker threads for warmRunCache() grids
+ *                      (default 1; the -jobs=N flag overrides)
  *
  * Every bench prints the same rows/series as the corresponding paper
  * figure; EXPERIMENTS.md records the paper-vs-measured comparison.
@@ -36,6 +38,22 @@ std::uint64_t benchWarmup();
 
 /** Run (or fetch the memoised run of) @p app under @p kind. */
 const RunResult &cachedRun(const std::string &app, SchemeKind kind);
+
+/** Worker threads for warmRunCache (ESD_BENCH_JOBS / -jobs=N). */
+unsigned benchJobs();
+
+/** Parse bench CLI flags (-jobs=N); fatal on anything else. */
+void parseBenchArgs(int argc, char **argv);
+
+/**
+ * Pre-populate the run cache for the @p apps x @p kinds grid on a
+ * benchJobs()-wide thread pool. Each grid point runs exactly the
+ * simulation cachedRun would have run serially (same config, seed,
+ * records), so later cachedRun calls hit the cache with bit-identical
+ * results — the table the bench prints does not depend on -jobs.
+ */
+void warmRunCache(const std::vector<std::string> &apps,
+                  const std::vector<SchemeKind> &kinds);
 
 /** Names of all 20 paper applications, SPEC first. */
 std::vector<std::string> appNames();

@@ -11,9 +11,13 @@
 #include "metrics/report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace esd;
+    bench::parseBenchArgs(argc, argv);
+    bench::warmRunCache(bench::appNames(),
+                        {SchemeKind::DedupSha1, SchemeKind::DeWrite,
+                         SchemeKind::Esd});
     bench::printHeader("Figure 11",
                        "Cache-line write reduction vs Baseline "
                        "(fraction of logical writes eliminated)");

@@ -10,9 +10,11 @@
 #include "metrics/report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace esd;
+    bench::parseBenchArgs(argc, argv);
+    bench::warmRunCache(bench::appNames(), allSchemeKinds());
     bench::printHeader("Figure 14", "Relative IPC (scheme / Baseline)");
 
     TablePrinter table({"app", "base-IPC", "Dedup_SHA1", "DeWrite",

@@ -11,9 +11,11 @@
 #include "metrics/report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace esd;
+    bench::parseBenchArgs(argc, argv);
+    bench::warmRunCache(bench::appNames(), allSchemeKinds());
     bench::printHeader("Figure 16",
                        "Energy normalised to Baseline (< 1 is better)");
 

@@ -139,6 +139,13 @@ JsonWriter::nullValue()
     os_ << "null";
 }
 
+void
+JsonWriter::rawValue(const std::string &json)
+{
+    beforeValue();
+    os_ << json;
+}
+
 std::string
 JsonWriter::escape(const std::string &s)
 {

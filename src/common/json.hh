@@ -59,6 +59,12 @@ class JsonWriter
     void value(const char *v) { value(std::string(v)); }
     void nullValue();
 
+    /** Emit @p json — an already-serialized JSON value — verbatim in
+     * value position (comma/indent management still applies). Lets the
+     * sweep-report merger splice per-job documents that were serialized
+     * independently by worker threads without re-parsing them. */
+    void rawValue(const std::string &json);
+
     /** Convenience: key() + value() in one call. */
     template <typename T>
     void

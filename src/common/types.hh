@@ -138,6 +138,23 @@ toString(OpType t)
     return t == OpType::Read ? "read" : "write";
 }
 
+/**
+ * Early-exit word-granular line equality — the dedup verify-path
+ * compare kernel. Walks the eight 64-bit words and bails on the first
+ * mismatch, so fingerprint collisions (which typically differ in an
+ * early word) cost one load-compare instead of a full 64-byte
+ * memcmp. CacheLine::operator== (memcmp) is the reference oracle.
+ */
+inline bool
+linesEqualFast(const CacheLine &a, const CacheLine &b)
+{
+    for (std::size_t i = 0; i < kWordsPerLine; ++i) {
+        if (a.word(i) != b.word(i))
+            return false;
+    }
+    return true;
+}
+
 /** Align @p a down to the containing cache-line address. */
 inline Addr
 lineAlign(Addr a)

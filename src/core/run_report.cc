@@ -160,9 +160,9 @@ writeRunResultJson(JsonWriter &w, const RunResult &r)
 void
 writeStatsReport(std::ostream &os, const SimConfig &cfg,
                  const RunResult &r, const StatRegistry &reg,
-                 const IntervalSampler *sampler)
+                 const IntervalSampler *sampler, int indent)
 {
-    JsonWriter w(os);
+    JsonWriter w(os, indent);
     w.beginObject();
     w.key("config");
     writeConfigJson(w, cfg);

@@ -29,10 +29,14 @@ void writeRunResultJson(JsonWriter &w, const RunResult &r);
  * Write the complete stats report document to @p os:
  *   {"config": {...}, "result": {...}, "stats": {...},
  *    "intervals": {...}}        // intervals only when sampler != null
+ *
+ * @param indent spaces per JSON nesting level; 0 emits the compact
+ *        one-line form the sweep merger embeds per job.
  */
 void writeStatsReport(std::ostream &os, const SimConfig &cfg,
                       const RunResult &r, const StatRegistry &reg,
-                      const IntervalSampler *sampler = nullptr);
+                      const IntervalSampler *sampler = nullptr,
+                      int indent = 2);
 
 } // namespace esd
 

@@ -113,7 +113,7 @@ EsdPlusScheme::write(Addr addr, const CacheLine &data, Tick now)
             ++contentHits_;
             t += cfg_.crypto.compareLatency;
             stats_.metadataEnergy += cfg_.crypto.compareEnergy;
-            matched = (*cached == data);
+            matched = linesEqualFast(*cached, data);
             resolved = true;
         }
 

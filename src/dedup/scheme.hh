@@ -340,7 +340,7 @@ class DedupScheme
         if (plain_out)
             *plain_out = vr.line;
         return vr.integrity != ReadIntegrity::Uncorrectable &&
-               vr.line == data;
+               linesEqualFast(vr.line, data);
     }
 
     /** Memory channel servicing @p addr — also the metadata shard the

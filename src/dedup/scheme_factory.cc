@@ -43,8 +43,22 @@ schemeName(SchemeKind kind)
     esd_panic("invalid scheme kind");
 }
 
-SchemeKind
-parseSchemeKind(const std::string &s)
+const std::vector<SchemeKind> &
+allSchemeKindsExtended()
+{
+    static const std::vector<SchemeKind> kinds = {
+        SchemeKind::Baseline,
+        SchemeKind::DedupSha1,
+        SchemeKind::DeWrite,
+        SchemeKind::Esd,
+        SchemeKind::EsdFull,
+        SchemeKind::EsdPlus,
+    };
+    return kinds;
+}
+
+std::optional<SchemeKind>
+tryParseSchemeKind(const std::string &s)
 {
     if (s == "0" || s == "Baseline" || s == "baseline")
         return SchemeKind::Baseline;
@@ -58,7 +72,15 @@ parseSchemeKind(const std::string &s)
         return SchemeKind::EsdFull;
     if (s == "5" || s == "ESD+" || s == "esd_plus" || s == "esd+")
         return SchemeKind::EsdPlus;
-    esd_fatal("unknown scheme '%s' (use 0..3 or a scheme name)",
+    return std::nullopt;
+}
+
+SchemeKind
+parseSchemeKind(const std::string &s)
+{
+    if (std::optional<SchemeKind> k = tryParseSchemeKind(s))
+        return *k;
+    esd_fatal("unknown scheme '%s' (use 0..5 or a scheme name)",
               s.c_str());
 }
 

@@ -9,6 +9,7 @@
 #define ESD_DEDUP_SCHEME_FACTORY_HH
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,13 @@ const char *schemeName(SchemeKind kind);
 
 /** Parse a scheme name or ordinal; fatal on unknown input. */
 SchemeKind parseSchemeKind(const std::string &s);
+
+/** Parse a scheme name or ordinal; nullopt on unknown input — the
+ * validating form CLIs use to reject bad -schemes= lists up front. */
+std::optional<SchemeKind> tryParseSchemeKind(const std::string &s);
+
+/** Every kind including the ablation/extension schemes (0..5). */
+const std::vector<SchemeKind> &allSchemeKindsExtended();
 
 /** Build a scheme instance over the shared device and store. */
 std::unique_ptr<DedupScheme> makeScheme(SchemeKind kind,

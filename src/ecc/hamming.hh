@@ -70,6 +70,32 @@ class Hamming72
     static std::uint8_t encode(std::uint64_t data);
 
     /**
+     * Word-parallel bit-sliced encode of a full cache line: computes
+     * the check bytes of all eight 64-bit words in one pass.
+     *
+     * The line is transposed into 64 column bytes (bit j of column b =
+     * bit b of word j), every Hamming check then accumulates whole
+     * columns with single-byte XORs, so the eight words share each
+     * parity reduction instead of running eight independent
+     * popcount-per-mask encodes. Bit-identical to calling encode() on
+     * each word — encodeLineScalar() is the reference oracle.
+     *
+     * @param words  the eight 64-bit data words of one line
+     * @param checks receives the eight check bytes (checks[i] protects
+     *               words[i])
+     */
+    static void encodeLine(const std::uint64_t words[8],
+                           std::uint8_t checks[8]);
+
+    /** Reference oracle for encodeLine(): eight scalar encodes. */
+    static void
+    encodeLineScalar(const std::uint64_t words[8], std::uint8_t checks[8])
+    {
+        for (unsigned i = 0; i < 8; ++i)
+            checks[i] = encode(words[i]);
+    }
+
+    /**
      * Decode a received word.
      *
      * @param data  possibly corrupted 64 data bits

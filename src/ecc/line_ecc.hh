@@ -45,9 +45,26 @@ struct LineDecodeResult
 class LineEccCodec
 {
   public:
-    /** Compute the 64-bit ECC of @p line (check byte i = word i). */
+    /** Compute the 64-bit ECC of @p line (check byte i = word i) with
+     * the bit-sliced whole-line encoder (one pass over all 8 words). */
     static LineEcc
     encode(const CacheLine &line)
+    {
+        std::uint64_t words[kWordsPerLine];
+        for (std::size_t i = 0; i < kWordsPerLine; ++i)
+            words[i] = line.word(i);
+        std::uint8_t checks[kWordsPerLine];
+        Hamming72::encodeLine(words, checks);
+        LineEcc ecc = 0;
+        for (std::size_t i = 0; i < kWordsPerLine; ++i)
+            ecc |= static_cast<std::uint64_t>(checks[i]) << (i * 8);
+        return ecc;
+    }
+
+    /** Reference oracle for encode(): eight independent scalar word
+     * encodes (the pre-bit-slicing implementation). */
+    static LineEcc
+    encodeScalar(const CacheLine &line)
     {
         LineEcc ecc = 0;
         for (std::size_t i = 0; i < kWordsPerLine; ++i) {

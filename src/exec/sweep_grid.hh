@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Config-grid expansion for sweep tools.
+ *
+ * A sweep spec is a comma-separated list of dimension assignments:
+ *
+ *   -sweep scheme=0..5,channels=1,2,8,app=mcf,lbm
+ *
+ * A token containing '=' opens a dimension; bare tokens append more
+ * values to the open dimension, so comma does double duty as both the
+ * dimension and the value separator. Integer dimensions accept a..b
+ * inclusive ranges. Dimensions: app, scheme, channels, wpq_depth.
+ *
+ * Expansion order is fixed (app, then scheme, then channels, then
+ * wpq_depth, each in spec order) so job indices — and therefore the
+ * deriveJobSeed() streams and the merged report — are a pure function
+ * of the spec, never of flag order or thread count.
+ */
+
+#ifndef ESD_EXEC_SWEEP_GRID_HH
+#define ESD_EXEC_SWEEP_GRID_HH
+
+#include <string>
+#include <vector>
+
+#include "exec/sweep_runner.hh"
+
+namespace esd::exec
+{
+
+/** The sweep dimensions after parsing; empty vector = dimension not
+ * swept (the base config's value is used). */
+struct SweepGrid
+{
+    std::vector<std::string> apps;
+    std::vector<SchemeKind> schemes;
+    std::vector<unsigned> channels;
+    std::vector<unsigned> wpqDepths;
+};
+
+/**
+ * Parse one -sweep spec into @p grid (values accumulate across calls,
+ * so the flag is repeatable).
+ *
+ * @return true on success; false with a human-readable message in
+ *         @p err naming the offending token and the valid choices.
+ */
+bool parseSweepSpec(const std::string &spec, SweepGrid &grid,
+                    std::string *err);
+
+/**
+ * Cross-product @p grid over @p base into a job list. Unswept
+ * dimensions keep the base config's values; apps default to mcf and
+ * schemes to all six when unswept. Job i's seed is
+ * deriveJobSeed(base_seed, i).
+ */
+std::vector<SweepJob> expandGrid(const SweepGrid &grid,
+                                 const SimConfig &base,
+                                 std::uint64_t records,
+                                 std::uint64_t warmup,
+                                 std::uint64_t base_seed);
+
+} // namespace esd::exec
+
+#endif // ESD_EXEC_SWEEP_GRID_HH

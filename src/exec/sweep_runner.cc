@@ -1,0 +1,220 @@
+#include "exec/sweep_runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "core/run_report.hh"
+#include "trace/workloads.hh"
+
+namespace esd::exec
+{
+
+namespace
+{
+
+/** Run one grid point start to finish on the calling thread. */
+SweepOutcome
+runOneJob(const SweepJob &job, std::size_t index)
+{
+    auto t0 = std::chrono::steady_clock::now();
+
+    SyntheticWorkload trace(findApp(job.app), job.cfg.seed);
+    Simulator sim(job.cfg, job.scheme);
+    SweepOutcome out;
+    out.result = sim.run(trace, job.records, job.warmup);
+
+    // Per-job report fragment, serialized here while the job's
+    // StatRegistry is alive. Compact (indent 0) so the merged document
+    // stays one line per job.
+    std::ostringstream rep;
+    writeStatsReport(rep, job.cfg, out.result, sim.statRegistry(),
+                     nullptr, /*indent=*/0);
+    std::string rep_str = rep.str();
+    while (!rep_str.empty() && rep_str.back() == '\n')
+        rep_str.pop_back();
+
+    std::ostringstream frag;
+    JsonWriter w(frag, /*indent=*/0);
+    w.beginObject();
+    w.kv("index", static_cast<std::uint64_t>(index));
+    w.kv("app", job.app);
+    w.kv("scheme", schemeName(job.scheme));
+    w.kv("scheme_kind", static_cast<int>(job.scheme));
+    w.kv("records", job.records);
+    w.kv("warmup", job.warmup);
+    w.kv("seed", job.cfg.seed);
+    w.key("report");
+    w.rawValue(rep_str);
+    w.endObject();
+    out.reportJson = frag.str();
+
+    out.hostSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    return out;
+}
+
+} // namespace
+
+std::uint64_t
+deriveJobSeed(std::uint64_t base_seed, std::uint64_t job_index)
+{
+    // splitmix64 of the (base, index) pair: decorrelated streams per
+    // grid point, reproducible from the pair alone.
+    std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ull * (job_index + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    return z ? z : 1;
+}
+
+SweepRunner::SweepRunner(unsigned jobs) : jobs_(jobs)
+{
+    if (jobs_ == 0) {
+        jobs_ = std::thread::hardware_concurrency();
+        if (jobs_ == 0)
+            jobs_ = 1;
+    }
+}
+
+std::vector<SweepOutcome>
+SweepRunner::run(const std::vector<SweepJob> &jobs,
+                 const SweepProgressFn &progress) const
+{
+    std::vector<SweepOutcome> out(jobs.size());
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(jobs_, jobs.size()));
+
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            out[i] = runOneJob(jobs[i], i);
+            if (progress)
+                progress(i, jobs[i], out[i].result);
+        }
+        return out;
+    }
+
+    std::atomic<std::size_t> cursor{0};
+    std::mutex progress_mu;
+    auto worker = [&]() {
+        for (;;) {
+            std::size_t i = cursor.fetch_add(1);
+            if (i >= jobs.size())
+                return;
+            out[i] = runOneJob(jobs[i], i);
+            if (progress) {
+                std::lock_guard<std::mutex> lock(progress_mu);
+                progress(i, jobs[i], out[i].result);
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    return out;
+}
+
+void
+writeSweepReport(std::ostream &os,
+                 const std::vector<SweepOutcome> &outcomes)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("job_count", static_cast<std::uint64_t>(outcomes.size()));
+    w.key("jobs");
+    w.beginArray();
+    for (const SweepOutcome &o : outcomes)
+        w.rawValue(o.reportJson);
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+namespace
+{
+
+std::string
+divergeWalk(const JsonValue &a, const JsonValue &b,
+            const std::string &path)
+{
+    auto here = [&path]() {
+        return path.empty() ? std::string("$") : path;
+    };
+    if (a.type != b.type)
+        return here() + " (type)";
+    switch (a.type) {
+      case JsonValue::Type::Null:
+        return "";
+      case JsonValue::Type::Bool:
+        return a.boolean == b.boolean ? "" : here();
+      case JsonValue::Type::Number:
+        return a.number == b.number ? "" : here();
+      case JsonValue::Type::String:
+        return a.str == b.str ? "" : here();
+      case JsonValue::Type::Array: {
+        if (a.array.size() != b.array.size())
+            return here() + " (array length)";
+        for (std::size_t i = 0; i < a.array.size(); ++i) {
+            std::string p = divergeWalk(a.array[i], b.array[i],
+                                        path + "[" +
+                                            std::to_string(i) + "]");
+            if (!p.empty())
+                return p;
+        }
+        return "";
+      }
+      case JsonValue::Type::Object: {
+        if (a.object.size() != b.object.size())
+            return here() + " (member count)";
+        for (std::size_t i = 0; i < a.object.size(); ++i) {
+            const auto &[ka, va] = a.object[i];
+            const auto &[kb, vb] = b.object[i];
+            std::string child =
+                path.empty() ? ka : path + "." + ka;
+            if (ka != kb)
+                return child + " (key vs '" + kb + "')";
+            std::string p = divergeWalk(va, vb, child);
+            if (!p.empty())
+                return p;
+        }
+        return "";
+      }
+    }
+    return "";
+}
+
+} // namespace
+
+std::string
+firstJsonDivergence(const std::string &a, const std::string &b)
+{
+    if (a == b)
+        return "";
+    JsonValue va, vb;
+    std::string err;
+    if (!tryParseJson(a, va, &err))
+        return "<left unparseable: " + err + ">";
+    if (!tryParseJson(b, vb, &err))
+        return "<right unparseable: " + err + ">";
+    std::string p = divergeWalk(va, vb, "");
+    if (!p.empty())
+        return p;
+    // Bytes differ but structure matches: formatting-level divergence.
+    std::size_t i = 0;
+    while (i < a.size() && i < b.size() && a[i] == b[i])
+        ++i;
+    return "<byte " + std::to_string(i) +
+           " differs with no structural divergence>";
+}
+
+} // namespace esd::exec

@@ -102,13 +102,21 @@ paperApps()
     return apps;
 }
 
-const AppProfile &
-findApp(const std::string &name)
+const AppProfile *
+tryFindApp(const std::string &name)
 {
     for (const AppProfile &p : paperApps()) {
         if (p.name == name)
-            return p;
+            return &p;
     }
+    return nullptr;
+}
+
+const AppProfile &
+findApp(const std::string &name)
+{
+    if (const AppProfile *p = tryFindApp(name))
+        return *p;
     esd_fatal("unknown application profile '%s'", name.c_str());
 }
 

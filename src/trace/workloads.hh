@@ -88,6 +88,10 @@ const std::vector<AppProfile> &paperApps();
 /** Look up a paper app by name; fatal when unknown. */
 const AppProfile &findApp(const std::string &name);
 
+/** Look up a paper app by name; nullptr when unknown — the validating
+ * form CLIs use to reject bad -apps= lists up front. */
+const AppProfile *tryFindApp(const std::string &name);
+
 /**
  * A TraceSource synthesising an endless request stream for a profile.
  */

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Equivalence tests for the hot-path kernels introduced with the
+ * parallel sweep engine:
+ *   - the word-parallel bit-sliced SEC-DED line encoder vs the scalar
+ *     Hamming72::encode oracle (exhaustive 16-bit patterns + PCG
+ *     randomized), and
+ *   - the early-exit 64-bit-word line compare vs memcmp on equal,
+ *     near-equal, and random lines.
+ */
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "ecc/line_ecc.hh"
+
+namespace esd
+{
+namespace
+{
+
+// ------------------------------------------------ bit-sliced SEC-DED
+
+/** All 2^16 patterns, each expanded into a line that places the
+ * pattern at a different 16-bit lane of every word, so every data-bit
+ * position of the codeword sees both polarities of every pattern. */
+TEST(BitslicedHamming, ExhaustiveSixteenBitPatterns)
+{
+    for (std::uint32_t v = 0; v < (1u << 16); ++v) {
+        std::uint64_t words[8];
+        for (unsigned j = 0; j < 8; ++j) {
+            std::uint64_t w = static_cast<std::uint64_t>(v)
+                              << ((j % 4) * 16);
+            if (j >= 4)
+                w = ~w;  // complemented lanes hit the other polarity
+            words[j] = w;
+        }
+        std::uint8_t fast[8], ref[8];
+        Hamming72::encodeLine(words, fast);
+        Hamming72::encodeLineScalar(words, ref);
+        ASSERT_EQ(0, std::memcmp(fast, ref, 8))
+            << "pattern 0x" << std::hex << v;
+    }
+}
+
+TEST(BitslicedHamming, SingleBitLines)
+{
+    // Each of the 512 line bits set alone: the sparsest inputs, where
+    // a transpose orientation bug is most visible.
+    for (unsigned j = 0; j < 8; ++j) {
+        for (unsigned b = 0; b < 64; ++b) {
+            std::uint64_t words[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+            words[j] = 1ull << b;
+            std::uint8_t fast[8], ref[8];
+            Hamming72::encodeLine(words, fast);
+            Hamming72::encodeLineScalar(words, ref);
+            ASSERT_EQ(0, std::memcmp(fast, ref, 8))
+                << "word " << j << " bit " << b;
+        }
+    }
+}
+
+TEST(BitslicedHamming, RandomizedLines)
+{
+    Pcg32 rng(0x5eed, 0x111);
+    for (int it = 0; it < 50000; ++it) {
+        std::uint64_t words[8];
+        for (auto &w : words)
+            w = rng.next64();
+        // Mix in sparse/dense lines: random masking every few iters.
+        if (it % 5 == 0) {
+            for (auto &w : words)
+                w &= rng.next64() & rng.next64();
+        }
+        std::uint8_t fast[8], ref[8];
+        Hamming72::encodeLine(words, fast);
+        Hamming72::encodeLineScalar(words, ref);
+        ASSERT_EQ(0, std::memcmp(fast, ref, 8)) << "iteration " << it;
+    }
+}
+
+TEST(BitslicedHamming, LineEccCodecUsesIdenticalEncoding)
+{
+    Pcg32 rng(0xc0de, 0x222);
+    for (int it = 0; it < 5000; ++it) {
+        CacheLine line;
+        rng.fillLine(line);
+        LineEcc fast = LineEccCodec::encode(line);
+        LineEcc ref = LineEccCodec::encodeScalar(line);
+        ASSERT_EQ(fast, ref);
+
+        // Round trip: the encoding still decodes clean...
+        LineDecodeResult d = LineEccCodec::decode(line, fast);
+        ASSERT_EQ(EccStatus::Ok, d.status);
+
+        // ...and still corrects a single flipped bit per word.
+        CacheLine bad = line;
+        unsigned word = rng.below(8);
+        unsigned bit = rng.below(64);
+        bad.setWord(word, bad.word(word) ^ (1ull << bit));
+        LineDecodeResult fix = LineEccCodec::decode(bad, fast);
+        ASSERT_EQ(EccStatus::CorrectedData, fix.status);
+        ASSERT_TRUE(fix.line == line);
+    }
+}
+
+// ---------------------------------------------- fast line comparison
+
+CacheLine
+randomLine(Pcg32 &rng)
+{
+    CacheLine l;
+    rng.fillLine(l);
+    return l;
+}
+
+TEST(FastLineCompare, EqualLinesAgreeWithMemcmp)
+{
+    Pcg32 rng(0xfeed, 0x333);
+    for (int it = 0; it < 1000; ++it) {
+        CacheLine a = randomLine(rng);
+        CacheLine b = a;
+        ASSERT_TRUE(linesEqualFast(a, b));
+        ASSERT_TRUE(a == b);
+    }
+    CacheLine z1, z2;
+    EXPECT_TRUE(linesEqualFast(z1, z2));
+}
+
+TEST(FastLineCompare, EveryNearEqualBitFlipDetected)
+{
+    Pcg32 rng(0xbeef, 0x444);
+    CacheLine base = randomLine(rng);
+    for (unsigned bit = 0; bit < kLineSize * 8; ++bit) {
+        CacheLine other = base;
+        other[bit / 8] =
+            static_cast<std::uint8_t>(other[bit / 8] ^
+                                      (1u << (bit % 8)));
+        ASSERT_FALSE(linesEqualFast(base, other)) << "bit " << bit;
+        ASSERT_FALSE(linesEqualFast(other, base)) << "bit " << bit;
+        ASSERT_FALSE(base == other);
+    }
+}
+
+TEST(FastLineCompare, EveryNearEqualByteChangeDetected)
+{
+    Pcg32 rng(0xabcd, 0x555);
+    CacheLine base = randomLine(rng);
+    for (unsigned i = 0; i < kLineSize; ++i) {
+        CacheLine other = base;
+        other[i] = static_cast<std::uint8_t>(other[i] + 1);
+        ASSERT_FALSE(linesEqualFast(base, other)) << "byte " << i;
+        ASSERT_EQ(base == other, linesEqualFast(base, other));
+    }
+}
+
+TEST(FastLineCompare, RandomPairsAgreeWithMemcmp)
+{
+    Pcg32 rng(0x7777, 0x666);
+    for (int it = 0; it < 20000; ++it) {
+        CacheLine a = randomLine(rng);
+        CacheLine b = rng.chance(0.3) ? a : randomLine(rng);
+        // Sometimes diverge only in the last word (exercises the full
+        // walk before the early exit can trigger).
+        if (rng.chance(0.2)) {
+            b = a;
+            b.setWord(7, b.word(7) ^ (1ull << rng.below(64)));
+        }
+        bool ref = std::memcmp(a.data(), b.data(), kLineSize) == 0;
+        ASSERT_EQ(ref, linesEqualFast(a, b)) << "iteration " << it;
+    }
+}
+
+} // namespace
+} // namespace esd

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Determinism golden tests for the parallel sweep engine: the merged
+ * sweep report must be byte-identical whatever the worker count and
+ * across repeated runs at the same seed. Failures print the first
+ * diverging JSON path. Also covers the SweepRunner contract (stable
+ * outcome ordering, serialized progress), grid expansion, seed
+ * derivation, and the non-fatal CLI validators.
+ */
+
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "exec/sweep_grid.hh"
+#include "exec/sweep_runner.hh"
+#include "trace/workloads.hh"
+
+namespace esd
+{
+namespace
+{
+
+using exec::SweepGrid;
+using exec::SweepJob;
+using exec::SweepOutcome;
+using exec::SweepRunner;
+
+/** All six schemes over one app — small enough for TSan, rich enough
+ * that every scheme's write/verify/metadata machinery runs. */
+std::vector<SweepJob>
+goldenJobs()
+{
+    std::vector<SweepJob> jobs;
+    for (SchemeKind k : allSchemeKindsExtended()) {
+        SweepJob job;
+        job.app = "mcf";
+        job.scheme = k;
+        job.cfg = SimConfig{};
+        job.cfg.channels.count = 2;
+        job.cfg.channels.wpqDepth = 16;
+        job.cfg.seed = exec::deriveJobSeed(42, jobs.size());
+        job.records = 3000;
+        job.warmup = 500;
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+std::string
+mergedReport(const std::vector<SweepJob> &jobs, unsigned workers)
+{
+    SweepRunner runner(workers);
+    std::vector<SweepOutcome> outcomes = runner.run(jobs);
+    std::ostringstream os;
+    exec::writeSweepReport(os, outcomes);
+    return os.str();
+}
+
+TEST(SweepDeterminism, ParallelByteIdenticalToSerial)
+{
+    std::vector<SweepJob> jobs = goldenJobs();
+    std::string serial = mergedReport(jobs, 1);
+    std::string parallel = mergedReport(jobs, 8);
+    ASSERT_EQ(serial, parallel)
+        << "first divergence: "
+        << exec::firstJsonDivergence(serial, parallel);
+}
+
+TEST(SweepDeterminism, RepeatedRunsByteIdentical)
+{
+    std::vector<SweepJob> jobs = goldenJobs();
+    std::string first = mergedReport(jobs, 8);
+    for (int repeat = 0; repeat < 3; ++repeat) {
+        std::string again = mergedReport(jobs, 8);
+        ASSERT_EQ(first, again)
+            << "repeat " << repeat << ", first divergence: "
+            << exec::firstJsonDivergence(first, again);
+    }
+}
+
+TEST(SweepDeterminism, ReportIndependentOfOddWorkerCounts)
+{
+    std::vector<SweepJob> jobs = goldenJobs();
+    std::string serial = mergedReport(jobs, 1);
+    for (unsigned workers : {2u, 3u, 5u}) {
+        std::string other = mergedReport(jobs, workers);
+        ASSERT_EQ(serial, other)
+            << "workers=" << workers << ", first divergence: "
+            << exec::firstJsonDivergence(serial, other);
+    }
+}
+
+TEST(SweepDeterminism, DivergenceDiagnosticPinpointsPath)
+{
+    std::string a = R"({"jobs": [{"x": 1, "y": {"z": 2}}]})";
+    std::string b = R"({"jobs": [{"x": 1, "y": {"z": 3}}]})";
+    EXPECT_EQ("jobs[0].y.z", exec::firstJsonDivergence(a, b));
+    EXPECT_EQ("", exec::firstJsonDivergence(a, a));
+}
+
+TEST(SweepRunner, OutcomesInJobOrderRegardlessOfCompletion)
+{
+    // Front-load a long job so short jobs finish first under any
+    // scheduling; outcome slots must still match job slots.
+    std::vector<SweepJob> jobs;
+    for (unsigned i = 0; i < 6; ++i) {
+        SweepJob job;
+        job.app = "mcf";
+        job.scheme = i == 0 ? SchemeKind::Esd : SchemeKind::Baseline;
+        job.cfg = SimConfig{};
+        job.cfg.seed = exec::deriveJobSeed(7, i);
+        job.records = i == 0 ? 6000 : 400;
+        job.warmup = 0;
+        jobs.push_back(std::move(job));
+    }
+    SweepRunner runner(4);
+    std::vector<SweepOutcome> outcomes = runner.run(jobs);
+    ASSERT_EQ(jobs.size(), outcomes.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(schemeName(jobs[i].scheme),
+                  outcomes[i].result.schemeName);
+        EXPECT_EQ(jobs[i].records, outcomes[i].result.records);
+    }
+}
+
+TEST(SweepRunner, ProgressFiresOncePerJobWithMatchingIndex)
+{
+    std::vector<SweepJob> jobs = goldenJobs();
+    std::set<std::size_t> seen;
+    SweepRunner runner(8);
+    runner.run(jobs, [&](std::size_t index, const SweepJob &job,
+                         const RunResult &r) {
+        // Callback runs under the runner's mutex: plain set insert.
+        EXPECT_TRUE(seen.insert(index).second)
+            << "index " << index << " reported twice";
+        EXPECT_EQ(schemeName(job.scheme), r.schemeName);
+    });
+    EXPECT_EQ(jobs.size(), seen.size());
+}
+
+TEST(SweepSeed, DerivationIsStableAndDecorrelated)
+{
+    // Pure function of (base, index)...
+    EXPECT_EQ(exec::deriveJobSeed(1, 0), exec::deriveJobSeed(1, 0));
+    EXPECT_EQ(exec::deriveJobSeed(42, 17), exec::deriveJobSeed(42, 17));
+    // ...never zero, and collision-free over a realistic grid.
+    std::set<std::uint64_t> seeds;
+    for (std::uint64_t base : {0ull, 1ull, 42ull}) {
+        for (std::uint64_t i = 0; i < 1000; ++i) {
+            std::uint64_t s = exec::deriveJobSeed(base, i);
+            EXPECT_NE(0u, s);
+            seeds.insert(s);
+        }
+    }
+    EXPECT_EQ(3000u, seeds.size());
+}
+
+TEST(SweepGridSpec, ParsesDimensionsRangesAndLists)
+{
+    SweepGrid grid;
+    std::string err;
+    ASSERT_TRUE(exec::parseSweepSpec("scheme=0..5,channels=1,2,8",
+                                     grid, &err))
+        << err;
+    EXPECT_EQ(6u, grid.schemes.size());
+    ASSERT_EQ(3u, grid.channels.size());
+    EXPECT_EQ(1u, grid.channels[0]);
+    EXPECT_EQ(2u, grid.channels[1]);
+    EXPECT_EQ(8u, grid.channels[2]);
+
+    SweepGrid named;
+    ASSERT_TRUE(exec::parseSweepSpec("app=mcf,lbm,scheme=esd,wpq_depth=4",
+                                     named, &err))
+        << err;
+    EXPECT_EQ(2u, named.apps.size());
+    ASSERT_EQ(1u, named.schemes.size());
+    EXPECT_EQ(SchemeKind::Esd, named.schemes[0]);
+    ASSERT_EQ(1u, named.wpqDepths.size());
+    EXPECT_EQ(4u, named.wpqDepths[0]);
+}
+
+TEST(SweepGridSpec, RejectsBadInputWithMessage)
+{
+    SweepGrid grid;
+    std::string err;
+    EXPECT_FALSE(exec::parseSweepSpec("scheme=7", grid, &err));
+    EXPECT_NE(std::string::npos, err.find("0..5"));
+
+    err.clear();
+    EXPECT_FALSE(exec::parseSweepSpec("app=nosuchapp", grid, &err));
+    EXPECT_NE(std::string::npos, err.find("nosuchapp"));
+
+    err.clear();
+    EXPECT_FALSE(exec::parseSweepSpec("flux=1", grid, &err));
+    EXPECT_NE(std::string::npos, err.find("flux"));
+
+    err.clear();
+    EXPECT_FALSE(exec::parseSweepSpec("1,2,3", grid, &err));
+    EXPECT_FALSE(err.empty());
+
+    err.clear();
+    EXPECT_FALSE(exec::parseSweepSpec("channels=0", grid, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(SweepGridSpec, ExpansionOrderAndSeedsAreStable)
+{
+    SweepGrid grid;
+    std::string err;
+    ASSERT_TRUE(exec::parseSweepSpec("app=mcf,lbm,scheme=0,3,channels=1,2",
+                                     grid, &err))
+        << err;
+    SimConfig base;
+    std::vector<SweepJob> jobs =
+        exec::expandGrid(grid, base, 1000, 100, 42);
+    ASSERT_EQ(8u, jobs.size());
+    // app-major, then scheme, then channels.
+    EXPECT_EQ("mcf", jobs[0].app);
+    EXPECT_EQ(SchemeKind::Baseline, jobs[0].scheme);
+    EXPECT_EQ(1u, jobs[0].cfg.channels.count);
+    EXPECT_EQ(2u, jobs[1].cfg.channels.count);
+    EXPECT_EQ(SchemeKind::Esd, jobs[2].scheme);
+    EXPECT_EQ("lbm", jobs[4].app);
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        EXPECT_EQ(exec::deriveJobSeed(42, i), jobs[i].cfg.seed);
+}
+
+TEST(CliValidation, TryParseSchemeKindRejectsUnknown)
+{
+    EXPECT_FALSE(tryParseSchemeKind("banana").has_value());
+    EXPECT_FALSE(tryParseSchemeKind("6").has_value());
+    EXPECT_FALSE(tryParseSchemeKind("").has_value());
+    ASSERT_TRUE(tryParseSchemeKind("esd").has_value());
+    EXPECT_EQ(SchemeKind::Esd, *tryParseSchemeKind("3"));
+    EXPECT_EQ(SchemeKind::EsdPlus, *tryParseSchemeKind("esd+"));
+}
+
+TEST(CliValidation, TryFindAppRejectsUnknown)
+{
+    EXPECT_EQ(nullptr, tryFindApp("nosuchapp"));
+    EXPECT_EQ(nullptr, tryFindApp(""));
+    const AppProfile *p = tryFindApp("mcf");
+    ASSERT_NE(nullptr, p);
+    EXPECT_EQ("mcf", p->name);
+}
+
+} // namespace
+} // namespace esd

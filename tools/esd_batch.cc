@@ -5,7 +5,12 @@
  * of any figure.
  *
  *   esd_batch [-records=N] [-warmup=N] [-schemes=0,3] [-apps=a,b,c]
- *             [-ConfigFile=path] [-out=results.csv]
+ *             [-jobs=N] [-ConfigFile=path] [-out=results.csv]
+ *
+ * Unknown -schemes/-apps values are rejected up front with a non-zero
+ * exit. With -jobs=N the grid runs on a thread pool (shared-nothing,
+ * one Simulator per pair); rows are written in grid order whatever the
+ * completion order, so the CSV is identical at any job count.
  */
 
 #include <fstream>
@@ -16,6 +21,7 @@
 #include "common/config_io.hh"
 #include "common/logging.hh"
 #include "core/simulator.hh"
+#include "exec/sweep_runner.hh"
 #include "trace/workloads.hh"
 
 namespace
@@ -34,6 +40,18 @@ splitCsv(const std::string &s)
     return out;
 }
 
+std::string
+knownAppNames()
+{
+    std::string names;
+    for (const AppProfile &p : paperApps()) {
+        if (!names.empty())
+            names += ", ";
+        names += p.name;
+    }
+    return names;
+}
+
 } // namespace
 
 int
@@ -41,6 +59,7 @@ main(int argc, char **argv)
 {
     std::uint64_t records = 100000;
     std::uint64_t warmup = 20000;
+    unsigned jobs = 1;
     std::string out_path = "results.csv";
     std::string config_file;
     std::vector<SchemeKind> schemes = allSchemeKinds();
@@ -52,14 +71,24 @@ main(int argc, char **argv)
             records = std::stoull(arg.substr(9));
         } else if (arg.rfind("-warmup=", 0) == 0) {
             warmup = std::stoull(arg.substr(8));
+        } else if (arg.rfind("-jobs=", 0) == 0) {
+            jobs = static_cast<unsigned>(std::stoul(arg.substr(6)));
         } else if (arg.rfind("-out=", 0) == 0) {
             out_path = arg.substr(5);
         } else if (arg.rfind("-ConfigFile=", 0) == 0) {
             config_file = arg.substr(12);
         } else if (arg.rfind("-schemes=", 0) == 0) {
             schemes.clear();
-            for (const std::string &s : splitCsv(arg.substr(9)))
-                schemes.push_back(parseSchemeKind(s));
+            for (const std::string &s : splitCsv(arg.substr(9))) {
+                std::optional<SchemeKind> k = tryParseSchemeKind(s);
+                if (!k)
+                    esd_fatal("unknown scheme '%s' in -schemes= "
+                              "(use 0..5 or a scheme name)",
+                              s.c_str());
+                schemes.push_back(*k);
+            }
+            if (schemes.empty())
+                esd_fatal("-schemes= lists no schemes");
         } else if (arg.rfind("-apps=", 0) == 0) {
             apps = splitCsv(arg.substr(6));
         } else {
@@ -69,6 +98,13 @@ main(int argc, char **argv)
     if (apps.empty()) {
         for (const AppProfile &p : paperApps())
             apps.push_back(p.name);
+    }
+    // Validate the whole grid before any simulation runs: a typo must
+    // exit non-zero immediately, not surface after minutes of runs.
+    for (const std::string &app : apps) {
+        if (!tryFindApp(app))
+            esd_fatal("unknown application '%s' in -apps= (valid: %s)",
+                      app.c_str(), knownAppNames().c_str());
     }
 
     SimConfig cfg;
@@ -85,23 +121,44 @@ main(int argc, char **argv)
            "energy_pj,metadata_bytes,fp_cache_hit,amt_cache_hit,"
            "max_line_wear\n";
 
+    // Grid order fixes both the CSV row order and (under -jobs=N) the
+    // outcome slots; every pair keeps the historical cfg.seed trace so
+    // results stay comparable with serial runs of older versions.
+    std::vector<exec::SweepJob> grid;
+    grid.reserve(apps.size() * schemes.size());
     for (const std::string &app : apps) {
         for (SchemeKind k : schemes) {
-            SyntheticWorkload trace(findApp(app), cfg.seed);
-            RunResult r = runWorkload(cfg, k, trace, records, warmup);
-            out << app << ',' << r.schemeName << ',' << r.records << ','
-                << r.logicalWrites << ',' << r.logicalReads << ','
-                << r.dedupHits << ',' << r.writeReduction() << ','
-                << r.nvmDataWrites << ',' << r.nvmWritesTotal << ','
-                << r.nvmReadsTotal << ',' << r.writeLatency.mean() << ','
-                << r.writeLatency.percentile(99) << ','
-                << r.readLatency.mean() << ','
-                << r.readLatency.percentile(99) << ',' << r.ipc << ','
-                << r.energy.total() << ',' << r.metadataNvmBytes << ','
-                << r.fpCacheHitRate << ',' << r.amtCacheHitRate << ','
-                << r.wear.maxLineWrites << '\n';
-            std::cout << app << " / " << r.schemeName << " done\n";
+            exec::SweepJob job;
+            job.app = app;
+            job.scheme = k;
+            job.cfg = cfg;
+            job.records = records;
+            job.warmup = warmup;
+            grid.push_back(std::move(job));
         }
+    }
+
+    exec::SweepRunner runner(jobs);
+    std::vector<exec::SweepOutcome> outcomes = runner.run(
+        grid, [](std::size_t, const exec::SweepJob &job,
+                 const RunResult &r) {
+            std::cout << job.app << " / " << r.schemeName << " done\n";
+        });
+
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const RunResult &r = outcomes[i].result;
+        const exec::SweepJob &job = grid[i];
+        out << job.app << ',' << r.schemeName << ',' << r.records << ','
+            << r.logicalWrites << ',' << r.logicalReads << ','
+            << r.dedupHits << ',' << r.writeReduction() << ','
+            << r.nvmDataWrites << ',' << r.nvmWritesTotal << ','
+            << r.nvmReadsTotal << ',' << r.writeLatency.mean() << ','
+            << r.writeLatency.percentile(99) << ','
+            << r.readLatency.mean() << ','
+            << r.readLatency.percentile(99) << ',' << r.ipc << ','
+            << r.energy.total() << ',' << r.metadataNvmBytes << ','
+            << r.fpCacheHitRate << ',' << r.amtCacheHitRate << ','
+            << r.wear.maxLineWrites << '\n';
     }
     std::cout << "wrote " << out_path << "\n";
     return 0;

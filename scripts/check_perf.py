@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Compare a fresh benchmark JSON against a committed baseline.
+
+Used by the CI `perf` job: bench_hotpath and bench_sweep_scaling dump
+their ESD_BENCH_JSON artifacts, and this script fails the build when
+any throughput metric drops below `--threshold` (default 0.85) times
+its baseline value. Higher-is-better metrics only; latency-style
+metrics are not extracted.
+
+Metric extraction understands the two bench JSON shapes:
+
+  bench_hotpath:        {"schemes": [{"scheme": S, "writes_per_s": W}],
+                         "aggregate_writes_per_s": W}
+  bench_sweep_scaling:  {"scaling": [{"jobs": N, "writes_per_s": W,
+                                      "speedup": X}]}
+
+plus a generic fallback: any top-level numeric field ending in
+"_per_s".
+
+Exit status: 0 when every metric holds, 1 on regression or a metric
+missing from the fresh run, 2 on usage/IO errors.
+
+Example:
+  python3 scripts/check_perf.py \
+    --baseline bench/baselines/hotpath.json --fresh hotpath.json
+
+Self-test (used by ctest):
+  python3 scripts/check_perf.py --self-test
+"""
+
+import argparse
+import json
+import sys
+
+
+def extract_metrics(doc):
+    """Flatten a bench JSON document into {metric_name: value}."""
+    metrics = {}
+    for entry in doc.get("schemes", []):
+        name = entry.get("scheme")
+        if name is not None and "writes_per_s" in entry:
+            metrics[f"scheme[{name}].writes_per_s"] = entry["writes_per_s"]
+    for entry in doc.get("scaling", []):
+        jobs = entry.get("jobs")
+        if jobs is None:
+            continue
+        if "writes_per_s" in entry:
+            metrics[f"jobs[{jobs}].writes_per_s"] = entry["writes_per_s"]
+        if "speedup" in entry:
+            metrics[f"jobs[{jobs}].speedup"] = entry["speedup"]
+    for key, value in doc.items():
+        if key.endswith("_per_s") and isinstance(value, (int, float)):
+            metrics[key] = value
+    return metrics
+
+
+def compare(baseline, fresh, threshold):
+    """Return (rows, failures): one row per baseline metric."""
+    rows = []
+    failures = []
+    for name in sorted(baseline):
+        base = baseline[name]
+        cur = fresh.get(name)
+        if cur is None:
+            rows.append((name, base, None, None, "MISSING"))
+            failures.append(name)
+            continue
+        ratio = cur / base if base else float("inf")
+        ok = ratio >= threshold
+        rows.append((name, base, cur, ratio, "ok" if ok else "FAIL"))
+        if not ok:
+            failures.append(name)
+    return rows, failures
+
+
+def print_table(rows, threshold):
+    name_w = max([len(r[0]) for r in rows] + [len("metric")])
+    print(f"{'metric':<{name_w}} {'baseline':>14} {'fresh':>14} "
+          f"{'ratio':>8}  status")
+    for name, base, cur, ratio, status in rows:
+        cur_s = f"{cur:14.1f}" if cur is not None else f"{'-':>14}"
+        ratio_s = f"{ratio:8.3f}" if ratio is not None else f"{'-':>8}"
+        print(f"{name:<{name_w}} {base:14.1f} {cur_s} {ratio_s}  {status}")
+    print(f"(gate: fresh >= {threshold:.2f} x baseline)")
+
+
+def self_test():
+    base = {
+        "schemes": [
+            {"scheme": "ESD", "writes_per_s": 1000.0},
+            {"scheme": "Baseline", "writes_per_s": 2000.0},
+        ],
+        "aggregate_writes_per_s": 1500.0,
+        "scaling": [{"jobs": 4, "writes_per_s": 4000.0, "speedup": 3.5}],
+    }
+    bm = extract_metrics(base)
+    assert bm == {
+        "scheme[ESD].writes_per_s": 1000.0,
+        "scheme[Baseline].writes_per_s": 2000.0,
+        "aggregate_writes_per_s": 1500.0,
+        "jobs[4].writes_per_s": 4000.0,
+        "jobs[4].speedup": 3.5,
+    }, bm
+
+    # Identical run passes.
+    rows, failures = compare(bm, dict(bm), 0.85)
+    assert not failures, failures
+
+    # A 20% regression on one metric fails exactly that metric.
+    fresh = dict(bm)
+    fresh["scheme[ESD].writes_per_s"] = 800.0
+    rows, failures = compare(bm, fresh, 0.85)
+    assert failures == ["scheme[ESD].writes_per_s"], failures
+
+    # A 10% regression stays inside the 0.85 gate.
+    fresh["scheme[ESD].writes_per_s"] = 900.0
+    rows, failures = compare(bm, fresh, 0.85)
+    assert not failures, failures
+
+    # A metric absent from the fresh run fails.
+    fresh = dict(bm)
+    del fresh["jobs[4].speedup"]
+    rows, failures = compare(bm, fresh, 0.85)
+    assert failures == ["jobs[4].speedup"], failures
+
+    print("check_perf.py self-test: ok")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", help="committed baseline JSON")
+    ap.add_argument("--fresh", help="freshly measured JSON")
+    ap.add_argument("--threshold", type=float, default=0.85,
+                    help="minimum fresh/baseline ratio (default 0.85)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the built-in unit checks and exit")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.fresh:
+        ap.error("--baseline and --fresh are required")
+
+    try:
+        with open(args.baseline) as f:
+            baseline = extract_metrics(json.load(f))
+        with open(args.fresh) as f:
+            fresh = extract_metrics(json.load(f))
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_perf: {e}", file=sys.stderr)
+        return 2
+
+    if not baseline:
+        print(f"check_perf: no metrics in baseline {args.baseline}",
+              file=sys.stderr)
+        return 2
+
+    rows, failures = compare(baseline, fresh, args.threshold)
+    print_table(rows, args.threshold)
+    if failures:
+        print(f"check_perf: {len(failures)} metric(s) regressed below "
+              f"{args.threshold:.2f}x baseline: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print("check_perf: all metrics within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+#include "common/flat_map.hh"
+
+#include "common/logging.hh"
+
+namespace esd
+{
+
+std::uint64_t
+flatMapCapacityFor(std::uint64_t n)
+{
+    std::uint64_t cap = 8;
+    while (cap < n) {
+        cap <<= 1;
+        esd_assert(cap != 0, "flat map capacity overflow");
+    }
+    return cap;
+}
+
+void *
+BumpArena::allocate(std::size_t bytes, std::size_t align)
+{
+    esd_assert(bytes > 0 && (align & (align - 1)) == 0,
+               "bad arena allocation request");
+    Chunk *c = chunks_.empty() ? nullptr : &chunks_.back();
+    std::size_t aligned = c ? (c->used + align - 1) & ~(align - 1) : 0;
+    if (!c || aligned + bytes > c->cap) {
+        // Geometric growth, starting small: most arenas (per-line
+        // stuck-at sets) stay tiny for realistic fault rates.
+        std::size_t cap = chunks_.empty() ? 4096 : chunks_.back().cap * 2;
+        while (cap < bytes + align)
+            cap *= 2;
+        Chunk fresh;
+        fresh.data = std::make_unique<std::uint8_t[]>(cap);
+        fresh.cap = cap;
+        chunks_.push_back(std::move(fresh));
+        c = &chunks_.back();
+        aligned = 0;
+        auto base = reinterpret_cast<std::uintptr_t>(c->data.get());
+        aligned = ((base + align - 1) & ~(align - 1)) - base;
+    }
+    void *out = c->data.get() + aligned;
+    c->used = aligned + bytes;
+    allocated_ += bytes;
+    return out;
+}
+
+void
+BumpArena::release()
+{
+    chunks_.clear();
+    allocated_ = 0;
+}
+
+} // namespace esd

@@ -32,6 +32,7 @@ Simulator::resetMeasurement()
     readLatency_.reset();
     writeLatency_.reset();
     sampler_.reset();
+    profiler_.reset();
 }
 
 RunResult
@@ -54,6 +55,8 @@ Simulator::run(TraceSource &trace, std::uint64_t records,
     readLatency_.reset();
     writeLatency_.reset();
     sampler_.reset();
+    profiler_.reset();
+    auto host_start = std::chrono::steady_clock::now();
 
     TraceRecord rec;
     while ((records == 0 || processed < records) && trace.next(rec)) {
@@ -62,6 +65,7 @@ Simulator::run(TraceSource &trace, std::uint64_t records,
             measure_start_time = core_time;
             measure_start_instr = instructions;
             measuring = true;
+            host_start = std::chrono::steady_clock::now();
         }
 
         // The core retires the inter-request instructions first.
@@ -91,6 +95,12 @@ Simulator::run(TraceSource &trace, std::uint64_t records,
     if (!measuring)
         esd_fatal("trace shorter than the %llu-record warmup",
                   static_cast<unsigned long long>(warmup));
+
+    out.hostNs = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - host_start)
+            .count());
+    profiler_.setRunNs(out.hostNs);
 
     out.readLatency = readLatency_;
     out.writeLatency = writeLatency_;

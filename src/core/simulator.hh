@@ -27,6 +27,7 @@
 #include "dedup/scheme_factory.hh"
 #include "metrics/energy.hh"
 #include "metrics/interval_sampler.hh"
+#include "metrics/profiler.hh"
 #include "nvm/nvm_store.hh"
 #include "nvm/pcm_device.hh"
 #include "trace/trace.hh"
@@ -76,6 +77,11 @@ struct RunResult
 
     /** Endurance accounting over the measured window. */
     WearStats wear;
+
+    /** Host wall-clock of the measured window in ns. Never serialized
+     * into run reports — simulated results stay machine-independent —
+     * but the self-profiling benches read it for writes/s. */
+    std::uint64_t hostNs = 0;
 
     /** dedupHits / logicalWrites. */
     double
@@ -131,6 +137,30 @@ class Simulator
 
     const IntervalSampler &sampler() const { return sampler_; }
 
+    /**
+     * Attach the host-side phase profiler to the scheme and register
+     * its gauges under "host.profile.*". Call before run(); opt-in
+     * because registration widens the stats-JSON schema (unprofiled
+     * reports stay byte-identical to earlier releases).
+     */
+    void
+    enableProfiling()
+    {
+        if (profiling_)
+            return;
+        profiling_ = true;
+        scheme_->setProfiler(&profiler_);
+        profiler_.registerStats(registry_, "host.profile");
+        // Registering gauges widened the registry; an already-enabled
+        // sampler must re-capture its column set or its row width
+        // assertion fires on the first sample.
+        if (sampler_.enabled())
+            sampler_.configure(registry_, sampler_.interval());
+    }
+
+    const Profiler &profiler() const { return profiler_; }
+    bool profilingEnabled() const { return profiling_; }
+
   private:
     void resetMeasurement();
 
@@ -141,6 +171,8 @@ class Simulator
 
     StatRegistry registry_;
     IntervalSampler sampler_;
+    Profiler profiler_;
+    bool profiling_ = false;
 
     /** Measured-window latency distributions; registered as
      * "scheme.read_latency" / "scheme.write_latency" and copied into

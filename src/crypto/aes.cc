@@ -2,6 +2,13 @@
 
 #include <cstring>
 
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+
+#include "crypto/cpu_features.hh"
+#define ESD_AES_HW 1
+#endif
+
 namespace esd
 {
 
@@ -91,6 +98,66 @@ byteOf(std::uint32_t w, int i)
     return static_cast<std::uint8_t>(w >> (8 * i));
 }
 
+#ifdef ESD_AES_HW
+
+/**
+ * The packed column words are little-endian with byte 0 in the low
+ * byte, so the 44-word round-key array is byte-for-byte the FIPS-197
+ * expanded key schedule: each group of four consecutive words loads
+ * directly as one AES-NI round key.
+ */
+__attribute__((target("aes,sse2"))) AesBlock
+encryptBlockHw(const std::uint32_t *rk, const AesBlock &in)
+{
+    __m128i b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(in.data()));
+    b = _mm_xor_si128(b,
+                      _mm_loadu_si128(reinterpret_cast<const __m128i *>(rk)));
+    for (int r = 1; r <= 9; ++r) {
+        b = _mm_aesenc_si128(b, _mm_loadu_si128(reinterpret_cast<
+                                                const __m128i *>(rk + 4 * r)));
+    }
+    b = _mm_aesenclast_si128(
+        b, _mm_loadu_si128(reinterpret_cast<const __m128i *>(rk + 40)));
+    AesBlock out;
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(out.data()), b);
+    return out;
+}
+
+/** Four interleaved streams hide the aesenc latency behind each other. */
+__attribute__((target("aes,sse2"))) void
+encryptBlocks4Hw(const std::uint32_t *rk, const AesBlock *in, AesBlock *out)
+{
+    __m128i k = _mm_loadu_si128(reinterpret_cast<const __m128i *>(rk));
+    __m128i b0 = _mm_xor_si128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(in[0].data())), k);
+    __m128i b1 = _mm_xor_si128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(in[1].data())), k);
+    __m128i b2 = _mm_xor_si128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(in[2].data())), k);
+    __m128i b3 = _mm_xor_si128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(in[3].data())), k);
+    for (int r = 1; r <= 9; ++r) {
+        k = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(rk + 4 * r));
+        b0 = _mm_aesenc_si128(b0, k);
+        b1 = _mm_aesenc_si128(b1, k);
+        b2 = _mm_aesenc_si128(b2, k);
+        b3 = _mm_aesenc_si128(b3, k);
+    }
+    k = _mm_loadu_si128(reinterpret_cast<const __m128i *>(rk + 40));
+    b0 = _mm_aesenclast_si128(b0, k);
+    b1 = _mm_aesenclast_si128(b1, k);
+    b2 = _mm_aesenclast_si128(b2, k);
+    b3 = _mm_aesenclast_si128(b3, k);
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(out[0].data()), b0);
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(out[1].data()), b1);
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(out[2].data()), b2);
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(out[3].data()), b3);
+}
+
+#endif // ESD_AES_HW
+
 } // namespace
 
 std::uint8_t
@@ -128,6 +195,10 @@ Aes128::expandKey(const AesKey &key)
 AesBlock
 Aes128::encryptBlock(const AesBlock &in) const
 {
+#ifdef ESD_AES_HW
+    if (cpuHasAesni())
+        return encryptBlockHw(roundKeys_.data(), in);
+#endif
     // Column-major state: word j holds s[0..3][j], byte 0 = row 0.
     std::uint32_t c[4];
     for (int j = 0; j < 4; ++j) {
@@ -164,6 +235,19 @@ Aes128::encryptBlock(const AesBlock &in) const
         out[4 * j + 3] = byteOf(w, 3);
     }
     return out;
+}
+
+void
+Aes128::encryptBlocks4(const AesBlock in[4], AesBlock out[4]) const
+{
+#ifdef ESD_AES_HW
+    if (cpuHasAesni()) {
+        encryptBlocks4Hw(roundKeys_.data(), in, out);
+        return;
+    }
+#endif
+    for (int i = 0; i < 4; ++i)
+        out[i] = encryptBlock(in[i]);
 }
 
 } // namespace esd

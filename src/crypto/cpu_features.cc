@@ -1,0 +1,65 @@
+#include "crypto/cpu_features.hh"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#define ESD_CPUID_AVAILABLE 1
+#endif
+
+namespace esd
+{
+
+namespace
+{
+
+struct CpuFeatures
+{
+    bool aesni = false;
+    bool sha = false;
+    bool crc32c = false;
+
+    CpuFeatures()
+    {
+#ifdef ESD_CPUID_AVAILABLE
+        unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+        if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx))
+            return;
+        const bool ssse3 = ecx & (1u << 9);
+        const bool sse41 = ecx & (1u << 19);
+        const bool sse42 = ecx & (1u << 20);
+        const bool aes = ecx & (1u << 25);
+        aesni = aes && sse41;
+        crc32c = sse42;
+        if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx))
+            sha = (ebx & (1u << 29)) && ssse3 && sse41;
+#endif
+    }
+};
+
+const CpuFeatures &
+features()
+{
+    static const CpuFeatures f;
+    return f;
+}
+
+} // namespace
+
+bool
+cpuHasAesni()
+{
+    return features().aesni;
+}
+
+bool
+cpuHasSha()
+{
+    return features().sha;
+}
+
+bool
+cpuHasCrc32c()
+{
+    return features().crc32c;
+}
+
+} // namespace esd

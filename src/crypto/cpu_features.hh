@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Runtime x86 ISA feature probes for the hardware-accelerated crypto
+ * fast paths (AES-NI, SHA extensions, SSE4.2 CRC32).
+ *
+ * The build deliberately carries no -march flags, so the binary stays
+ * runnable on any x86-64; the accelerated kernels are compiled with
+ * per-function target attributes and selected here at run time. Every
+ * fast path computes the exact same function as its portable fallback
+ * (same FIPS algorithms, same polynomial), so feature availability can
+ * never change simulation results — only host wall-clock.
+ */
+
+#ifndef ESD_CRYPTO_CPU_FEATURES_HH
+#define ESD_CRYPTO_CPU_FEATURES_HH
+
+namespace esd
+{
+
+/** AES-NI plus the SSE2 loads/stores the AES kernel needs. */
+bool cpuHasAesni();
+
+/** SHA-1 extensions plus the SSSE3/SSE4.1 shuffles the kernel needs. */
+bool cpuHasSha();
+
+/** SSE4.2 crc32 instruction (CRC32C polynomial). */
+bool cpuHasCrc32c();
+
+} // namespace esd
+
+#endif // ESD_CRYPTO_CPU_FEATURES_HH

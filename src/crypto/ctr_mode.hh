@@ -18,8 +18,8 @@
 #define ESD_CRYPTO_CTR_MODE_HH
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "common/flat_map.hh"
 #include "common/types.hh"
 #include "crypto/aes.hh"
 
@@ -70,25 +70,29 @@ class CtrModeEngine
     CacheLine
     applyPad(Addr addr, std::uint64_t ctr, const CacheLine &in) const
     {
-        CacheLine out;
-        for (unsigned blk = 0; blk < kLineSize / 16; ++blk) {
-            AesBlock cb{};
+        static_assert(kLineSize == 64, "pad batch assumes 4 AES blocks");
+        AesBlock cb[4];
+        for (unsigned blk = 0; blk < 4; ++blk) {
             // Counter block: addr | ctr | blk.
             for (int i = 0; i < 8; ++i)
-                cb[i] = static_cast<std::uint8_t>(addr >> (8 * i));
+                cb[blk][i] = static_cast<std::uint8_t>(addr >> (8 * i));
             for (int i = 0; i < 7; ++i)
-                cb[8 + i] = static_cast<std::uint8_t>(ctr >> (8 * i));
-            cb[15] = static_cast<std::uint8_t>(blk);
-            AesBlock pad = aes_.encryptBlock(cb);
+                cb[blk][8 + i] = static_cast<std::uint8_t>(ctr >> (8 * i));
+            cb[blk][15] = static_cast<std::uint8_t>(blk);
+        }
+        AesBlock pad[4];
+        aes_.encryptBlocks4(cb, pad);
+        CacheLine out;
+        for (unsigned blk = 0; blk < 4; ++blk) {
             for (unsigned i = 0; i < 16; ++i)
-                out[blk * 16 + i] = in[blk * 16 + i] ^ pad[i];
+                out[blk * 16 + i] = in[blk * 16 + i] ^ pad[blk][i];
         }
         return out;
     }
 
   private:
     Aes128 aes_;
-    std::unordered_map<Addr, std::uint64_t> counters_;
+    FlatMap<Addr, std::uint64_t> counters_;
 };
 
 } // namespace esd

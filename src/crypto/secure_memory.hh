@@ -22,8 +22,8 @@
 #define ESD_CRYPTO_SECURE_MEMORY_HH
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "common/flat_map.hh"
 #include "common/types.hh"
 #include "crypto/aes.hh"
 #include "crypto/ctr_mode.hh"
@@ -111,13 +111,13 @@ class SecureCounterMemory
     std::uint32_t stride_;
 
     /** Volatile (on-chip) exact counters — lost at crash. */
-    std::unordered_map<Addr, std::uint64_t> volatileCtr_;
+    FlatMap<Addr, std::uint64_t> volatileCtr_;
 
     /** Persisted (NVMM) counters — may lag by < stride. */
-    std::unordered_map<Addr, std::uint64_t> persistedCtr_;
+    FlatMap<Addr, std::uint64_t> persistedCtr_;
 
     /** NVMM contents: ciphertext + plaintext-ECC. */
-    std::unordered_map<Addr, SecureLine> lines_;
+    FlatMap<Addr, SecureLine> lines_;
 
     std::uint64_t persists_ = 0;
 };

@@ -3,6 +3,13 @@
 #include <bit>
 #include <cstring>
 
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+
+#include "crypto/cpu_features.hh"
+#define ESD_SHA1_HW 1
+#endif
+
 namespace esd
 {
 
@@ -14,6 +21,200 @@ rotl(std::uint32_t v, unsigned n)
 {
     return std::rotl(v, static_cast<int>(n));
 }
+
+#ifdef ESD_SHA1_HW
+
+/**
+ * SHA-1 compression via the SHA extensions. sha1rnds4 runs four rounds
+ * per issue with the round function picked by the immediate, sha1msg1/
+ * sha1msg2/xor implement the W[t] recurrence four lanes at a time, and
+ * sha1nexte folds the rotated 'a' into the next round group's message
+ * words. The byte shuffle converts the big-endian message words into
+ * the lane order the instructions expect (W[t] in the high lane).
+ */
+__attribute__((target("sha,ssse3,sse4.1"))) void
+processBlockHw(std::uint32_t *h, const std::uint8_t *data)
+{
+    const __m128i kShuf = _mm_set_epi64x(
+        static_cast<long long>(0x0001020304050607ull),
+        static_cast<long long>(0x08090a0b0c0d0e0full));
+
+    __m128i abcd =
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(h));
+    abcd = _mm_shuffle_epi32(abcd, 0x1B);
+    __m128i e0 = _mm_set_epi32(static_cast<int>(h[4]), 0, 0, 0);
+    const __m128i abcdSave = abcd;
+    const __m128i e0Save = e0;
+    __m128i e1;
+
+    // Rounds 0-3.
+    __m128i m0 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(data)), kShuf);
+    e0 = _mm_add_epi32(e0, m0);
+    e1 = abcd;
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 0);
+
+    // Rounds 4-7.
+    __m128i m1 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(data + 16)),
+        kShuf);
+    e1 = _mm_sha1nexte_epu32(e1, m1);
+    e0 = abcd;
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 0);
+    m0 = _mm_sha1msg1_epu32(m0, m1);
+
+    // Rounds 8-11.
+    __m128i m2 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(data + 32)),
+        kShuf);
+    e0 = _mm_sha1nexte_epu32(e0, m2);
+    e1 = abcd;
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 0);
+    m1 = _mm_sha1msg1_epu32(m1, m2);
+    m0 = _mm_xor_si128(m0, m2);
+
+    // Rounds 12-15.
+    __m128i m3 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(data + 48)),
+        kShuf);
+    e1 = _mm_sha1nexte_epu32(e1, m3);
+    e0 = abcd;
+    m0 = _mm_sha1msg2_epu32(m0, m3);
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 0);
+    m2 = _mm_sha1msg1_epu32(m2, m3);
+    m1 = _mm_xor_si128(m1, m3);
+
+    // Rounds 16-19.
+    e0 = _mm_sha1nexte_epu32(e0, m0);
+    e1 = abcd;
+    m1 = _mm_sha1msg2_epu32(m1, m0);
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 0);
+    m3 = _mm_sha1msg1_epu32(m3, m0);
+    m2 = _mm_xor_si128(m2, m0);
+
+    // Rounds 20-23.
+    e1 = _mm_sha1nexte_epu32(e1, m1);
+    e0 = abcd;
+    m2 = _mm_sha1msg2_epu32(m2, m1);
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 1);
+    m0 = _mm_sha1msg1_epu32(m0, m1);
+    m3 = _mm_xor_si128(m3, m1);
+
+    // Rounds 24-27.
+    e0 = _mm_sha1nexte_epu32(e0, m2);
+    e1 = abcd;
+    m3 = _mm_sha1msg2_epu32(m3, m2);
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 1);
+    m1 = _mm_sha1msg1_epu32(m1, m2);
+    m0 = _mm_xor_si128(m0, m2);
+
+    // Rounds 28-31.
+    e1 = _mm_sha1nexte_epu32(e1, m3);
+    e0 = abcd;
+    m0 = _mm_sha1msg2_epu32(m0, m3);
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 1);
+    m2 = _mm_sha1msg1_epu32(m2, m3);
+    m1 = _mm_xor_si128(m1, m3);
+
+    // Rounds 32-35.
+    e0 = _mm_sha1nexte_epu32(e0, m0);
+    e1 = abcd;
+    m1 = _mm_sha1msg2_epu32(m1, m0);
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 1);
+    m3 = _mm_sha1msg1_epu32(m3, m0);
+    m2 = _mm_xor_si128(m2, m0);
+
+    // Rounds 36-39.
+    e1 = _mm_sha1nexte_epu32(e1, m1);
+    e0 = abcd;
+    m2 = _mm_sha1msg2_epu32(m2, m1);
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 1);
+    m0 = _mm_sha1msg1_epu32(m0, m1);
+    m3 = _mm_xor_si128(m3, m1);
+
+    // Rounds 40-43.
+    e0 = _mm_sha1nexte_epu32(e0, m2);
+    e1 = abcd;
+    m3 = _mm_sha1msg2_epu32(m3, m2);
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 2);
+    m1 = _mm_sha1msg1_epu32(m1, m2);
+    m0 = _mm_xor_si128(m0, m2);
+
+    // Rounds 44-47.
+    e1 = _mm_sha1nexte_epu32(e1, m3);
+    e0 = abcd;
+    m0 = _mm_sha1msg2_epu32(m0, m3);
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 2);
+    m2 = _mm_sha1msg1_epu32(m2, m3);
+    m1 = _mm_xor_si128(m1, m3);
+
+    // Rounds 48-51.
+    e0 = _mm_sha1nexte_epu32(e0, m0);
+    e1 = abcd;
+    m1 = _mm_sha1msg2_epu32(m1, m0);
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 2);
+    m3 = _mm_sha1msg1_epu32(m3, m0);
+    m2 = _mm_xor_si128(m2, m0);
+
+    // Rounds 52-55.
+    e1 = _mm_sha1nexte_epu32(e1, m1);
+    e0 = abcd;
+    m2 = _mm_sha1msg2_epu32(m2, m1);
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 2);
+    m0 = _mm_sha1msg1_epu32(m0, m1);
+    m3 = _mm_xor_si128(m3, m1);
+
+    // Rounds 56-59.
+    e0 = _mm_sha1nexte_epu32(e0, m2);
+    e1 = abcd;
+    m3 = _mm_sha1msg2_epu32(m3, m2);
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 2);
+    m1 = _mm_sha1msg1_epu32(m1, m2);
+    m0 = _mm_xor_si128(m0, m2);
+
+    // Rounds 60-63.
+    e1 = _mm_sha1nexte_epu32(e1, m3);
+    e0 = abcd;
+    m0 = _mm_sha1msg2_epu32(m0, m3);
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 3);
+    m2 = _mm_sha1msg1_epu32(m2, m3);
+    m1 = _mm_xor_si128(m1, m3);
+
+    // Rounds 64-67.
+    e0 = _mm_sha1nexte_epu32(e0, m0);
+    e1 = abcd;
+    m1 = _mm_sha1msg2_epu32(m1, m0);
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 3);
+    m3 = _mm_sha1msg1_epu32(m3, m0);
+    m2 = _mm_xor_si128(m2, m0);
+
+    // Rounds 68-71.
+    e1 = _mm_sha1nexte_epu32(e1, m1);
+    e0 = abcd;
+    m2 = _mm_sha1msg2_epu32(m2, m1);
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 3);
+    m3 = _mm_xor_si128(m3, m1);
+
+    // Rounds 72-75.
+    e0 = _mm_sha1nexte_epu32(e0, m2);
+    e1 = abcd;
+    m3 = _mm_sha1msg2_epu32(m3, m2);
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 3);
+
+    // Rounds 76-79.
+    e1 = _mm_sha1nexte_epu32(e1, m3);
+    e0 = abcd;
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 3);
+
+    // Fold into the chaining state.
+    e0 = _mm_sha1nexte_epu32(e0, e0Save);
+    abcd = _mm_add_epi32(abcd, abcdSave);
+    abcd = _mm_shuffle_epi32(abcd, 0x1B);
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(h), abcd);
+    h[4] = static_cast<std::uint32_t>(_mm_extract_epi32(e0, 3));
+}
+
+#endif // ESD_SHA1_HW
 
 } // namespace
 
@@ -32,6 +233,12 @@ Sha1::reset()
 void
 Sha1::processBlock(const std::uint8_t *block)
 {
+#ifdef ESD_SHA1_HW
+    if (cpuHasSha()) {
+        processBlockHw(h_, block);
+        return;
+    }
+#endif
     std::uint32_t w[80];
     for (int i = 0; i < 16; ++i) {
         w[i] = (static_cast<std::uint32_t>(block[i * 4]) << 24) |

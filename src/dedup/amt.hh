@@ -25,10 +25,10 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/config.hh"
+#include "common/flat_map.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -220,7 +220,7 @@ class Amt
     std::vector<Way> ways_;
 
     /** The authoritative NVMM-resident table (functional model). */
-    std::unordered_map<std::uint64_t, PackedPhys> map_;
+    FlatMap<std::uint64_t, PackedPhys> map_;
 
     AmtStats stats_;
 };

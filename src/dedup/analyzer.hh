@@ -15,8 +15,8 @@
 #define ESD_DEDUP_ANALYZER_HH
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "common/flat_map.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -35,7 +35,7 @@ class DedupAnalyzer
         if (line.isZero())
             ++zeroWrites_;
         std::uint64_t key = line.contentHash();
-        auto [it, inserted] = refs_.try_emplace(key, 0);
+        auto [it, inserted] = refs_.emplace(key, 0);
         if (!inserted)
             ++duplicateWrites_;
         ++it->second;
@@ -73,7 +73,7 @@ class DedupAnalyzer
     }
 
   private:
-    std::unordered_map<std::uint64_t, std::uint64_t> refs_;
+    FlatMap<std::uint64_t, std::uint64_t> refs_;
     std::uint64_t totalWrites_ = 0;
     std::uint64_t duplicateWrites_ = 0;
     std::uint64_t zeroWrites_ = 0;

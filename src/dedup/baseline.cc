@@ -18,7 +18,11 @@ BaselineScheme::write(Addr addr, const CacheLine &data, Tick now)
     t += enc;
     bd.encrypt += static_cast<double>(enc);
 
-    LineEcc ecc = LineEccCodec::encode(data);
+    LineEcc ecc;
+    {
+        Profiler::Scope ps = profScope(Profiler::Fingerprint);
+        ecc = LineEccCodec::encode(data);
+    }
     NvmAccessResult r = writeLine(addr, cipher, ecc, t);
     bd.lineWrite += static_cast<double>(r.complete - t);
     stats_.nvmDataWrites.inc();

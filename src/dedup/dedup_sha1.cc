@@ -31,6 +31,7 @@ DedupSha1Scheme::registerStats(StatRegistry &reg) const
 void
 DedupSha1Scheme::onPhysFreed(Addr phys)
 {
+    Profiler::Scope ps = profScope(Profiler::Lookup);
     auto it = physToFp_.find(phys);
     if (it != physToFp_.end()) {
         // Lines allocate on their logical address's channel, so the
@@ -59,7 +60,11 @@ DedupSha1Scheme::write(Addr addr, const CacheLine &data, Tick now)
     //    line, duplicate or not (the paper's first challenge).
     Tick fp_lat = cfg_.crypto.sha1Latency;
     stats_.hashEnergy += cfg_.crypto.sha1Energy;
-    std::uint64_t fp = Sha1::fingerprint64(data);
+    std::uint64_t fp;
+    {
+        Profiler::Scope ps = profScope(Profiler::Fingerprint);
+        fp = Sha1::fingerprint64(data);
+    }
     t += fp_lat;
     bd.fpCompute += static_cast<double>(fp_lat);
 
@@ -70,8 +75,12 @@ DedupSha1Scheme::write(Addr addr, const CacheLine &data, Tick now)
 
     bool suspended = dedupSuspended();
     unsigned shard = channelOf(addr);
-    FpTable::LookupResult lr =
-        suspended ? FpTable::LookupResult{} : fps_.lookup(fp, shard);
+    FpTable::LookupResult lr;
+    {
+        Profiler::Scope ps = profScope(Profiler::Lookup);
+        if (!suspended)
+            lr = fps_.lookup(fp, shard);
+    }
     if (lr.nvmLookup) {
         stats_.fpNvmLookups.inc();
         NvmAccessResult r = deviceRead(lr.nvmAddr, t);
@@ -115,11 +124,14 @@ DedupSha1Scheme::write(Addr addr, const CacheLine &data, Tick now)
 
         if (!suspended) {
             Addr fp_store_addr;
-            fps_.insert(fp, phys, fp_store_addr, shard);
+            {
+                Profiler::Scope ps = profScope(Profiler::Lookup);
+                fps_.insert(fp, phys, fp_store_addr, shard);
+                physToFp_[phys] = fp;
+            }
             stats_.fpNvmStores.inc();
             NvmAccessResult fs = deviceWrite(fp_store_addr, t);
             res.issuerStall += fs.issuerStall;
-            physToFp_[phys] = fp;
         }
 
         res.issuerStall += remap(addr, phys, t, bd);

@@ -10,8 +10,7 @@
 #ifndef ESD_DEDUP_DEDUP_SHA1_HH
 #define ESD_DEDUP_DEDUP_SHA1_HH
 
-#include <unordered_map>
-
+#include "common/flat_map.hh"
 #include "dedup/fp_table.hh"
 #include "dedup/mapped_scheme.hh"
 
@@ -45,7 +44,7 @@ class DedupSha1Scheme : public MappedDedupScheme
     static constexpr std::uint64_t kEntryBytes = 26;
 
     FpTable fps_;
-    std::unordered_map<Addr, std::uint64_t> physToFp_;
+    FlatMap<Addr, std::uint64_t> physToFp_;
 };
 
 } // namespace esd

@@ -49,6 +49,7 @@ DeWriteScheme::registerStats(StatRegistry &reg) const
 void
 DeWriteScheme::onPhysFreed(Addr phys)
 {
+    Profiler::Scope ps = profScope(Profiler::Lookup);
     auto it = physToFp_.find(phys);
     if (it != physToFp_.end()) {
         // Lines allocate on their logical address's channel, so the
@@ -79,7 +80,11 @@ DeWriteScheme::resolveDuplicate(std::uint64_t fp, const CacheLine &data,
     t += m;
     bd.metadata += static_cast<double>(m);
 
-    FpTable::LookupResult lr = fps_.lookup(fp, shard);
+    FpTable::LookupResult lr;
+    {
+        Profiler::Scope ps = profScope(Profiler::Lookup);
+        lr = fps_.lookup(fp, shard);
+    }
     if (lr.nvmLookup) {
         stats_.fpNvmLookups.inc();
         NvmAccessResult r = deviceRead(lr.nvmAddr, t);
@@ -127,7 +132,11 @@ DeWriteScheme::write(Addr addr, const CacheLine &data, Tick now)
     // CRC is computed for every line, predicted duplicate or not.
     Tick crc_lat = cfg_.crypto.crcLatency;
     stats_.hashEnergy += cfg_.crypto.crcEnergy;
-    std::uint64_t fp = Crc32c::line(data);
+    std::uint64_t fp;
+    {
+        Profiler::Scope ps = profScope(Profiler::Fingerprint);
+        fp = Crc32c::line(data);
+    }
     bd.fpCompute += static_cast<double>(crc_lat);
 
     bool predicted_dup = predictor_.predictDuplicate(addr);
@@ -162,11 +171,14 @@ DeWriteScheme::write(Addr addr, const CacheLine &data, Tick now)
 
             if (!ras_.dedupSuspended()) {
                 Addr fp_store;
-                fps_.insert(fp, phys, fp_store, shard);
+                {
+                    Profiler::Scope ps = profScope(Profiler::Lookup);
+                    fps_.insert(fp, phys, fp_store, shard);
+                    physToFp_[phys] = fp;
+                }
                 stats_.fpNvmStores.inc();
                 NvmAccessResult fs = deviceWrite(fp_store, t);
                 res.issuerStall += fs.issuerStall;
-                physToFp_[phys] = fp;
             }
 
             chk.phys = phys;
@@ -190,11 +202,14 @@ DeWriteScheme::write(Addr addr, const CacheLine &data, Tick now)
 
             if (!ras_.dedupSuspended()) {
                 Addr fp_store;
-                fps_.insert(fp, phys, fp_store, shard);
+                {
+                    Profiler::Scope ps = profScope(Profiler::Lookup);
+                    fps_.insert(fp, phys, fp_store, shard);
+                    physToFp_[phys] = fp;
+                }
                 stats_.fpNvmStores.inc();
                 NvmAccessResult fs = deviceWrite(fp_store, t_check);
                 res.issuerStall += fs.issuerStall;
-                physToFp_[phys] = fp;
             }
 
             chk.phys = phys;

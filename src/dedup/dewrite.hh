@@ -19,8 +19,8 @@
 #ifndef ESD_DEDUP_DEWRITE_HH
 #define ESD_DEDUP_DEWRITE_HH
 
-#include <unordered_map>
 
+#include "common/flat_map.hh"
 #include "dedup/fp_table.hh"
 #include "dedup/mapped_scheme.hh"
 #include "dedup/predictor.hh"
@@ -77,7 +77,7 @@ class DeWriteScheme : public MappedDedupScheme
 
     FpTable fps_;
     DupPredictor predictor_;
-    std::unordered_map<Addr, std::uint64_t> physToFp_;
+    FlatMap<Addr, std::uint64_t> physToFp_;
 };
 
 } // namespace esd

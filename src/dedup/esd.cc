@@ -20,6 +20,7 @@ EsdScheme::registerStats(StatRegistry &reg) const
 void
 EsdScheme::onPhysFreed(Addr phys)
 {
+    Profiler::Scope ps = profScope(Profiler::Lookup);
     auto it = physToEcc_.find(phys);
     if (it != physToEcc_.end()) {
         // Lines allocate on their logical address's channel, so the
@@ -39,7 +40,11 @@ EsdScheme::write(Addr addr, const CacheLine &data, Tick now)
 
     // 1. The fingerprint is the ECC the controller already computed —
     //    zero latency, zero energy on the critical path.
-    LineEcc ecc = LineEccCodec::encode(data);
+    LineEcc ecc;
+    {
+        Profiler::Scope ps = profScope(Profiler::Fingerprint);
+        ecc = LineEccCodec::encode(data);
+    }
     Tick t = now + cfg_.crypto.eccLatency;
     bd.fpCompute += static_cast<double>(cfg_.crypto.eccLatency);
     stats_.hashEnergy += cfg_.crypto.eccEnergy;
@@ -53,7 +58,12 @@ EsdScheme::write(Addr addr, const CacheLine &data, Tick now)
     // insert, and let every write take the unique path.
     bool suspended = dedupSuspended();
     unsigned shard = channelOf(addr);
-    Efit::Entry *entry = suspended ? nullptr : efit_.lookup(ecc, shard);
+    Efit::Entry *entry = nullptr;
+    {
+        Profiler::Scope ps = profScope(Profiler::Lookup);
+        if (!suspended)
+            entry = efit_.lookup(ecc, shard);
+    }
     bool dedup_done = false;
     bool saturated_rewrite = false;
 
@@ -103,6 +113,7 @@ EsdScheme::write(Addr addr, const CacheLine &data, Tick now)
         }
     } else if (entry) {
         // Stale entry whose line died — drop it.
+        Profiler::Scope ps = profScope(Profiler::Lookup);
         efit_.erase(entry->ecc, entry->phys.toAddr(), shard);
     }
 
@@ -116,13 +127,17 @@ EsdScheme::write(Addr addr, const CacheLine &data, Tick now)
         decisive_queue = w.queueDelay;
         encrypt_ns = cfg_.crypto.encryptLatency;
 
-        if (saturated_rewrite) {
-            // Retarget the saturated entry instead of duplicating it.
-            efit_.redirect(entry, phys);
-            physToEcc_[phys] = ecc;
-        } else if (!suspended) {
-            efit_.insert(ecc, phys, shard);
-            physToEcc_[phys] = ecc;
+        {
+            Profiler::Scope ps = profScope(Profiler::Lookup);
+            if (saturated_rewrite) {
+                // Retarget the saturated entry instead of duplicating
+                // it.
+                efit_.redirect(entry, phys);
+                physToEcc_[phys] = ecc;
+            } else if (!suspended) {
+                efit_.insert(ecc, phys, shard);
+                physToEcc_[phys] = ecc;
+            }
         }
 
         res.issuerStall += remap(addr, phys, t, bd);

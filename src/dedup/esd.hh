@@ -23,8 +23,8 @@
 #ifndef ESD_DEDUP_ESD_HH
 #define ESD_DEDUP_ESD_HH
 
-#include <unordered_map>
 
+#include "common/flat_map.hh"
 #include "dedup/efit.hh"
 #include "dedup/mapped_scheme.hh"
 
@@ -57,7 +57,7 @@ class EsdScheme : public MappedDedupScheme
     void onPhysFreed(Addr phys) override;
 
     Efit efit_;
-    std::unordered_map<Addr, LineEcc> physToEcc_;
+    FlatMap<Addr, LineEcc> physToEcc_;
 };
 
 } // namespace esd

@@ -29,6 +29,7 @@ EsdFullScheme::registerStats(StatRegistry &reg) const
 void
 EsdFullScheme::onPhysFreed(Addr phys)
 {
+    Profiler::Scope ps = profScope(Profiler::Lookup);
     auto it = physToFp_.find(phys);
     if (it != physToFp_.end()) {
         // Lines allocate on their logical address's channel, so the
@@ -53,7 +54,11 @@ EsdFullScheme::write(Addr addr, const CacheLine &data, Tick now)
     addr = lineAlign(addr);
 
     // Free ECC fingerprint, exactly as in ESD.
-    LineEcc ecc = LineEccCodec::encode(data);
+    LineEcc ecc;
+    {
+        Profiler::Scope ps = profScope(Profiler::Fingerprint);
+        ecc = LineEccCodec::encode(data);
+    }
     Tick t = now + cfg_.crypto.eccLatency;
 
     Tick m = metadataAccess();
@@ -63,8 +68,12 @@ EsdFullScheme::write(Addr addr, const CacheLine &data, Tick now)
     // Full dedup: a cache miss forces the fingerprint NVMM_lookup.
     bool suspended = dedupSuspended();
     unsigned shard = channelOf(addr);
-    FpTable::LookupResult lr =
-        suspended ? FpTable::LookupResult{} : fps_.lookup(ecc, shard);
+    FpTable::LookupResult lr;
+    {
+        Profiler::Scope ps = profScope(Profiler::Lookup);
+        if (!suspended)
+            lr = fps_.lookup(ecc, shard);
+    }
     if (lr.nvmLookup) {
         stats_.fpNvmLookups.inc();
         NvmAccessResult r = deviceRead(lr.nvmAddr, t);
@@ -121,11 +130,14 @@ EsdFullScheme::write(Addr addr, const CacheLine &data, Tick now)
 
         if (!suspended) {
             Addr fp_store;
-            fps_.insert(ecc, phys, fp_store, shard);
+            {
+                Profiler::Scope ps = profScope(Profiler::Lookup);
+                fps_.insert(ecc, phys, fp_store, shard);
+                physToFp_[phys] = ecc;
+            }
             stats_.fpNvmStores.inc();
             NvmAccessResult fs = deviceWrite(fp_store, t);
             res.issuerStall += fs.issuerStall;
-            physToFp_[phys] = ecc;
         }
 
         res.issuerStall += remap(addr, phys, t, bd);

@@ -14,8 +14,8 @@
 #ifndef ESD_DEDUP_ESD_FULL_HH
 #define ESD_DEDUP_ESD_FULL_HH
 
-#include <unordered_map>
 
+#include "common/flat_map.hh"
 #include "dedup/fp_table.hh"
 #include "dedup/mapped_scheme.hh"
 
@@ -49,7 +49,7 @@ class EsdFullScheme : public MappedDedupScheme
     static constexpr std::uint64_t kEntryBytes = 14;
 
     FpTable fps_;
-    std::unordered_map<Addr, std::uint64_t> physToFp_;
+    FlatMap<Addr, std::uint64_t> physToFp_;
 };
 
 } // namespace esd

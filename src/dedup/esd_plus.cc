@@ -81,7 +81,11 @@ EsdPlusScheme::write(Addr addr, const CacheLine &data, Tick now)
     WriteBreakdown bd;
     addr = lineAlign(addr);
 
-    LineEcc ecc = LineEccCodec::encode(data);
+    LineEcc ecc;
+    {
+        Profiler::Scope ps = profScope(Profiler::Fingerprint);
+        ecc = LineEccCodec::encode(data);
+    }
     Tick t = now + cfg_.crypto.eccLatency;
 
     Tick m = metadataAccess();
@@ -90,7 +94,12 @@ EsdPlusScheme::write(Addr addr, const CacheLine &data, Tick now)
 
     bool suspended = dedupSuspended();
     unsigned shard = channelOf(addr);
-    Efit::Entry *entry = suspended ? nullptr : efit_.lookup(ecc, shard);
+    Efit::Entry *entry = nullptr;
+    {
+        Profiler::Scope ps = profScope(Profiler::Lookup);
+        if (!suspended)
+            entry = efit_.lookup(ecc, shard);
+    }
     bool dedup_done = false;
     bool saturated_rewrite = false;
 
@@ -153,6 +162,7 @@ EsdPlusScheme::write(Addr addr, const CacheLine &data, Tick now)
             stats_.compareMismatches.inc();
         }
     } else if (entry) {
+        Profiler::Scope ps = profScope(Profiler::Lookup);
         efit_.erase(entry->ecc, entry->phys.toAddr(), shard);
     }
 
@@ -164,12 +174,15 @@ EsdPlusScheme::write(Addr addr, const CacheLine &data, Tick now)
         decisive_queue = w.queueDelay;
         encrypt_ns = cfg_.crypto.encryptLatency;
 
-        if (saturated_rewrite) {
-            efit_.redirect(entry, phys);
-            physToEcc_[phys] = ecc;
-        } else if (!suspended) {
-            efit_.insert(ecc, phys, shard);
-            physToEcc_[phys] = ecc;
+        {
+            Profiler::Scope ps = profScope(Profiler::Lookup);
+            if (saturated_rewrite) {
+                efit_.redirect(entry, phys);
+                physToEcc_[phys] = ecc;
+            } else if (!suspended) {
+                efit_.insert(ecc, phys, shard);
+                physToEcc_[phys] = ecc;
+            }
         }
 
         res.issuerStall += remap(addr, phys, t, bd);

@@ -20,6 +20,7 @@
 
 #include <list>
 
+#include "common/flat_map.hh"
 #include "dedup/esd.hh"
 
 namespace esd
@@ -69,7 +70,7 @@ class EsdPlusScheme : public EsdScheme
     std::uint64_t contentHits_ = 0;
 
     std::list<CachedLine> lru_;  // front = most recent
-    std::unordered_map<Addr, std::list<CachedLine>::iterator> index_;
+    FlatMap<Addr, std::list<CachedLine>::iterator> index_;
 };
 
 } // namespace esd

@@ -11,10 +11,10 @@
 #define ESD_DEDUP_FP_TABLE_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/config.hh"
+#include "common/flat_map.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "dedup/amt.hh"
@@ -138,7 +138,7 @@ class FpTable
 
     /** Authoritative NVMM-resident index, one partition per shard
      * (functional model). */
-    std::vector<std::unordered_map<std::uint64_t, PackedPhys>> maps_;
+    std::vector<FlatMap<std::uint64_t, PackedPhys>> maps_;
 
     FpTableStats stats_;
 };

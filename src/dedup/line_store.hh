@@ -12,9 +12,9 @@
 #ifndef ESD_DEDUP_LINE_STORE_HH
 #define ESD_DEDUP_LINE_STORE_HH
 
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "common/logging.hh"
 #include "common/types.hh"
 #include "nvm/nvm_store.hh"
@@ -112,7 +112,7 @@ class LineStore
     std::uint64_t liveLines() const { return refs_.size(); }
 
     /** All live (phys, refcount) pairs — for the Fig. 3 analysis. */
-    const std::unordered_map<Addr, std::uint32_t> &refTable() const
+    const FlatMap<Addr, std::uint32_t> &refTable() const
     {
         return refs_;
     }
@@ -120,7 +120,7 @@ class LineStore
   private:
     NvmStore &store_;
     unsigned shards_;
-    std::unordered_map<Addr, std::uint32_t> refs_;
+    FlatMap<Addr, std::uint32_t> refs_;
     std::vector<std::uint64_t> bump_;           ///< per-shard bump pointer
     std::vector<std::vector<Addr>> free_;       ///< per-shard free lists
 };

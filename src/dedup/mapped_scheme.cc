@@ -42,7 +42,11 @@ MappedDedupScheme::remap(Addr addr, Addr phys, Tick &t, WriteBreakdown &bd)
     // Rewriting an address with its current mapping (the common case
     // for in-place duplicate rewrites) changes nothing: charge the
     // cache probe, leave the AMT clean.
-    auto old = amt_.peek(addr);
+    std::optional<Addr> old;
+    {
+        Profiler::Scope ps = profScope(Profiler::Lookup);
+        old = amt_.peek(addr);
+    }
     if (old && *old == phys) {
         Tick m = metadataAccess();
         t += m;
@@ -52,17 +56,25 @@ MappedDedupScheme::remap(Addr addr, Addr phys, Tick &t, WriteBreakdown &bd)
 
     // Order matters: take the new reference before dropping the old
     // one so remapping an address to its current line is a no-op.
-    lines_.addRef(phys);
-    if (old) {
-        if (lines_.isLive(*old) && lines_.release(*old))
-            onPhysFreed(*old);
+    bool freed = false;
+    {
+        Profiler::Scope ps = profScope(Profiler::Lookup);
+        lines_.addRef(phys);
+        if (old)
+            freed = lines_.isLive(*old) && lines_.release(*old);
     }
+    if (freed)
+        onPhysFreed(*old);
 
     Tick m = metadataAccess();
     t += m;
     bd.metadata += static_cast<double>(m);
 
-    MetadataEffects eff = amt_.update(addr, phys);
+    MetadataEffects eff;
+    {
+        Profiler::Scope ps = profScope(Profiler::Lookup);
+        eff = amt_.update(addr, phys);
+    }
     if (eff.nvmWriteback) {
         // Dirty metadata write-back: off the critical path but real
         // device traffic (and possible queue backpressure).
@@ -80,14 +92,21 @@ MappedDedupScheme::writeNewLine(Addr addr, const CacheLine &data,
 {
     // Allocate on the logical address's channel so the data write, and
     // every later dedup probe for this content, stay channel-local.
-    phys_out = lines_.allocate(channelOf(addr));
+    {
+        Profiler::Scope ps = profScope(Profiler::Lookup);
+        phys_out = lines_.allocate(channelOf(addr));
+    }
 
     Tick enc = cfg_.crypto.encryptLatency;
     CacheLine cipher = encryptLine(phys_out, data);
     t += enc;
     bd.encrypt += static_cast<double>(enc);
 
-    LineEcc ecc = LineEccCodec::encode(data);
+    LineEcc ecc;
+    {
+        Profiler::Scope ps = profScope(Profiler::Fingerprint);
+        ecc = LineEccCodec::encode(data);
+    }
     NvmAccessResult r = writeLine(phys_out, cipher, ecc, t);
     bd.lineWrite += static_cast<double>(r.complete - t);
     t = r.complete;
@@ -102,7 +121,11 @@ MappedDedupScheme::read(Addr addr, CacheLine &out, Tick now)
     AccessResult res;
     Tick t = now + metadataAccess();
 
-    Amt::LookupResult lr = amt_.lookup(addr);
+    Amt::LookupResult lr;
+    {
+        Profiler::Scope ps = profScope(Profiler::Lookup);
+        lr = amt_.lookup(addr);
+    }
     if (lr.effects.nvmRead) {
         stats_.amtTrafficReads.inc();
         NvmAccessResult r = deviceRead(lr.effects.nvmReadAddr, t);

@@ -25,6 +25,7 @@
 #include "dedup/amt.hh"
 #include "dedup/line_store.hh"
 #include "ecc/line_ecc.hh"
+#include "metrics/profiler.hh"
 #include "nvm/nvm_store.hh"
 #include "nvm/pcm_device.hh"
 #include "ras/ras_engine.hh"
@@ -194,6 +195,10 @@ class DedupScheme
     /** Attach (or detach with nullptr) a write-event trace sink. */
     void setEventTrace(WriteEventTrace *trace) { trace_ = trace; }
 
+    /** Attach (or detach with nullptr) a host-side phase profiler.
+     * Detached (the default) every phase marker is one null check. */
+    void setProfiler(Profiler *prof) { prof_ = prof; }
+
     /** Total scheme-side (non-device) energy in pJ. */
     Energy
     sideEnergy() const
@@ -203,11 +208,19 @@ class DedupScheme
     }
 
   protected:
+    /** Host-profiling phase marker (no-op without a profiler). */
+    Profiler::Scope
+    profScope(Profiler::Phase phase)
+    {
+        return Profiler::Scope(prof_, phase);
+    }
+
     /** Timed read of @p addr content; charges device stats, injects
      * read-path media faults, and follows retirement remaps. */
     NvmAccessResult
     deviceRead(Addr addr, Tick arrival)
     {
+        Profiler::Scope ps(prof_, Profiler::Device);
         ras_.beforeRead(addr);
         return device_.access(OpType::Read, ras_.resolve(addr), arrival);
     }
@@ -217,6 +230,7 @@ class DedupScheme
     NvmAccessResult
     deviceWrite(Addr addr, Tick arrival)
     {
+        Profiler::Scope ps(prof_, Profiler::Device);
         NvmAccessResult r =
             device_.access(OpType::Write, ras_.resolve(addr), arrival);
         ras_.patrolTick(r.complete);
@@ -230,6 +244,7 @@ class DedupScheme
     writeLine(Addr phys, const CacheLine &cipher, LineEcc ecc,
               Tick arrival)
     {
+        Profiler::Scope ps(prof_, Profiler::Device);
         return ras_.storeAndWrite(phys, cipher, ecc, arrival);
     }
 
@@ -246,6 +261,7 @@ class DedupScheme
     CacheLine
     encryptLine(Addr phys, const CacheLine &plain)
     {
+        Profiler::Scope ps(prof_, Profiler::Encrypt);
         stats_.cryptoEnergy += cfg_.crypto.encryptEnergy;
         return crypto_.encrypt(phys, plain);
     }
@@ -312,7 +328,7 @@ class DedupScheme
             out.integrity = ReadIntegrity::Poisoned;
             return out;
         }
-        auto stored = store_.read(phys);
+        const StoredLine *stored = store_.peek(phys);
         if (!stored)
             return out;
         return verifyStored(phys, *stored, now);
@@ -331,9 +347,10 @@ class DedupScheme
     compareStored(Addr cand, const CacheLine &data, Tick now,
                   CacheLine *plain_out = nullptr)
     {
+        Profiler::Scope ps(prof_, Profiler::Compare);
         if (ras_.isPoisoned(cand))
             return false;
-        auto stored = store_.read(cand);
+        const StoredLine *stored = store_.peek(cand);
         if (!stored)
             return false;
         VerifiedRead vr = verifyStored(cand, *stored, now);
@@ -402,6 +419,7 @@ class DedupScheme
     RasEngine ras_;
     SchemeStats stats_;
     WriteEventTrace *trace_ = nullptr;
+    Profiler *prof_ = nullptr;
 };
 
 } // namespace esd

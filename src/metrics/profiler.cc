@@ -1,0 +1,59 @@
+#include "metrics/profiler.hh"
+
+#include "common/logging.hh"
+#include "common/stat_registry.hh"
+
+namespace esd
+{
+
+const char *
+Profiler::phaseName(unsigned phase)
+{
+    switch (phase) {
+      case Fingerprint:
+        return "fingerprint";
+      case Lookup:
+        return "lookup";
+      case Compare:
+        return "compare";
+      case Encrypt:
+        return "encrypt";
+      case Device:
+        return "device";
+      default:
+        esd_panic("invalid profiler phase %u", phase);
+    }
+}
+
+std::uint64_t
+Profiler::profiledNs() const
+{
+    std::uint64_t total = 0;
+    for (const PhaseTotals &t : totals_)
+        total += t.ns;
+    return total;
+}
+
+void
+Profiler::registerStats(StatRegistry &reg,
+                        const std::string &prefix) const
+{
+    for (unsigned p = 0; p < kPhaseCount; ++p) {
+        std::string name = phaseName(p);
+        reg.addGauge(prefix + "." + name + "_ns",
+                     [this, p] {
+                         return static_cast<double>(totals_[p].ns);
+                     },
+                     "host wall-clock in the " + name + " phase");
+        reg.addGauge(prefix + "." + name + "_calls",
+                     [this, p] {
+                         return static_cast<double>(totals_[p].calls);
+                     },
+                     "entries into the " + name + " phase");
+    }
+    reg.addGauge(prefix + ".run_ns",
+                 [this] { return static_cast<double>(runNs_); },
+                 "host wall-clock of the whole run");
+}
+
+} // namespace esd

@@ -31,11 +31,11 @@
 
 #include <memory>
 #include <queue>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/config.hh"
+#include "common/flat_map.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "nvm/start_gap.hh"
@@ -226,7 +226,7 @@ class PcmDevice
 
         /** Pending line -> completion time, maintained only when
          * coalescing is on; a hit merges the new data in place. */
-        std::unordered_map<Addr, Tick> pending;
+        FlatMap<Addr, Tick> pending;
     };
 
     void drainCompleted(unsigned ch, Tick now);
@@ -253,8 +253,7 @@ class PcmDevice
     WearTracker wear_;
 
     /** Lazily created Start-Gap remappers per rotation region. */
-    std::unordered_map<std::uint64_t, std::unique_ptr<StartGap>>
-        gapRegions_;
+    FlatMap<std::uint64_t, std::unique_ptr<StartGap>> gapRegions_;
 
     NvmStats stats_;
 };

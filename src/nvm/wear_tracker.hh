@@ -13,8 +13,8 @@
 #define ESD_NVM_WEAR_TRACKER_HH
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "common/flat_map.hh"
 #include "common/types.hh"
 
 namespace esd
@@ -103,7 +103,7 @@ class WearTracker
     }
 
   private:
-    std::unordered_map<std::uint64_t, std::uint64_t> writes_;
+    FlatMap<std::uint64_t, std::uint64_t> writes_;
     std::uint64_t total_ = 0;
 };
 

@@ -24,6 +24,20 @@ FaultModel::FaultModel(const RasConfig &cfg, NvmStore &store,
 {
 }
 
+void
+FaultModel::appendStuck(Addr medium, StuckBit sb)
+{
+    StuckNode *node = stuckArena_.create<StuckNode>();
+    node->sb = sb;
+    StuckList &list = stuck_[lineAlign(medium)];
+    if (list.tail)
+        list.tail->next = node;
+    else
+        list.head = node;
+    list.tail = node;
+    ++list.count;
+}
+
 unsigned
 FaultModel::poisson(double exp_neg_lambda)
 {
@@ -76,7 +90,7 @@ FaultModel::onWrite(Addr phys, Addr medium, std::uint64_t line_writes)
         line_writes >= cfg_.stuckAtOnsetWrites &&
         rng_.chance(cfg_.stuckAtPerWrite)) {
         StuckBit sb{rng_.below(kStoredBits), rng_.chance(0.5)};
-        stuck_[lineAlign(medium)].push_back(sb);
+        appendStuck(medium, sb);
         stats_.stuckBitsCreated.inc();
     }
 
@@ -86,9 +100,9 @@ FaultModel::onWrite(Addr phys, Addr medium, std::uint64_t line_writes)
     auto it = stuck_.find(lineAlign(medium));
     if (it == stuck_.end())
         return;
-    for (const StuckBit &sb : it->second) {
-        if (store_.bitAt(phys, sb.bit) != sb.value &&
-            store_.setBit(phys, sb.bit, sb.value)) {
+    for (const StuckNode *n = it->second.head; n; n = n->next) {
+        if (store_.bitAt(phys, n->sb.bit) != n->sb.value &&
+            store_.setBit(phys, n->sb.bit, n->sb.value)) {
             stats_.stuckBitsAsserted.inc();
         }
     }
@@ -97,7 +111,7 @@ FaultModel::onWrite(Addr phys, Addr medium, std::uint64_t line_writes)
 void
 FaultModel::plantStuckBit(Addr medium, unsigned bit, bool value)
 {
-    stuck_[lineAlign(medium)].push_back(StuckBit{bit, value});
+    appendStuck(medium, StuckBit{bit, value});
     stats_.stuckBitsCreated.inc();
 }
 
@@ -105,7 +119,7 @@ std::size_t
 FaultModel::stuckBits(Addr medium) const
 {
     auto it = stuck_.find(lineAlign(medium));
-    return it == stuck_.end() ? 0 : it->second.size();
+    return it == stuck_.end() ? 0 : it->second.count;
 }
 
 void

@@ -30,10 +30,8 @@
 #ifndef ESD_RAS_FAULT_MODEL_HH
 #define ESD_RAS_FAULT_MODEL_HH
 
-#include <unordered_map>
-#include <vector>
-
 #include "common/config.hh"
+#include "common/flat_map.hh"
 #include "common/random.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -94,6 +92,27 @@ class FaultModel
         bool value;
     };
 
+    /** Arena node of a per-line stuck-cell list. Stuck cells are
+     * append-only (a cell never un-sticks), so the list needs no
+     * removal; insertion order is preserved for deterministic
+     * re-assert order. */
+    struct StuckNode
+    {
+        StuckBit sb{};
+        StuckNode *next = nullptr;
+    };
+
+    /** Per-line list head/tail stored inline in the map. */
+    struct StuckList
+    {
+        StuckNode *head = nullptr;
+        StuckNode *tail = nullptr;
+        std::uint32_t count = 0;
+    };
+
+    /** Append a freshly stuck cell to @p medium 's list. */
+    void appendStuck(Addr medium, StuckBit sb);
+
     /** Poisson draw via Knuth's product method; @p exp_neg_lambda is
      * the precomputed e^-lambda (cheap for the small lambdas of
      * realistic BERs: usually a single uniform draw returning 0). */
@@ -106,7 +125,8 @@ class FaultModel
     Pcg32 rng_;
     double expNegLambdaRead_;
     double expNegLambdaWrite_;
-    std::unordered_map<Addr, std::vector<StuckBit>> stuck_;
+    FlatMap<Addr, StuckList> stuck_;
+    BumpArena stuckArena_;
     FaultModelStats stats_;
 };
 

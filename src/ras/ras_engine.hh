@@ -32,11 +32,10 @@
 #define ESD_RAS_RAS_ENGINE_HH
 
 #include <functional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/config.hh"
+#include "common/flat_map.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "crypto/ctr_mode.hh"
@@ -180,8 +179,8 @@ class RasEngine
 
     /** phys -> spare medium redirections (chains permitted: a spare
      * can itself wear out and retire again). */
-    std::unordered_map<Addr, Addr> remap_;
-    std::unordered_set<Addr> poisoned_;
+    FlatMap<Addr, Addr> remap_;
+    FlatSet<Addr> poisoned_;
 
     Addr spareBase_ = 0;
     std::uint64_t sparesUsed_ = 0;

@@ -3,15 +3,16 @@
  * The simulator command-line front end, mirroring the artifact's
  * `nvmain.fast` interface:
  *
- *   esd_sim -scheme=<0..4|name> [-ConfigFile=<path>]
+ *   esd_sim -scheme=<0..5|name> [-ConfigFile=<path>]
  *           (-InputFile=<trace> | -app=<name>)
  *           [-records=N] [-warmup=N] [-seed=N]
  *           [-latency-out=<path>] [-dump-config]
  *           [-stats-json=<path>] [-stats-interval=N]
  *           [-trace-out=<path>] [-trace-cap=N]
  *
- * Scheme selector follows the artifact: 0 Baseline, 1 Tra_sha1,
- * 2 DeWrite, 3 ESD (4 adds the ESD_Full ablation). `-InputFile`
+ * Scheme selector follows the artifact: 0 Baseline, 1 Dedup_SHA1,
+ * 2 DeWrite, 3 ESD (4/5 add the ESD_Full and ESD+ extensions).
+ * `-InputFile`
  * accepts both the text and binary trace formats (by extension:
  * `.bin` is binary). `-latency-out` writes the raw write-latency
  * samples, one per line, for external CDF plotting (Fig. 15).
@@ -21,7 +22,11 @@
  *   result + every registered stat + interval snapshots every
  *   `-stats-interval` measured writes);
  *   `-trace-out` dumps the last `-trace-cap` per-write events as
- *   JSONL (one record per line).
+ *   JSONL (one record per line);
+ *   `-profile` attributes host wall-clock to the write-path phases
+ *   (fingerprint/lookup/compare/encrypt/device) and prints the table
+ *   after the run — the `host.profile.*` gauges also land in
+ *   `-stats-json` output when both flags are given.
  *
  * RAS fault campaign (any of these enables the RAS pipeline; see
  * `[ras]` config keys for the full parameter set):
@@ -75,6 +80,7 @@ struct Options
     std::uint64_t warmup = 40000;
     std::uint64_t seed = 1;
     bool dumpConfig = false;
+    bool profile = false;
 
     // RAS overrides; negative / max mean "not given" (config-file
     // values, applied earlier, then stand).
@@ -149,7 +155,7 @@ void
 usage()
 {
     std::cerr
-        << "usage: esd_sim -scheme=<0..4|name> [-ConfigFile=path]\n"
+        << "usage: esd_sim -scheme=<0..5|name> [-ConfigFile=path]\n"
            "               (-InputFile=trace | -app=name)\n"
            "               [-records=N] [-warmup=N] [-seed=N]\n"
            "               [-latency-out=path] [-dump-config]\n"
@@ -160,8 +166,9 @@ usage()
            "[-ras-write-verify=N]\n"
            "               [-channels=N] [-wpq-depth=N] "
            "[-wpq-coalescing=B]\n"
-           "schemes: 0 Baseline, 1 Tra_sha1, 2 DeWrite, 3 ESD, "
-           "4 ESD_Full\napps: ";
+           "               [-profile]\n"
+           "schemes: 0 Baseline, 1 Dedup_SHA1, 2 DeWrite, 3 ESD, "
+           "4 ESD_Full, 5 ESD+\napps: ";
     for (const AppProfile &p : paperApps())
         std::cerr << p.name << " ";
     std::cerr << "\n";
@@ -228,6 +235,8 @@ parseArgs(int argc, char **argv)
                                           value("-wpq-coalescing="))
                                     ? 1
                                     : 0;
+        } else if (arg == "-profile") {
+            opt.profile = true;
         } else if (arg == "-dump-config") {
             opt.dumpConfig = true;
         } else if (arg == "-h" || arg == "--help") {
@@ -310,6 +319,8 @@ main(int argc, char **argv)
         sim.setEventTrace(&events);
     if (!opt.statsJson.empty())
         sim.enableIntervalSampling(opt.statsInterval);
+    if (opt.profile)
+        sim.enableProfiling();
 
     RunResult r = sim.run(*trace, records, warmup);
 
@@ -341,6 +352,40 @@ main(int argc, char **argv)
     t.addRow({"metadata in NVMM",
               TablePrinter::num(r.metadataNvmBytes / 1024.0, 1) + " KB"});
     t.print();
+
+    if (opt.profile) {
+        const Profiler &prof = sim.profiler();
+        double run_ns = static_cast<double>(prof.runNs());
+        std::uint64_t writes = std::max<std::uint64_t>(r.logicalWrites, 1);
+        std::cout << "host profile (measured window):\n";
+        TablePrinter pt({"phase", "calls", "total ms", "ns/write",
+                         "% of run"});
+        for (unsigned p = 0; p < Profiler::kPhaseCount; ++p) {
+            const Profiler::PhaseTotals &tp = prof.phase(p);
+            pt.addRow({Profiler::phaseName(p),
+                       std::to_string(tp.calls),
+                       TablePrinter::num(tp.ns / 1e6, 2),
+                       TablePrinter::num(static_cast<double>(tp.ns) /
+                                             writes, 0),
+                       run_ns > 0
+                           ? TablePrinter::pct(tp.ns / run_ns)
+                           : "-"});
+        }
+        std::uint64_t other = prof.runNs() - std::min(prof.profiledNs(),
+                                                      prof.runNs());
+        pt.addRow({"(unattributed)", "-",
+                   TablePrinter::num(other / 1e6, 2),
+                   TablePrinter::num(static_cast<double>(other) / writes,
+                                     0),
+                   run_ns > 0 ? TablePrinter::pct(other / run_ns) : "-"});
+        pt.print();
+        double secs = run_ns / 1e9;
+        std::cout << "host run: " << TablePrinter::num(run_ns / 1e6, 1)
+                  << " ms, "
+                  << TablePrinter::num(
+                         secs > 0 ? r.logicalWrites / secs : 0, 0)
+                  << " writes/s\n";
+    }
 
     if (cfg.ras.enabled) {
         const SchemeStats &ss = sim.scheme().stats();

@@ -249,6 +249,34 @@ struct RasConfig
     std::uint64_t dedupSuspendUes = 0;
 };
 
+/**
+ * Telemetry layer parameters ([telemetry] section).
+ *
+ * Everything here is host-side observability plumbing: it shapes what
+ * gets exported, never the simulated timing, and is therefore not
+ * serialized into run reports (reports pin simulated behaviour only).
+ * Defaults keep every exporter off / at the pre-telemetry-v2 shape.
+ */
+struct TelemetryConfig
+{
+    /** Per-write event-trace ring capacity (`esd_sim -trace-out=`). */
+    std::uint64_t traceRingCapacity = 65536;
+
+    /** Record every Nth write's spans (1 = full-rate tracing). */
+    std::uint64_t spanSampleEvery = 1;
+
+    /** Max retained span events; later spans count as dropped. */
+    std::uint64_t spanBufferCap = 1u << 20;
+
+    /** Rewrite the Prometheus snapshot every N measured writes
+     * (0 = one final snapshot when the run ends). */
+    std::uint64_t metricsEveryWrites = 0;
+
+    /** Serialize exact histogram buckets into latency summaries in
+     * stats JSON. Off by default: golden reports stay byte-identical. */
+    bool histogramBuckets = false;
+};
+
 /** Core timing model: in-order, 1 IPC peak, stalling on LLC misses and
  * on memory-controller write-queue backpressure. */
 struct CoreConfig
@@ -270,6 +298,7 @@ struct SimConfig
     MetadataConfig metadata;
     RasConfig ras;
     CoreConfig core;
+    TelemetryConfig telemetry;
 
     /** Master random seed for any stochastic machinery. */
     std::uint64_t seed = 1;

@@ -220,6 +220,18 @@ applyConfigKey(SimConfig &cfg, const std::string &key,
     } else if (k == "ras.dedup_suspend_ues") {
         cfg.ras.dedupSuspendUes = asU64(k, v);
     }
+    // Telemetry.
+    else if (k == "telemetry.trace_ring_capacity") {
+        cfg.telemetry.traceRingCapacity = asU64In(k, v, 1, 1u << 24);
+    } else if (k == "telemetry.span_sample_every") {
+        cfg.telemetry.spanSampleEvery = asU64In(k, v, 1, 1u << 30);
+    } else if (k == "telemetry.span_buffer_cap") {
+        cfg.telemetry.spanBufferCap = asU64In(k, v, 1, 1u << 26);
+    } else if (k == "telemetry.metrics_every_writes") {
+        cfg.telemetry.metricsEveryWrites = asU64In(k, v, 0, 1ull << 40);
+    } else if (k == "telemetry.histogram_buckets") {
+        cfg.telemetry.histogramBuckets = asBool(k, v);
+    }
     // Core.
     else if (k == "core.clock_ghz") {
         cfg.core.clockGhz = asDouble(k, v);
@@ -326,6 +338,16 @@ renderConfig(const SimConfig &cfg)
        << "\n"
        << "ras.spare_region_lines = " << cfg.ras.spareRegionLines << "\n"
        << "ras.dedup_suspend_ues = " << cfg.ras.dedupSuspendUes << "\n"
+       << "telemetry.trace_ring_capacity = "
+       << cfg.telemetry.traceRingCapacity << "\n"
+       << "telemetry.span_sample_every = "
+       << cfg.telemetry.spanSampleEvery << "\n"
+       << "telemetry.span_buffer_cap = " << cfg.telemetry.spanBufferCap
+       << "\n"
+       << "telemetry.metrics_every_writes = "
+       << cfg.telemetry.metricsEveryWrites << "\n"
+       << "telemetry.histogram_buckets = "
+       << (cfg.telemetry.histogramBuckets ? "true" : "false") << "\n"
        << "core.clock_ghz = " << cfg.core.clockGhz << "\n"
        << "core.base_cpi = " << cfg.core.baseCpi << "\n"
        << "seed = " << cfg.seed << "\n";

@@ -100,7 +100,7 @@ StatRegistry::scalarValues() const
 }
 
 void
-writeLatencyJson(JsonWriter &w, const LatencyStat &s)
+writeLatencyJson(JsonWriter &w, const LatencyStat &s, bool buckets)
 {
     w.beginObject();
     w.kv("count", s.count());
@@ -110,11 +110,25 @@ writeLatencyJson(JsonWriter &w, const LatencyStat &s)
     w.kv("p50", s.percentile(50));
     w.kv("p90", s.percentile(90));
     w.kv("p99", s.percentile(99));
+    if (buckets) {
+        w.key("buckets");
+        w.beginArray();
+        s.histogram().forEachBucket(
+            [&w](std::uint64_t lo, std::uint64_t width,
+                 std::uint64_t count) {
+                w.beginArray();
+                w.value(lo);
+                w.value(width);
+                w.value(count);
+                w.endArray();
+            });
+        w.endArray();
+    }
     w.endObject();
 }
 
 void
-StatRegistry::writeJson(JsonWriter &w) const
+StatRegistry::writeJson(JsonWriter &w, bool histogram_buckets) const
 {
     std::vector<const Entry *> sorted;
     sorted.reserve(entries_.size());
@@ -136,7 +150,7 @@ StatRegistry::writeJson(JsonWriter &w) const
             w.value(e->gauge());
             break;
           case Kind::Latency:
-            writeLatencyJson(w, *e->latency);
+            writeLatencyJson(w, *e->latency, histogram_buckets);
             break;
         }
     }

@@ -101,9 +101,13 @@ class StatRegistry
     /**
      * Serialize every stat as one flat name-sorted JSON object:
      * counters/gauges as numbers, latency stats as summary objects
-     * {count, mean, min, max, p50, p90, p99}.
+     * {count, mean, min, max, p50, p90, p99}. With
+     * @p histogram_buckets the latency summaries additionally carry
+     * the exact histogram as "buckets": [[lo, width, count], ...] —
+     * off by default so reports stay byte-identical to pre-histogram
+     * releases.
      */
-    void writeJson(JsonWriter &w) const;
+    void writeJson(JsonWriter &w, bool histogram_buckets = false) const;
 
   private:
     Entry &add(const std::string &name, Kind kind,
@@ -113,8 +117,11 @@ class StatRegistry
     std::unordered_map<std::string, std::size_t> index_;
 };
 
-/** Serialize one latency stat as the registry's summary object. */
-void writeLatencyJson(JsonWriter &w, const LatencyStat &s);
+/** Serialize one latency stat as the registry's summary object; with
+ * @p buckets the exact histogram rides along as
+ * "buckets": [[lo, width, count], ...]. */
+void writeLatencyJson(JsonWriter &w, const LatencyStat &s,
+                      bool buckets = false);
 
 } // namespace esd
 

@@ -7,58 +7,97 @@
 namespace esd
 {
 
+std::uint64_t
+LogHistogram::valueAtRank(std::uint64_t rank) const
+{
+    if (total_ == 0)
+        return 0;
+    if (rank < 1)
+        rank = 1;
+    if (rank > total_)
+        rank = total_;
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        cum += counts_[i];
+        if (cum >= rank)
+            return valueAt(i);
+    }
+    // Unreachable: cum == total_ >= rank after the loop.
+    return valueAt(counts_.size() - 1);
+}
+
+double
+LogHistogram::percentile(double p) const
+{
+    if (total_ == 0)
+        return 0.0;
+    esd_assert(p >= 0.0 && p <= 100.0, "percentile out of range");
+    std::uint64_t rank =
+        p <= 0.0 ? 1
+                 : static_cast<std::uint64_t>(
+                       std::ceil(p / 100.0 * static_cast<double>(total_)));
+    return static_cast<double>(valueAtRank(rank));
+}
+
+void
+LogHistogram::merge(const LogHistogram &o)
+{
+    if (o.counts_.size() > counts_.size())
+        counts_.resize(o.counts_.size(), 0);
+    for (std::size_t i = 0; i < o.counts_.size(); ++i)
+        counts_[i] += o.counts_[i];
+    total_ += o.total_;
+}
+
 void
 LatencyStat::setReservoirCapacity(std::size_t cap)
 {
     esd_assert(count_ == 0,
                "reservoir capacity must be set before sampling");
     cap_ = cap;
+    keepRaw_ = true;
     if (cap_ > 0)
         samples_.reserve(cap_);
-}
-
-void
-LatencyStat::ensureSorted() const
-{
-    if (sorted_)
-        return;
-    sortedSamples_ = samples_;
-    std::sort(sortedSamples_.begin(), sortedSamples_.end());
-    sorted_ = true;
 }
 
 double
 LatencyStat::percentile(double p) const
 {
-    if (samples_.empty())
+    if (count_ == 0)
         return 0.0;
     esd_assert(p >= 0.0 && p <= 100.0, "percentile out of range");
-    ensureSorted();
-    if (p <= 0.0)
-        return sortedSamples_.front();
-    // Nearest-rank: ceil(p/100 * N), 1-indexed.
-    auto n = static_cast<std::size_t>(
-        std::ceil(p / 100.0 * sortedSamples_.size()));
-    n = std::min(std::max<std::size_t>(n, 1), sortedSamples_.size());
-    return sortedSamples_[n - 1];
+    return hist_.percentile(p);
 }
 
 std::vector<std::pair<double, double>>
 LatencyStat::cdf(std::size_t points) const
 {
     std::vector<std::pair<double, double>> out;
-    if (samples_.empty() || points == 0)
+    if (count_ == 0 || points == 0)
         return out;
-    ensureSorted();
     out.reserve(points);
     for (std::size_t i = 1; i <= points; ++i) {
         double frac = static_cast<double>(i) / points;
-        auto idx = static_cast<std::size_t>(
-            std::ceil(frac * sortedSamples_.size()));
-        idx = std::min(std::max<std::size_t>(idx, 1), sortedSamples_.size());
-        out.emplace_back(sortedSamples_[idx - 1], frac);
+        auto rank = static_cast<std::uint64_t>(
+            std::ceil(frac * static_cast<double>(count_)));
+        out.emplace_back(
+            static_cast<double>(hist_.valueAtRank(rank)), frac);
     }
     return out;
+}
+
+void
+LatencyStat::merge(const LatencyStat &o)
+{
+    if (o.count_ == 0)
+        return;
+    count_ += o.count_;
+    sum_ += o.sum_;
+    if (o.min_ < min_)
+        min_ = o.min_;
+    if (o.max_ > max_)
+        max_ = o.max_;
+    hist_.merge(o.hist_);
 }
 
 } // namespace esd

@@ -36,35 +36,171 @@ class Counter
 };
 
 /**
- * A reservoir of latency samples.
+ * HdrHistogram-style exact counting histogram over unsigned values.
  *
- * By default every sample is stored exactly (the simulated request
- * counts are small enough to keep full distributions), reporting
- * mean, min/max, arbitrary percentiles, and an evenly-spaced CDF for
- * Fig. 15-style plots. For multi-billion-write runs a reservoir cap
- * can be set: the stat then keeps a uniform random subsample of that
- * size (Vitter's Algorithm R, deterministic PCG stream) on which
- * percentiles/CDF are computed, while count, sum, mean, min, and max
- * stay exact.
+ * Layout: values below kSubBucketCount (4096) land in unit-width
+ * buckets — i.e. they are recorded *exactly*; larger values fall into
+ * log2 buckets of kSubBucketHalfCount linear sub-buckets each, so the
+ * relative quantization error is bounded by 2^-11 everywhere. Simulated
+ * latencies are integral nanoseconds and, for the paper's workloads,
+ * far below 4096 ns, so in practice every recorded value is exact.
+ *
+ * record() is O(1); percentiles are exact-count (nearest-rank over the
+ * bucket counters, reporting each bucket's lowest contained value);
+ * merge() is element-wise counter addition, hence associative and
+ * commutative — the property the sweep engine relies on to make
+ * `-jobs=N` reports byte-identical to `-jobs=1`.
+ */
+class LogHistogram
+{
+  public:
+    static constexpr unsigned kSubBucketBits = 12;
+    static constexpr std::uint64_t kSubBucketCount = 1ull
+                                                     << kSubBucketBits;
+    static constexpr std::uint64_t kSubBucketHalfCount =
+        kSubBucketCount / 2;
+
+    /** Values above this are clamped into the top bucket range. */
+    static constexpr std::uint64_t kMaxTrackable = 1ull << 62;
+
+    /** Counter-array index covering value @p v. */
+    static std::size_t
+    indexFor(std::uint64_t v)
+    {
+        if (v < kSubBucketCount)
+            return static_cast<std::size_t>(v);
+        if (v > kMaxTrackable)
+            v = kMaxTrackable;
+        // Bit length beyond the sub-bucket range picks the log2
+        // bucket; the top kSubBucketBits-1 bits below the leading one
+        // pick the linear sub-bucket.
+        unsigned k = 63u - static_cast<unsigned>(__builtin_clzll(v));
+        unsigned bucket = k - (kSubBucketBits - 1);
+        std::uint64_t sub = v >> bucket;
+        return static_cast<std::size_t>((bucket + 1) *
+                                            kSubBucketHalfCount +
+                                        (sub - kSubBucketHalfCount));
+    }
+
+    /** Lowest value mapping to counter index @p i (the reported
+     * representative of the bucket). */
+    static std::uint64_t
+    valueAt(std::size_t i)
+    {
+        if (i < kSubBucketCount)
+            return i;
+        std::size_t bucket = i / kSubBucketHalfCount - 1;
+        std::uint64_t sub = i % kSubBucketHalfCount + kSubBucketHalfCount;
+        return sub << bucket;
+    }
+
+    /** Width of bucket @p i: valueAt(i) .. valueAt(i)+width-1 share
+     * the counter. */
+    static std::uint64_t
+    widthAt(std::size_t i)
+    {
+        if (i < kSubBucketCount)
+            return 1;
+        return 1ull << (i / kSubBucketHalfCount - 1);
+    }
+
+    /** Count @p n occurrences of value @p v — O(1). */
+    void
+    record(std::uint64_t v, std::uint64_t n = 1)
+    {
+        std::size_t i = indexFor(v);
+        if (i >= counts_.size())
+            counts_.resize(i + 1, 0);
+        counts_[i] += n;
+        total_ += n;
+    }
+
+    std::uint64_t totalCount() const { return total_; }
+    bool empty() const { return total_ == 0; }
+
+    /** Allocated counter slots (highest used bucket + 1). */
+    std::size_t size() const { return counts_.size(); }
+
+    std::uint64_t countAt(std::size_t i) const { return counts_[i]; }
+
+    /**
+     * Value of the @p rank-th smallest recorded sample (1-indexed,
+     * clamped to [1, totalCount]); 0 when empty.
+     */
+    std::uint64_t valueAtRank(std::uint64_t rank) const;
+
+    /** Nearest-rank percentile, @p p in [0, 100]; 0 when empty. */
+    double percentile(double p) const;
+
+    /** Element-wise counter addition — associative and commutative. */
+    void merge(const LogHistogram &o);
+
+    /** Visit every non-empty bucket as fn(lo, width, count), ascending
+     * by value. */
+    template <typename Fn>
+    void
+    forEachBucket(Fn &&fn) const
+    {
+        for (std::size_t i = 0; i < counts_.size(); ++i)
+            if (counts_[i] != 0)
+                fn(valueAt(i), widthAt(i), counts_[i]);
+    }
+
+    void
+    reset()
+    {
+        counts_.clear();
+        total_ = 0;
+    }
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * A latency distribution recorder.
+ *
+ * Every sample lands in an exact LogHistogram (O(1), deterministic,
+ * mergeable), which backs percentile() and cdf(); count, sum, mean,
+ * min, and max are tracked exactly on the side. Samples are quantized
+ * to integral nanoseconds for the histogram — exact for the simulated
+ * timing model, which produces integral ns.
+ *
+ * Raw per-sample storage is opt-in (enableRawSamples() or the capacity
+ * constructor): when enabled, samples() keeps either every observation
+ * (cap 0) or a uniform random subsample of the given size (Vitter's
+ * Algorithm R, deterministic PCG stream) for external export — it no
+ * longer feeds percentiles, so reported quantiles are reproducible
+ * across worker counts and merge order.
  */
 class LatencyStat
 {
   public:
     LatencyStat() = default;
 
-    /** @param reservoir_cap max stored samples; 0 = unbounded. */
-    explicit LatencyStat(std::size_t reservoir_cap) : cap_(reservoir_cap)
+    /** Opt into raw-sample storage.
+     * @param reservoir_cap max stored samples; 0 = unbounded. */
+    explicit LatencyStat(std::size_t reservoir_cap)
+        : cap_(reservoir_cap), keepRaw_(true)
     {
     }
 
     /**
-     * Cap the stored-sample reservoir at @p cap (0 = unbounded). Must
-     * be set before the first sample so the reservoir stays a uniform
-     * subsample.
+     * Opt into raw-sample storage with reservoir cap @p cap (0 =
+     * unbounded). Must be called before the first sample so the
+     * reservoir stays a uniform subsample.
      */
     void setReservoirCapacity(std::size_t cap);
 
+    /** Alias of setReservoirCapacity — the raw-export opt-in. */
+    void enableRawSamples(std::size_t cap = 0)
+    {
+        setReservoirCapacity(cap);
+    }
+
     std::size_t reservoirCapacity() const { return cap_; }
+    bool rawSamplesEnabled() const { return keepRaw_; }
 
     /** Record one sample (nanoseconds). */
     void
@@ -76,39 +212,40 @@ class LatencyStat
             min_ = v;
         if (v > max_)
             max_ = v;
+        hist_.record(quantize(v));
+        if (!keepRaw_)
+            return;
         if (cap_ == 0 || samples_.size() < cap_) {
             samples_.push_back(v);
         } else {
             // Algorithm R: replace a random slot with probability
             // cap/count, keeping the reservoir a uniform subsample.
             std::uint64_t j = rng_.next64() % count_;
-            if (j >= cap_)
-                return;
-            samples_[static_cast<std::size_t>(j)] = v;
+            if (j < cap_)
+                samples_[static_cast<std::size_t>(j)] = v;
         }
-        sorted_ = false;
     }
 
-    /** Total samples observed (exact, even when capped). */
+    /** Total samples observed (exact). */
     std::uint64_t count() const { return count_; }
 
     double sum() const { return sum_; }
 
-    /** Arithmetic mean; 0 when empty. Exact even when capped. */
+    /** Arithmetic mean; 0 when empty. */
     double
     mean() const
     {
         return count_ == 0 ? 0.0 : sum_ / count_;
     }
 
-    /** Running minimum — O(1), exact even when capped. */
+    /** Running minimum — O(1), exact. */
     double
     min() const
     {
         return count_ == 0 ? 0.0 : min_;
     }
 
-    /** Running maximum — O(1), exact even when capped. */
+    /** Running maximum — O(1), exact. */
     double
     max() const
     {
@@ -116,8 +253,8 @@ class LatencyStat
     }
 
     /**
-     * Value at percentile @p p in [0, 100], nearest-rank.
-     * Sorts lazily; repeated queries are cheap.
+     * Value at percentile @p p in [0, 100]: exact-count nearest-rank
+     * over the histogram, independent of sample arrival order.
      */
     double percentile(double p) const;
 
@@ -127,33 +264,56 @@ class LatencyStat
      */
     std::vector<std::pair<double, double>> cdf(std::size_t points) const;
 
-    /** The stored samples — everything observed when unbounded, the
-     * uniform reservoir when capped. */
+    /** The exact value histogram (serialization / analyzers). */
+    const LogHistogram &histogram() const { return hist_; }
+
+    /**
+     * Raw stored samples — empty unless raw storage was opted into;
+     * then everything observed (cap 0) or the uniform reservoir.
+     */
     const std::vector<double> &samples() const { return samples_; }
 
+    /**
+     * Fold another stat into this one: counters add, extrema combine,
+     * histograms merge bucket-wise. Deterministic in any merge order.
+     * Raw reservoirs are not merged (samples() keeps only this stat's
+     * own observations).
+     */
+    void merge(const LatencyStat &o);
+
+    /** Drop all observations; the raw-storage opt-in is retained. */
     void
     reset()
     {
         samples_.clear();
+        hist_.reset();
         count_ = 0;
         sum_ = 0;
         min_ = std::numeric_limits<double>::infinity();
         max_ = -std::numeric_limits<double>::infinity();
-        sorted_ = false;
     }
 
   private:
-    void ensureSorted() const;
+    /** Histogram domain: non-negative integral ns (floor). */
+    static std::uint64_t
+    quantize(double v)
+    {
+        if (!(v > 0.0))
+            return 0;
+        if (v >= static_cast<double>(LogHistogram::kMaxTrackable))
+            return LogHistogram::kMaxTrackable;
+        return static_cast<std::uint64_t>(v);
+    }
 
     std::size_t cap_ = 0;
+    bool keepRaw_ = false;
     std::vector<double> samples_;
+    LogHistogram hist_;
     std::uint64_t count_ = 0;
     double sum_ = 0;
     double min_ = std::numeric_limits<double>::infinity();
     double max_ = -std::numeric_limits<double>::infinity();
     Pcg32 rng_{0x6c61746e63797374ull};  // fixed stream: reproducible
-    mutable bool sorted_ = false;
-    mutable std::vector<double> sortedSamples_;
 };
 
 /**

@@ -95,7 +95,8 @@ writeConfigJson(JsonWriter &w, const SimConfig &cfg)
 }
 
 void
-writeRunResultJson(JsonWriter &w, const RunResult &r)
+writeRunResultJson(JsonWriter &w, const RunResult &r,
+                   bool histogram_buckets)
 {
     w.beginObject();
     w.kv("scheme", r.schemeName);
@@ -105,9 +106,9 @@ writeRunResultJson(JsonWriter &w, const RunResult &r)
     w.kv("ipc", r.ipc);
 
     w.key("read_latency");
-    writeLatencyJson(w, r.readLatency);
+    writeLatencyJson(w, r.readLatency, histogram_buckets);
     w.key("write_latency");
-    writeLatencyJson(w, r.writeLatency);
+    writeLatencyJson(w, r.writeLatency, histogram_buckets);
 
     w.kv("logical_writes", r.logicalWrites);
     w.kv("logical_reads", r.logicalReads);
@@ -160,16 +161,17 @@ writeRunResultJson(JsonWriter &w, const RunResult &r)
 void
 writeStatsReport(std::ostream &os, const SimConfig &cfg,
                  const RunResult &r, const StatRegistry &reg,
-                 const IntervalSampler *sampler, int indent)
+                 const IntervalSampler *sampler, int indent,
+                 bool histogram_buckets)
 {
     JsonWriter w(os, indent);
     w.beginObject();
     w.key("config");
     writeConfigJson(w, cfg);
     w.key("result");
-    writeRunResultJson(w, r);
+    writeRunResultJson(w, r, histogram_buckets);
     w.key("stats");
-    reg.writeJson(w);
+    reg.writeJson(w, histogram_buckets);
     if (sampler && sampler->enabled()) {
         w.key("intervals");
         sampler->writeJson(w);

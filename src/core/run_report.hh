@@ -22,8 +22,12 @@ class JsonWriter;
 /** Serialize @p cfg as a nested object mirroring SimConfig. */
 void writeConfigJson(JsonWriter &w, const SimConfig &cfg);
 
-/** Serialize the per-run summary (records, IPC, energy, wear, ...). */
-void writeRunResultJson(JsonWriter &w, const RunResult &r);
+/** Serialize the per-run summary (records, IPC, energy, wear, ...).
+ * @p histogram_buckets additionally embeds the exact log-histogram
+ * buckets of each latency stat; off by default so existing reports
+ * stay byte-identical. */
+void writeRunResultJson(JsonWriter &w, const RunResult &r,
+                        bool histogram_buckets = false);
 
 /**
  * Write the complete stats report document to @p os:
@@ -32,11 +36,14 @@ void writeRunResultJson(JsonWriter &w, const RunResult &r);
  *
  * @param indent spaces per JSON nesting level; 0 emits the compact
  *        one-line form the sweep merger embeds per job.
+ * @param histogram_buckets embed exact histogram buckets in every
+ *        latency stat (opt-in; widens the schema).
  */
 void writeStatsReport(std::ostream &os, const SimConfig &cfg,
                       const RunResult &r, const StatRegistry &reg,
                       const IntervalSampler *sampler = nullptr,
-                      int indent = 2);
+                      int indent = 2,
+                      bool histogram_buckets = false);
 
 } // namespace esd
 

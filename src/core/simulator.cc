@@ -33,6 +33,7 @@ Simulator::resetMeasurement()
     writeLatency_.reset();
     sampler_.reset();
     profiler_.reset();
+    metrics_.reset();
 }
 
 RunResult
@@ -78,6 +79,7 @@ Simulator::run(TraceSource &trace, std::uint64_t records,
             if (measuring) {
                 writeLatency_.sample(static_cast<double>(r.latency));
                 sampler_.onWrite(++measured_writes);
+                metrics_.onWrite(measured_writes);
             }
             // Posted write: only backpressure stalls the core.
             core_time += static_cast<double>(r.issuerStall);
@@ -101,6 +103,9 @@ Simulator::run(TraceSource &trace, std::uint64_t records,
             std::chrono::steady_clock::now() - host_start)
             .count());
     profiler_.setRunNs(out.hostNs);
+    // Final exposition snapshot: a scraper always ends up with the
+    // complete end-of-run page even when interval writes are off.
+    metrics_.writeSnapshot();
 
     out.readLatency = readLatency_;
     out.writeLatency = writeLatency_;

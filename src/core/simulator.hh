@@ -28,6 +28,8 @@
 #include "metrics/energy.hh"
 #include "metrics/interval_sampler.hh"
 #include "metrics/profiler.hh"
+#include "metrics/prometheus.hh"
+#include "metrics/span_trace.hh"
 #include "nvm/nvm_store.hh"
 #include "nvm/pcm_device.hh"
 #include "trace/trace.hh"
@@ -127,6 +129,41 @@ class Simulator
         scheme_->setEventTrace(trace);
     }
 
+    /** Attach (nullptr detaches) a span-trace sink to both the write
+     * pipeline and the PCM device, so pipeline spans and channel
+     * service spans land in one trace. */
+    void
+    setSpanTrace(SpanTrace *spans)
+    {
+        scheme_->setSpanTrace(spans);
+        device_.setSpanTrace(spans);
+    }
+
+    /** Opt the latency stats into raw-sample retention (for
+     * -latency-out= style exports). Percentiles always come from the
+     * exact histograms; this only re-enables the reservoir. Call
+     * before run(). @p cap 0 keeps every sample. */
+    void
+    enableRawLatencySamples(std::size_t cap = 0)
+    {
+        readLatency_.enableRawSamples(cap);
+        writeLatency_.enableRawSamples(cap);
+    }
+
+    /**
+     * Rewrite a Prometheus text-format snapshot of the stat registry
+     * to @p path every @p every_writes measured writes (0 = only the
+     * final end-of-run snapshot). Call before run().
+     */
+    void
+    enableMetricsExposition(std::string path,
+                            std::uint64_t every_writes)
+    {
+        metrics_.configure(registry_, std::move(path), every_writes);
+    }
+
+    const MetricsExporter &metricsExporter() const { return metrics_; }
+
     /** Snapshot every scalar stat each @p every_writes measured
      * writes (0 disables). Call before run(). */
     void
@@ -172,6 +209,7 @@ class Simulator
     StatRegistry registry_;
     IntervalSampler sampler_;
     Profiler profiler_;
+    MetricsExporter metrics_;
     bool profiling_ = false;
 
     /** Measured-window latency distributions; registered as

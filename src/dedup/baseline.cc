@@ -34,7 +34,7 @@ BaselineScheme::write(Addr addr, const CacheLine &data, Tick now)
     // No fingerprinting at all: every write is unique by construction.
     traceWrite(now, addr, ecc, FpProbe::None, CompareVerdict::None,
                WriteOutcome::Unique, addr, r.queueDelay, enc,
-               res.latency);
+               res.latency, bd);
     return res;
 }
 

@@ -143,7 +143,7 @@ DedupSha1Scheme::write(Addr addr, const CacheLine &data, Tick now)
     // Fingerprint match is final here — there is never a compare.
     traceWrite(now, addr, fp, probe, CompareVerdict::None,
                dup ? WriteOutcome::Dedup : WriteOutcome::Unique,
-               decisive_addr, decisive_queue, encrypt_ns, res.latency);
+               decisive_addr, decisive_queue, encrypt_ns, res.latency, bd);
     return res;
 }
 

@@ -247,7 +247,7 @@ DeWriteScheme::write(Addr addr, const CacheLine &data, Tick now)
     else if (chk.verdict == CompareVerdict::Mismatch)
         outcome = WriteOutcome::Collision;
     traceWrite(now, addr, fp, chk.probe, chk.verdict, outcome,
-               decisive_addr, decisive_queue, encrypt_ns, res.latency);
+               decisive_addr, decisive_queue, encrypt_ns, res.latency, bd);
     return res;
 }
 

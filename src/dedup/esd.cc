@@ -154,7 +154,7 @@ EsdScheme::write(Addr addr, const CacheLine &data, Tick now)
     else if (verdict == CompareVerdict::Mismatch)
         outcome = WriteOutcome::Collision;
     traceWrite(now, addr, ecc, probe, verdict, outcome, decisive_addr,
-               decisive_queue, encrypt_ns, res.latency);
+               decisive_queue, encrypt_ns, res.latency, bd);
     return res;
 }
 

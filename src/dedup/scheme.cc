@@ -103,4 +103,47 @@ DedupScheme::DedupScheme(const SimConfig &cfg, PcmDevice &device,
 {
 }
 
+void
+DedupScheme::emitWriteSpans(Tick now, Addr addr, std::uint64_t fp,
+                            FpProbe probe, CompareVerdict compare,
+                            WriteOutcome outcome, Addr bank_addr,
+                            Tick queue_wait, Tick latency,
+                            const WriteBreakdown &bd)
+{
+    // Parent span: the whole logical write, with the verdicts a
+    // pipeline investigation needs as args.
+    spans_->span(
+        SpanTrace::kPipelineTrack, "write", now, latency,
+        {SpanTrace::str("outcome", writeOutcomeName(outcome)),
+         SpanTrace::str("efit", fpProbeName(probe)),
+         SpanTrace::str("compare", compareVerdictName(compare)),
+         SpanTrace::hex("fp", fp), SpanTrace::hex("addr", addr),
+         SpanTrace::num("channel", device_.channelOf(bank_addr)),
+         SpanTrace::num("bank", device_.bankOf(bank_addr)),
+         SpanTrace::num("wpq_wait_ns",
+                        static_cast<std::uint64_t>(queue_wait))});
+
+    // Child slices: the Fig. 17 phases laid out back to back in
+    // pipeline order. The breakdown components are critical-path ns,
+    // so the slices tile the parent up to queue/verify residue.
+    struct Slice
+    {
+        const char *name;
+        double ns;
+    };
+    const Slice slices[] = {
+        {"fingerprint", bd.fpCompute}, {"metadata", bd.metadata},
+        {"fp_nvm_lookup", bd.fpNvmLookup},
+        {"read_compare", bd.readCompare}, {"encrypt", bd.encrypt},
+        {"line_write", bd.lineWrite}};
+    Tick cursor = now;
+    for (const Slice &s : slices) {
+        auto dur = static_cast<Tick>(s.ns);
+        if (dur == 0)
+            continue;
+        spans_->span(SpanTrace::kPipelineTrack, s.name, cursor, dur);
+        cursor += dur;
+    }
+}
+
 } // namespace esd

@@ -26,6 +26,7 @@
 #include "dedup/line_store.hh"
 #include "ecc/line_ecc.hh"
 #include "metrics/profiler.hh"
+#include "metrics/span_trace.hh"
 #include "nvm/nvm_store.hh"
 #include "nvm/pcm_device.hh"
 #include "ras/ras_engine.hh"
@@ -198,6 +199,10 @@ class DedupScheme
     /** Attach (or detach with nullptr) a host-side phase profiler.
      * Detached (the default) every phase marker is one null check. */
     void setProfiler(Profiler *prof) { prof_ = prof; }
+
+    /** Attach (or detach with nullptr) a simulated-time span trace.
+     * Detached (the default) the write path pays one null check. */
+    void setSpanTrace(SpanTrace *spans) { spans_ = spans; }
 
     /** Total scheme-side (non-device) energy in pJ. */
     Energy
@@ -380,37 +385,50 @@ class DedupScheme
     }
 
     /**
-     * Emit one write-path trace record (no-op without an attached
-     * trace — one pointer test on the hot path).
+     * Emit one write-path trace record and, when a span trace is
+     * attached and admits this write, the per-phase span tree (no-op
+     * without sinks — two pointer tests on the hot path).
      *
      * @param bank_addr the decisive device access's address: the new
      *        physical line for unique writes, the compared candidate
      *        for dedup hits (its bank and queue wait are what the
      *        record reports)
+     * @param bd this write's latency breakdown — the span slices
      */
     void
     traceWrite(Tick now, Addr addr, std::uint64_t fp, FpProbe probe,
                CompareVerdict compare, WriteOutcome outcome,
                Addr bank_addr, Tick queue_wait, Tick encrypt_ns,
-               Tick latency)
+               Tick latency, const WriteBreakdown &bd)
     {
-        if (!trace_)
-            return;
-        WriteEvent e;
-        e.tick = now;
-        e.addr = addr;
-        e.fingerprint = fp;
-        e.probe = probe;
-        e.compare = compare;
-        e.outcome = outcome;
-        e.bank = static_cast<std::uint16_t>(device_.bankOf(bank_addr));
-        e.channel =
-            static_cast<std::uint16_t>(device_.channelOf(bank_addr));
-        e.queueWaitNs = queue_wait;
-        e.encryptNs = encrypt_ns;
-        e.latencyNs = latency;
-        trace_->record(e);
+        if (trace_) {
+            WriteEvent e;
+            e.tick = now;
+            e.addr = addr;
+            e.fingerprint = fp;
+            e.probe = probe;
+            e.compare = compare;
+            e.outcome = outcome;
+            e.bank =
+                static_cast<std::uint16_t>(device_.bankOf(bank_addr));
+            e.channel =
+                static_cast<std::uint16_t>(device_.channelOf(bank_addr));
+            e.queueWaitNs = queue_wait;
+            e.encryptNs = encrypt_ns;
+            e.latencyNs = latency;
+            trace_->record(e);
+        }
+        if (spans_ && spans_->admitWrite())
+            emitWriteSpans(now, addr, fp, probe, compare, outcome,
+                           bank_addr, queue_wait, latency, bd);
     }
+
+    /** Cold path of traceWrite: the admitted write's span tree. */
+    void emitWriteSpans(Tick now, Addr addr, std::uint64_t fp,
+                        FpProbe probe, CompareVerdict compare,
+                        WriteOutcome outcome, Addr bank_addr,
+                        Tick queue_wait, Tick latency,
+                        const WriteBreakdown &bd);
 
     SimConfig cfg_;
     PcmDevice &device_;
@@ -420,6 +438,7 @@ class DedupScheme
     SchemeStats stats_;
     WriteEventTrace *trace_ = nullptr;
     Profiler *prof_ = nullptr;
+    SpanTrace *spans_ = nullptr;
 };
 
 } // namespace esd

@@ -8,6 +8,7 @@
 
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "common/stat_registry.hh"
 #include "core/run_report.hh"
 #include "trace/workloads.hh"
 
@@ -136,6 +137,24 @@ writeSweepReport(std::ostream &os,
     for (const SweepOutcome &o : outcomes)
         w.rawValue(o.reportJson);
     w.endArray();
+
+    // Sweep-wide latency aggregate: LatencyStat::merge combines the
+    // exact histograms, and merge order never changes the counts, so
+    // this section is worker-count independent like the fragments.
+    LatencyStat read_all;
+    LatencyStat write_all;
+    for (const SweepOutcome &o : outcomes) {
+        read_all.merge(o.result.readLatency);
+        write_all.merge(o.result.writeLatency);
+    }
+    w.key("aggregate");
+    w.beginObject();
+    w.key("read_latency");
+    writeLatencyJson(w, read_all, /*buckets=*/true);
+    w.key("write_latency");
+    writeLatencyJson(w, write_all, /*buckets=*/true);
+    w.endObject();
+
     w.endObject();
     os << "\n";
 }

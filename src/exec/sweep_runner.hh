@@ -99,9 +99,12 @@ class SweepRunner
 
 /**
  * Merge per-job fragments into the one sweep report document:
- *   {"job_count": N, "jobs": [{...}, ...]}
- * Byte-identical for identical job lists, independent of the worker
- * count that produced @p outcomes.
+ *   {"job_count": N, "jobs": [{...}, ...],
+ *    "aggregate": {"read_latency": {...}, "write_latency": {...}}}
+ * The aggregate merges every job's exact latency histograms (buckets
+ * included), so sweep-wide percentiles are exact, not
+ * percentile-of-percentiles. Byte-identical for identical job lists,
+ * independent of the worker count that produced @p outcomes.
  */
 void writeSweepReport(std::ostream &os,
                       const std::vector<SweepOutcome> &outcomes);

@@ -1,0 +1,127 @@
+#include "metrics/prometheus.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/stat_registry.hh"
+
+namespace esd
+{
+
+namespace
+{
+
+/** Prometheus sample value: %.10g matches the JSON writer so the two
+ * exports agree digit-for-digit. */
+std::string
+sampleValue(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+}
+
+/** HELP text: single-line, with backslash and newline escaped per the
+ * exposition format. */
+std::string
+escapeHelp(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+void
+writeHeader(std::ostream &os, const std::string &name,
+            const std::string &desc, const char *type)
+{
+    if (!desc.empty())
+        os << "# HELP " << name << " " << escapeHelp(desc) << "\n";
+    os << "# TYPE " << name << " " << type << "\n";
+}
+
+} // namespace
+
+std::string
+prometheusName(const std::string &stat_name)
+{
+    std::string out = "esd_";
+    out.reserve(stat_name.size() + 4);
+    for (char c : stat_name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9');
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+void
+writePrometheusText(std::ostream &os, const StatRegistry &reg)
+{
+    // Name-sorted like the JSON report, so snapshots diff cleanly.
+    std::vector<const StatRegistry::Entry *> sorted;
+    sorted.reserve(reg.entries().size());
+    for (const StatRegistry::Entry &e : reg.entries())
+        sorted.push_back(&e);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const StatRegistry::Entry *a,
+                 const StatRegistry::Entry *b) {
+                  return a->name < b->name;
+              });
+
+    for (const StatRegistry::Entry *e : sorted) {
+        std::string name = prometheusName(e->name);
+        switch (e->kind) {
+          case StatRegistry::Kind::Counter:
+            writeHeader(os, name, e->desc, "counter");
+            os << name << " "
+               << sampleValue(static_cast<double>(e->counter->value()))
+               << "\n";
+            break;
+          case StatRegistry::Kind::Gauge:
+            writeHeader(os, name, e->desc, "gauge");
+            os << name << " " << sampleValue(e->gauge()) << "\n";
+            break;
+          case StatRegistry::Kind::Latency: {
+            const LatencyStat &s = *e->latency;
+            writeHeader(os, name, e->desc, "summary");
+            for (double q : {0.5, 0.9, 0.99}) {
+                os << name << "{quantile=\"" << sampleValue(q) << "\"} "
+                   << sampleValue(s.percentile(q * 100.0)) << "\n";
+            }
+            os << name << "_sum " << sampleValue(s.sum()) << "\n";
+            os << name << "_count "
+               << sampleValue(static_cast<double>(s.count())) << "\n";
+            break;
+          }
+        }
+    }
+}
+
+void
+MetricsExporter::writeSnapshot()
+{
+    if (!enabled())
+        return;
+    // Truncate-and-rewrite: scrapers always see a complete page.
+    std::ofstream out(path_, std::ios::trunc);
+    if (!out) {
+        esd_warn("metrics exporter: cannot open '%s'", path_.c_str());
+        return;
+    }
+    writePrometheusText(out, *reg_);
+    ++snapshots_;
+}
+
+} // namespace esd

@@ -158,6 +158,13 @@ PcmDevice::access(OpType type, Addr addr, Tick arrival)
                 res.coalesced = true;
                 stats_.writesCoalesced.inc();
                 cs.coalescedWrites.inc();
+                if (spans_ && spans_->admitAccess()) {
+                    spans_->instant(
+                        SpanTrace::channelTrack(ch), "coalesced",
+                        arrival,
+                        {SpanTrace::hex("addr", addr),
+                         SpanTrace::num("retires_at", it->second)});
+                }
                 return res;
             }
         }
@@ -213,6 +220,21 @@ PcmDevice::access(OpType type, Addr addr, Tick arrival)
             readChain_[bank] = res.complete;
     }
     res.queueDelay = res.start - arrival;
+
+    if (spans_ && spans_->admitAccess()) {
+        std::uint32_t track = SpanTrace::channelTrack(ch);
+        if (res.queueDelay > 0) {
+            spans_->span(track, "wpq_wait", arrival, res.queueDelay,
+                         {SpanTrace::num("bank", bank)});
+        }
+        spans_->span(track,
+                     type == OpType::Read ? "read" : "write",
+                     res.start, latency,
+                     {SpanTrace::hex("addr", addr),
+                      SpanTrace::num("bank", bank),
+                      SpanTrace::num("queue_ns", res.queueDelay),
+                      SpanTrace::num("stall_ns", res.issuerStall)});
+    }
 
     BankStats &bs = bankStats_[bank];
     bs.queueWaitNs += static_cast<double>(res.queueDelay);

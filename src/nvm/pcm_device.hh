@@ -38,6 +38,7 @@
 #include "common/flat_map.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "metrics/span_trace.hh"
 #include "nvm/start_gap.hh"
 #include "nvm/wear_tracker.hh"
 
@@ -198,6 +199,11 @@ class PcmDevice
      * "pcm.*" / "pcm.chN.*" / "pcm.bankN.*". */
     void registerStats(StatRegistry &reg) const;
 
+    /** Attach (or detach with nullptr) a span sink: every admitted
+     * access emits a service span on its channel's track, plus a
+     * wpq_wait span when it queued and an instant when it coalesced. */
+    void setSpanTrace(SpanTrace *spans) { spans_ = spans; }
+
     /** Zero all statistics (after warm-up); wear is cumulative and
      * reset separately via resetWear(). */
     void
@@ -256,6 +262,8 @@ class PcmDevice
     FlatMap<std::uint64_t, std::unique_ptr<StartGap>> gapRegions_;
 
     NvmStats stats_;
+
+    SpanTrace *spans_ = nullptr;
 };
 
 } // namespace esd

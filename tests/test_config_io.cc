@@ -180,6 +180,58 @@ TEST(ConfigIo, RasKeysApply)
     EXPECT_EQ(cfg.ras.dedupSuspendUes, 5u);
 }
 
+TEST(ConfigIo, TelemetryKeysApply)
+{
+    SimConfig cfg;
+    EXPECT_TRUE(
+        applyConfigKey(cfg, "telemetry.trace_ring_capacity", "1024"));
+    EXPECT_EQ(cfg.telemetry.traceRingCapacity, 1024u);
+    EXPECT_TRUE(
+        applyConfigKey(cfg, "telemetry.span_sample_every", "16"));
+    EXPECT_EQ(cfg.telemetry.spanSampleEvery, 16u);
+    EXPECT_TRUE(
+        applyConfigKey(cfg, "telemetry.span_buffer_cap", "4096"));
+    EXPECT_EQ(cfg.telemetry.spanBufferCap, 4096u);
+    EXPECT_TRUE(
+        applyConfigKey(cfg, "telemetry.metrics_every_writes", "0"));
+    EXPECT_EQ(cfg.telemetry.metricsEveryWrites, 0u);
+    EXPECT_TRUE(
+        applyConfigKey(cfg, "telemetry.histogram_buckets", "true"));
+    EXPECT_TRUE(cfg.telemetry.histogramBuckets);
+}
+
+TEST_F(ConfigFileTest, TelemetryRenderRoundTrips)
+{
+    SimConfig cfg;
+    cfg.telemetry.traceRingCapacity = 777;
+    cfg.telemetry.spanSampleEvery = 3;
+    cfg.telemetry.spanBufferCap = 123456;
+    cfg.telemetry.metricsEveryWrites = 5000;
+    cfg.telemetry.histogramBuckets = true;
+    {
+        std::ofstream out(path_);
+        out << renderConfig(cfg);
+    }
+    SimConfig back;
+    loadConfigFile(back, path_.string());
+    EXPECT_EQ(back.telemetry.traceRingCapacity, 777u);
+    EXPECT_EQ(back.telemetry.spanSampleEvery, 3u);
+    EXPECT_EQ(back.telemetry.spanBufferCap, 123456u);
+    EXPECT_EQ(back.telemetry.metricsEveryWrites, 5000u);
+    EXPECT_TRUE(back.telemetry.histogramBuckets);
+    EXPECT_EQ(renderConfig(back), renderConfig(cfg));
+}
+
+TEST(ConfigIoDeath, TelemetryTraceRingOutOfRangeIsFatal)
+{
+    SimConfig cfg;
+    EXPECT_EXIT(applyConfigKey(cfg, "telemetry.trace_ring_capacity",
+                               "0"),
+                ::testing::ExitedWithCode(1), "out of range");
+    EXPECT_EXIT(applyConfigKey(cfg, "telemetry.span_sample_every", "0"),
+                ::testing::ExitedWithCode(1), "out of range");
+}
+
 TEST(ConfigIoDeath, RasBerOutOfRangeIsFatal)
 {
     SimConfig cfg;

@@ -16,6 +16,8 @@
 #include "core/cpu_system.hh"
 #include "core/run_report.hh"
 #include "core/simulator.hh"
+#include "metrics/prometheus.hh"
+#include "metrics/span_trace.hh"
 #include "trace/workloads.hh"
 
 namespace esd
@@ -181,6 +183,170 @@ TEST(Observability, StatsStayLiveAcrossMeasurementReset)
               static_cast<double>(r.dedupHits));
     EXPECT_EQ(reg.scalar("pcm.writes"),
               static_cast<double>(r.nvmWritesTotal));
+}
+
+TEST(SpanTrace, CapacityBoundsAndSamplingStreams)
+{
+    SpanTrace spans(/*capacity=*/2, /*sample_every=*/2);
+    // Independent admission streams: writes and accesses each admit
+    // their own every-2nd event.
+    EXPECT_TRUE(spans.admitWrite());
+    EXPECT_FALSE(spans.admitWrite());
+    EXPECT_TRUE(spans.admitAccess());
+    EXPECT_FALSE(spans.admitAccess());
+    EXPECT_TRUE(spans.admitWrite());
+
+    spans.span(SpanTrace::kPipelineTrack, "a", 0, 10);
+    spans.span(SpanTrace::kPipelineTrack, "b", 10, 10);
+    spans.span(SpanTrace::kPipelineTrack, "c", 20, 10);  // over cap
+    EXPECT_EQ(spans.size(), 2u);
+    EXPECT_EQ(spans.dropped(), 1u);
+    EXPECT_EQ(spans.totalRecorded(), 3u);
+
+    spans.clear();
+    EXPECT_EQ(spans.size(), 0u);
+    EXPECT_EQ(spans.dropped(), 0u);
+    EXPECT_TRUE(spans.admitWrite());  // streams restart after clear
+}
+
+TEST(SpanTrace, ChromeJsonIsValidTraceEventFormat)
+{
+    SpanTrace spans(64, 1);
+    spans.span(SpanTrace::kPipelineTrack, "write", 100, 250,
+               {SpanTrace::str("outcome", "dedup"),
+                SpanTrace::hex("fp", 0xabcd),
+                SpanTrace::num("bank", 3)});
+    spans.span(SpanTrace::channelTrack(0), "read", 120, 75);
+    spans.instant(SpanTrace::channelTrack(1), "coalesced", 130);
+
+    std::ostringstream os;
+    spans.writeChromeJson(os);
+
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(tryParseJson(os.str(), doc, &err)) << err;
+
+    const JsonValue *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+
+    // Metadata: process name + one thread_name per used track.
+    std::size_t meta = 0, complete = 0, instants = 0;
+    for (const JsonValue &e : events->array) {
+        const std::string &ph = e.find("ph")->str;
+        if (ph == "M") {
+            ++meta;
+        } else if (ph == "X") {
+            ++complete;
+            ASSERT_NE(e.find("dur"), nullptr);
+        } else if (ph == "i") {
+            ++instants;
+        }
+    }
+    EXPECT_EQ(meta, 4u);  // process_name + 3 thread_names
+    EXPECT_EQ(complete, 2u);
+    EXPECT_EQ(instants, 1u);
+
+    // The parent span round-trips its args; ts is us (ns / 1000).
+    const JsonValue *write = nullptr;
+    for (const JsonValue &e : events->array)
+        if (e.find("name")->str == "write")
+            write = &e;
+    ASSERT_NE(write, nullptr);
+    EXPECT_DOUBLE_EQ(write->find("ts")->number, 0.1);
+    EXPECT_DOUBLE_EQ(write->find("dur")->number, 0.25);
+    const JsonValue *args = write->find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_EQ(args->find("outcome")->str, "dedup");
+    EXPECT_EQ(args->find("fp")->str, "0xabcd");
+    EXPECT_DOUBLE_EQ(args->find("bank")->number, 3.0);
+}
+
+TEST(SpanTrace, SimulatorRunEmitsPipelineAndChannelSpans)
+{
+    SimConfig cfg = fastConfig();
+    cfg.channels.count = 2;
+    // ECC fingerprints are free by default (the paper's Section III-C
+    // assumption); give them a visible cost so the "fingerprint"
+    // child slice is emitted deterministically.
+    cfg.crypto.eccLatency = 4;
+    Simulator sim(cfg, SchemeKind::Esd);
+
+    SpanTrace spans(1u << 16, 1);
+    sim.setSpanTrace(&spans);
+
+    SyntheticWorkload trace(findApp("lbm"), 1);
+    sim.run(trace, 5000, 500);
+    ASSERT_GT(spans.size(), 0u);
+
+    std::ostringstream os;
+    spans.writeChromeJson(os);
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(tryParseJson(os.str(), doc, &err)) << err;
+
+    // Both the pipeline track and at least one channel track emitted,
+    // and the pipeline carries the phase child slices.
+    bool pipeline = false, channel = false, slice = false;
+    for (const JsonValue &e : doc.find("traceEvents")->array) {
+        if (e.find("ph")->str != "X")
+            continue;
+        double tid = e.find("tid")->number;
+        if (tid == 0.0)
+            pipeline = true;
+        else
+            channel = true;
+        if (e.find("name")->str == "fingerprint")
+            slice = true;
+    }
+    EXPECT_TRUE(pipeline);
+    EXPECT_TRUE(channel);
+    EXPECT_TRUE(slice);
+}
+
+TEST(Prometheus, NameSanitization)
+{
+    EXPECT_EQ(prometheusName("pcm.ch0.reads"), "esd_pcm_ch0_reads");
+    EXPECT_EQ(prometheusName("scheme.write_latency"),
+              "esd_scheme_write_latency");
+    EXPECT_EQ(prometheusName("weird-name+x"), "esd_weird_name_x");
+}
+
+TEST(Prometheus, TextExpositionCoversEveryKind)
+{
+    StatRegistry reg;
+    Counter hits;
+    hits.inc(42);
+    reg.addCounter("scheme.dedup_hits", hits, "writes eliminated");
+    reg.addGauge("scheme.dedup_rate", [] { return 0.5; });
+    LatencyStat lat;
+    for (int i = 1; i <= 100; ++i)
+        lat.sample(i);
+    reg.addLatency("scheme.write_latency", lat);
+
+    std::ostringstream os;
+    writePrometheusText(os, reg);
+    std::string text = os.str();
+
+    EXPECT_NE(text.find("# TYPE esd_scheme_dedup_hits counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("# HELP esd_scheme_dedup_hits "
+                        "writes eliminated"),
+              std::string::npos);
+    EXPECT_NE(text.find("esd_scheme_dedup_hits 42"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE esd_scheme_dedup_rate gauge"),
+              std::string::npos);
+    EXPECT_NE(text.find("esd_scheme_dedup_rate 0.5"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE esd_scheme_write_latency summary"),
+              std::string::npos);
+    // Exact-histogram quantiles: p50 of 1..100 is exactly 50.
+    EXPECT_NE(text.find("esd_scheme_write_latency{quantile=\"0.5\"} 50"),
+              std::string::npos);
+    EXPECT_NE(text.find("esd_scheme_write_latency_count 100"),
+              std::string::npos);
+    EXPECT_NE(text.find("esd_scheme_write_latency_sum 5050"),
+              std::string::npos);
 }
 
 TEST(Observability, CpuSystemRegistersCacheHierarchy)

@@ -215,12 +215,26 @@ TEST(LatencyStat, ReservoirCapsStorageButKeepsExactSummary)
     EXPECT_LT(p50, 8000.0);
 }
 
-TEST(LatencyStat, UncappedKeepsEverySample)
+TEST(LatencyStat, UncappedKeepsEverySampleWhenOptedIn)
 {
     LatencyStat s;
+    s.enableRawSamples(0);
     for (int i = 0; i < 5000; ++i)
         s.sample(i);
     EXPECT_EQ(s.samples().size(), 5000u);
+}
+
+TEST(LatencyStat, RawSamplesAreOffByDefault)
+{
+    LatencyStat s;
+    EXPECT_FALSE(s.rawSamplesEnabled());
+    for (int i = 1; i <= 100; ++i)
+        s.sample(i);
+    // No raw storage, yet the summary and percentiles stay exact.
+    EXPECT_TRUE(s.samples().empty());
+    EXPECT_EQ(s.count(), 100u);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+    EXPECT_DOUBLE_EQ(s.percentile(99), 99.0);
 }
 
 TEST(LatencyStatDeathTest, CapAfterSamplesPanics)

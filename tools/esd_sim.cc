@@ -21,8 +21,18 @@
  *   `-stats-json` writes the machine-readable run report (config +
  *   result + every registered stat + interval snapshots every
  *   `-stats-interval` measured writes);
- *   `-trace-out` dumps the last `-trace-cap` per-write events as
- *   JSONL (one record per line);
+ *   `-trace-out` dumps the first `-trace-ring` per-write events as
+ *   JSONL (one record per line; `-trace-cap` is a legacy alias, and
+ *   the default capacity comes from [telemetry] trace_ring_capacity);
+ *   `-spans-out` writes a Chrome trace-event / Perfetto JSON span
+ *   trace of the write pipeline and per-channel device service,
+ *   admitting every `-span-every`-th write (default [telemetry]
+ *   span_sample_every);
+ *   `-metrics-out` rewrites a Prometheus text-format snapshot of the
+ *   stat registry every `-metrics-every` measured writes plus once at
+ *   end of run (0 = final snapshot only);
+ *   `-hist-buckets` embeds the exact latency histogram buckets in the
+ *   `-stats-json` report (opt-in: widens the schema);
  *   `-profile` attributes host wall-clock to the write-path phases
  *   (fingerprint/lookup/compare/encrypt/device) and prints the table
  *   after the run — the `host.profile.*` gauges also land in
@@ -74,13 +84,18 @@ struct Options
     std::string latencyOut;
     std::string statsJson;
     std::string traceOut;
-    std::uint64_t traceCap = 65536;
+    std::string spansOut;
+    std::string metricsOut;
+    std::uint64_t traceCap = ~0ull;    ///< not given: [telemetry] value
+    std::uint64_t spanEvery = ~0ull;   ///< not given: [telemetry] value
+    std::uint64_t metricsEvery = ~0ull;
     std::uint64_t statsInterval = 10000;
     std::uint64_t records = 200000;
     std::uint64_t warmup = 40000;
     std::uint64_t seed = 1;
     bool dumpConfig = false;
     bool profile = false;
+    bool histBuckets = false;
 
     // RAS overrides; negative / max mean "not given" (config-file
     // values, applied earlier, then stand).
@@ -160,7 +175,10 @@ usage()
            "               [-records=N] [-warmup=N] [-seed=N]\n"
            "               [-latency-out=path] [-dump-config]\n"
            "               [-stats-json=path] [-stats-interval=N]\n"
-           "               [-trace-out=path] [-trace-cap=N]\n"
+           "               [-trace-out=path] [-trace-ring=N]\n"
+           "               [-spans-out=path] [-span-every=N]\n"
+           "               [-metrics-out=path] [-metrics-every=N]\n"
+           "               [-hist-buckets]\n"
            "               [-ras-read-ber=P] [-ras-write-ber=P]\n"
            "               [-ras-patrol-interval=N] "
            "[-ras-write-verify=N]\n"
@@ -206,8 +224,31 @@ parseArgs(int argc, char **argv)
                 parseU64("-stats-interval", value("-stats-interval="));
         } else if (arg.rfind("-trace-out=", 0) == 0) {
             opt.traceOut = value("-trace-out=");
+        } else if (arg.rfind("-trace-ring=", 0) == 0) {
+            opt.traceCap = parseU64("-trace-ring", value("-trace-ring="));
+            if (opt.traceCap < 1 || opt.traceCap > (1u << 24))
+                esd_fatal("-trace-ring: %llu out of range [1, %u]",
+                          static_cast<unsigned long long>(opt.traceCap),
+                          1u << 24);
         } else if (arg.rfind("-trace-cap=", 0) == 0) {
+            // Legacy alias of -trace-ring= (0 still caught below).
             opt.traceCap = parseU64("-trace-cap", value("-trace-cap="));
+        } else if (arg.rfind("-spans-out=", 0) == 0) {
+            opt.spansOut = value("-spans-out=");
+        } else if (arg.rfind("-span-every=", 0) == 0) {
+            opt.spanEvery =
+                parseU64("-span-every", value("-span-every="));
+            if (opt.spanEvery < 1 || opt.spanEvery > (1u << 30))
+                esd_fatal("-span-every: %llu out of range [1, %u]",
+                          static_cast<unsigned long long>(opt.spanEvery),
+                          1u << 30);
+        } else if (arg.rfind("-metrics-out=", 0) == 0) {
+            opt.metricsOut = value("-metrics-out=");
+        } else if (arg.rfind("-metrics-every=", 0) == 0) {
+            opt.metricsEvery =
+                parseU64("-metrics-every", value("-metrics-every="));
+        } else if (arg == "-hist-buckets") {
+            opt.histBuckets = true;
         } else if (arg.rfind("-ras-read-ber=", 0) == 0) {
             opt.rasReadBer =
                 parseProb("-ras-read-ber", value("-ras-read-ber="));
@@ -312,11 +353,31 @@ main(int argc, char **argv)
 
     Simulator sim(cfg, opt.scheme);
 
-    if (!opt.traceOut.empty() && opt.traceCap == 0)
-        esd_fatal("-trace-cap must be > 0 when -trace-out= is set");
-    WriteEventTrace events(std::max<std::size_t>(opt.traceCap, 1));
+    // Flags layer over the [telemetry] config section.
+    std::uint64_t trace_cap = opt.traceCap != ~0ull
+                                  ? opt.traceCap
+                                  : cfg.telemetry.traceRingCapacity;
+    if (!opt.traceOut.empty() && trace_cap == 0)
+        esd_fatal("-trace-ring must be > 0 when -trace-out= is set");
+    WriteEventTrace events(std::max<std::size_t>(trace_cap, 1));
     if (!opt.traceOut.empty())
         sim.setEventTrace(&events);
+
+    SpanTrace spans(cfg.telemetry.spanBufferCap,
+                    opt.spanEvery != ~0ull
+                        ? opt.spanEvery
+                        : cfg.telemetry.spanSampleEvery);
+    if (!opt.spansOut.empty())
+        sim.setSpanTrace(&spans);
+
+    if (!opt.metricsOut.empty())
+        sim.enableMetricsExposition(
+            opt.metricsOut, opt.metricsEvery != ~0ull
+                                ? opt.metricsEvery
+                                : cfg.telemetry.metricsEveryWrites);
+
+    if (!opt.latencyOut.empty())
+        sim.enableRawLatencySamples();
     if (!opt.statsJson.empty())
         sim.enableIntervalSampling(opt.statsInterval);
     if (opt.profile)
@@ -417,11 +478,27 @@ main(int argc, char **argv)
         if (!out)
             esd_fatal("cannot open '%s'", opt.statsJson.c_str());
         writeStatsReport(out, cfg, r, sim.statRegistry(),
-                         &sim.sampler());
+                         &sim.sampler(), /*indent=*/2,
+                         opt.histBuckets ||
+                             cfg.telemetry.histogramBuckets);
         std::cout << "wrote stats report (" << sim.statRegistry().size()
                   << " stats, " << sim.sampler().rows().size()
                   << " interval samples) to " << opt.statsJson << "\n";
     }
+
+    if (!opt.spansOut.empty()) {
+        std::ofstream out(opt.spansOut);
+        if (!out)
+            esd_fatal("cannot open '%s'", opt.spansOut.c_str());
+        spans.writeChromeJson(out);
+        std::cout << "wrote " << spans.size() << " of "
+                  << spans.totalRecorded() << " spans to "
+                  << opt.spansOut << "\n";
+    }
+
+    if (!opt.metricsOut.empty())
+        std::cout << "wrote " << sim.metricsExporter().snapshots()
+                  << " metric snapshots to " << opt.metricsOut << "\n";
 
     if (!opt.traceOut.empty()) {
         std::ofstream out(opt.traceOut);

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Offline telemetry analyzer: loads the artifacts the simulator
+ * exports — JSONL write-event traces (`esd_sim -trace-out=`) and
+ * Chrome trace-event span files (`esd_sim -spans-out=`) — and prints
+ * the summary tables a latency investigation starts from, without
+ * opening a trace viewer:
+ *
+ *   esd_trace -writes=trace.jsonl   per-outcome and per-channel
+ *                                   latency breakdowns plus an exact
+ *                                   histogram percentile summary
+ *   esd_trace -spans=spans.json     per-track, per-phase duration
+ *                                   rollups of the span tree
+ *
+ * Both may be given at once. All statistics are recomputed from the
+ * artifact with the same exact log-histogram the simulator uses, so
+ * the percentiles printed here agree with the run report.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "metrics/report.hh"
+
+namespace
+{
+
+using namespace esd;
+
+struct Options
+{
+    std::string writesFile;
+    std::string spansFile;
+};
+
+void
+usage()
+{
+    std::cerr << "usage: esd_trace [-writes=trace.jsonl] "
+                 "[-spans=spans.json]\n"
+                 "  -writes=  JSONL write-event trace from esd_sim "
+                 "-trace-out=\n"
+                 "  -spans=   Chrome trace-event JSON from esd_sim "
+                 "-spans-out=\n";
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("-writes=", 0) == 0) {
+            opt.writesFile = arg.substr(8);
+        } else if (arg.rfind("-spans=", 0) == 0) {
+            opt.spansFile = arg.substr(7);
+        } else if (arg == "-h" || arg == "--help") {
+            usage();
+            std::exit(0);
+        } else {
+            usage();
+            esd_fatal("unknown argument '%s'", arg.c_str());
+        }
+    }
+    if (opt.writesFile.empty() && opt.spansFile.empty()) {
+        usage();
+        esd_fatal("need -writes= and/or -spans=");
+    }
+    return opt;
+}
+
+/** Latency rollup for one grouping key (outcome, channel, phase). */
+struct Group
+{
+    std::uint64_t count = 0;
+    double sum = 0;
+    LogHistogram hist;
+
+    void
+    add(double v)
+    {
+        ++count;
+        sum += v;
+        hist.record(v > 0 ? static_cast<std::uint64_t>(v) : 0);
+    }
+
+    double mean() const { return count ? sum / count : 0.0; }
+};
+
+/** LogHistogram percentiles are bucket lower bounds — always whole
+ * nanoseconds — so print them without a fractional part. */
+std::string
+ns(double v)
+{
+    return std::to_string(static_cast<std::uint64_t>(v));
+}
+
+double
+numberOf(const JsonValue &obj, const char *key)
+{
+    const JsonValue *v = obj.find(key);
+    return v && v->isNumber() ? v->number : 0.0;
+}
+
+std::string
+stringOf(const JsonValue &obj, const char *key)
+{
+    const JsonValue *v = obj.find(key);
+    return v && v->isString() ? v->str : std::string("?");
+}
+
+void
+printGroups(const std::string &title, const char *key_header,
+            const std::map<std::string, Group> &groups)
+{
+    std::cout << title << ":\n";
+    TablePrinter t({key_header, "count", "mean ns", "p50", "p95",
+                    "p99", "max"});
+    for (const auto &[key, g] : groups) {
+        t.addRow({key, std::to_string(g.count),
+                  TablePrinter::num(g.mean(), 1),
+                  ns(g.hist.percentile(50)), ns(g.hist.percentile(95)),
+                  ns(g.hist.percentile(99)),
+                  std::to_string(g.hist.valueAtRank(g.count))});
+    }
+    t.print();
+}
+
+void
+analyzeWrites(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        esd_fatal("cannot open '%s'", path.c_str());
+
+    std::map<std::string, Group> byOutcome;
+    std::map<std::string, Group> byChannel;
+    Group all;
+    Group queueWait;
+    std::uint64_t lines = 0;
+    std::uint64_t bad = 0;
+
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        ++lines;
+        JsonValue rec;
+        std::string err;
+        if (!tryParseJson(line, rec, &err) || !rec.isObject()) {
+            ++bad;
+            continue;
+        }
+        double latency = numberOf(rec, "latency_ns");
+        all.add(latency);
+        queueWait.add(numberOf(rec, "queue_ns"));
+        byOutcome[stringOf(rec, "outcome")].add(latency);
+        byChannel["ch" + std::to_string(static_cast<std::uint64_t>(
+                      numberOf(rec, "channel")))]
+            .add(latency);
+    }
+    if (bad)
+        esd_warn("%llu of %llu lines were not valid JSON objects",
+                 static_cast<unsigned long long>(bad),
+                 static_cast<unsigned long long>(lines));
+    if (all.count == 0) {
+        std::cout << path << ": no write events\n";
+        return;
+    }
+
+    std::cout << path << ": " << all.count << " write events\n";
+    printGroups("write latency by outcome", "outcome", byOutcome);
+    printGroups("write latency by channel", "channel", byChannel);
+
+    std::cout << "overall:\n";
+    TablePrinter t({"metric", "value"});
+    t.addRow({"writes", std::to_string(all.count)});
+    t.addRow({"latency mean", TablePrinter::num(all.mean(), 1) + " ns"});
+    t.addRow({"latency p50/p95/p99",
+              ns(all.hist.percentile(50)) + " / " +
+                  ns(all.hist.percentile(95)) + " / " +
+                  ns(all.hist.percentile(99)) + " ns"});
+    t.addRow({"wpq wait mean/p99",
+              TablePrinter::num(queueWait.mean(), 1) + " / " +
+                  ns(queueWait.hist.percentile(99)) + " ns"});
+    t.print();
+}
+
+void
+analyzeSpans(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        esd_fatal("cannot open '%s'", path.c_str());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    JsonValue doc;
+    std::string err;
+    if (!tryParseJson(buf.str(), doc, &err))
+        esd_fatal("'%s' is not valid JSON: %s", path.c_str(),
+                  err.c_str());
+    const JsonValue *events = doc.find("traceEvents");
+    if (!events || !events->isArray())
+        esd_fatal("'%s' has no traceEvents array", path.c_str());
+
+    // Track tid -> display name from the thread_name metadata.
+    std::map<std::uint64_t, std::string> trackNames;
+    for (const JsonValue &e : events->array) {
+        if (stringOf(e, "ph") == "M" &&
+            stringOf(e, "name") == "thread_name") {
+            const JsonValue *args = e.find("args");
+            if (args)
+                trackNames[static_cast<std::uint64_t>(
+                    numberOf(e, "tid"))] = stringOf(*args, "name");
+        }
+    }
+
+    // Rollup key "track/name"; durations back in ns (ts/dur are us).
+    std::map<std::string, Group> byPhase;
+    std::uint64_t spans = 0;
+    std::uint64_t instants = 0;
+    for (const JsonValue &e : events->array) {
+        std::string ph = stringOf(e, "ph");
+        if (ph != "X" && ph != "i")
+            continue;
+        auto tid = static_cast<std::uint64_t>(numberOf(e, "tid"));
+        auto it = trackNames.find(tid);
+        std::string track = it != trackNames.end()
+                                ? it->second
+                                : "tid" + std::to_string(tid);
+        if (ph == "i") {
+            ++instants;
+            byPhase[track + "/" + stringOf(e, "name")].add(0);
+            continue;
+        }
+        ++spans;
+        byPhase[track + "/" + stringOf(e, "name")].add(
+            numberOf(e, "dur") * 1000.0);
+    }
+
+    std::cout << path << ": " << spans << " spans, " << instants
+              << " instants";
+    if (const JsonValue *other = doc.find("otherData")) {
+        std::cout << " (recorded "
+                  << static_cast<std::uint64_t>(
+                         numberOf(*other, "spans_recorded"))
+                  << ", dropped "
+                  << static_cast<std::uint64_t>(
+                         numberOf(*other, "spans_dropped"))
+                  << ", sampling 1/"
+                  << static_cast<std::uint64_t>(
+                         numberOf(*other, "sample_every"))
+                  << ")";
+    }
+    std::cout << "\n";
+    printGroups("span durations by track/phase", "track/phase",
+                byPhase);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+    if (!opt.writesFile.empty())
+        analyzeWrites(opt.writesFile);
+    if (!opt.spansFile.empty())
+        analyzeSpans(opt.spansFile);
+    return 0;
+}

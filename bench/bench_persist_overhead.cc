@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Crash-consistency extension: what metadata journaling costs each
+ * scheme. For every scheme the gcc workload runs three times — no
+ * persistence, ADR, and eADR — and the table reports the simulated
+ * write-latency delta plus the journal's own work (records appended,
+ * epoch commits, persist-barrier and WPQ-drain time). ADR pays the
+ * drain-before-commit ordering rule; eADR's durable flush buffer
+ * makes the barrier nearly free, so the two rows bound the cost of
+ * the persistence guarantee on real platforms.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/config_io.hh"
+#include "metrics/report.hh"
+
+namespace
+{
+
+using namespace esd;
+
+struct PersistPoint
+{
+    RunResult result;
+    std::uint64_t records = 0;
+    std::uint64_t commits = 0;
+    std::uint64_t barrierNs = 0;
+    std::uint64_t drainNs = 0;
+};
+
+PersistPoint
+run(const std::string &app, SchemeKind kind, const char *domain)
+{
+    SimConfig cfg = bench::benchConfig();
+    if (domain) {
+        cfg.persist.enabled = true;
+        cfg.persist.domain = parsePersistDomain("domain", domain);
+    }
+
+    SyntheticWorkload trace(findApp(app), 1);
+    Simulator sim(cfg, kind);
+    PersistPoint p;
+    p.result =
+        sim.run(trace, bench::benchRecords(), bench::benchWarmup());
+    if (const PersistenceManager *pm = sim.persistence()) {
+        p.records = pm->stats().journalRecords.value();
+        p.commits = pm->stats().epochCommits.value();
+        p.barrierNs = pm->stats().barrierNs.value();
+        p.drainNs = pm->stats().drainWaitNs.value();
+    }
+    return p;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace esd;
+    bench::printHeader(
+        "Metadata-journaling overhead",
+        "per-scheme write-latency cost of crash consistency (gcc "
+        "workload): off vs ADR vs eADR persistence domains");
+
+    const char *domains[] = {nullptr, "adr", "eadr"};
+
+    TablePrinter table({"scheme", "persist", "write mean", "write p99",
+                        "mean vs off", "journal recs", "commits",
+                        "barrier ns", "drain ns"});
+    for (SchemeKind k : allSchemeKindsExtended()) {
+        double off_mean = 0;
+        for (const char *domain : domains) {
+            PersistPoint p = run("gcc", k, domain);
+            double mean = p.result.writeLatency.mean();
+            if (!domain)
+                off_mean = mean;
+            double rel = off_mean > 0 ? mean / off_mean : 1.0;
+            table.addRow(
+                {schemeName(k), domain ? domain : "off",
+                 TablePrinter::num(mean, 1),
+                 TablePrinter::num(p.result.writeLatency.percentile(99),
+                                   0),
+                 TablePrinter::num(rel, 3),
+                 std::to_string(p.records), std::to_string(p.commits),
+                 std::to_string(p.barrierNs),
+                 std::to_string(p.drainNs)});
+        }
+    }
+    table.print();
+    std::cout
+        << "\nexpected: the off row reproduces each scheme's baseline "
+           "latency exactly (persistence is numerically inert when "
+           "disabled). ADR adds the epoch barrier plus the WPQ "
+           "drain-before-commit wait; eADR keeps the journal work but "
+           "drops the drain, so its mean-vs-off ratio stays close "
+           "to 1. Journal records scale with scheme metadata traffic "
+           "— dedup schemes append refcount and mapping records the "
+           "write-through schemes never emit.\n";
+    return 0;
+}

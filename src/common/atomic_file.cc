@@ -1,0 +1,40 @@
+#include "common/atomic_file.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace esd
+{
+
+bool
+writeFileAtomic(const std::string &path, const std::string &contents)
+{
+    // The temp file must live in the same directory as the target:
+    // rename() is only atomic within one filesystem.
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+        if (!out) {
+            esd_warn("cannot open '%s' for writing", tmp.c_str());
+            return false;
+        }
+        out << contents;
+        out.flush();
+        if (!out) {
+            esd_warn("short write to '%s'", tmp.c_str());
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        esd_warn("cannot rename '%s' over '%s'", tmp.c_str(),
+                 path.c_str());
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace esd

@@ -277,6 +277,86 @@ struct TelemetryConfig
     bool histogramBuckets = false;
 };
 
+/** What survives a power failure ([persistence] domain key). */
+enum class PersistDomain
+{
+    /** ADR: only data that reached the PCM array persists; WPQ
+     * entries and any buffered metadata-journal records are lost. */
+    Adr,
+
+    /** eADR: the write-pending queues are flushed on the power-fail
+     * rail, so queued writes and the metadata write-back buffer
+     * survive too. */
+    Eadr,
+};
+
+/** Where inside a write an injected crash strikes
+ * ([persistence] crash_phase key). */
+enum class CrashPhase
+{
+    /** Before the write's first persist barrier: none of the write's
+     * effects — data or journal — are durable. */
+    PreBarrier,
+
+    /** While the write's journal-record group is being flushed: a
+     * PCG-chosen prefix of the group reaches the durable journal. */
+    MidJournal,
+
+    /** After the data line is written but before the metadata journal
+     * group commits — the classic data/metadata torn window. */
+    PostData,
+};
+
+/**
+ * Crash-consistency layer parameters ([persistence] section).
+ *
+ * Default-disabled: with `enabled = false` no journal records are
+ * emitted, no barrier latency is charged, and the simulation is
+ * numerically identical to a build without the persistence subsystem.
+ */
+struct PersistenceConfig
+{
+    /** Master switch; everything below is inert when false. */
+    bool enabled = false;
+
+    /** Persistence domain the platform guarantees. */
+    PersistDomain domain = PersistDomain::Adr;
+
+    /** Writes per group-commit epoch: journal records buffer and
+     * commit (one persist barrier) every this many writes. */
+    std::uint64_t epochWrites = 64;
+
+    /** Committed epochs between checkpoint flushes; each checkpoint
+     * folds the journal into the durable table images and truncates
+     * the committed prefix. */
+    std::uint64_t checkpointEpochs = 64;
+
+    /** Nanoseconds one persist barrier (pcommit/fence+drain) costs. */
+    Tick barrierNs = 30;
+
+    /** Nanoseconds appending one journal record costs. */
+    Tick journalAppendNs = 5;
+
+    /** eADR metadata write-back buffer capacity in records; an epoch
+     * whose record group would overflow it commits early. */
+    std::uint64_t metadataBufferRecords = 256;
+
+    /** Counter-recovery slack added on top of the probed/journaled
+     * counter so un-journaled bumps can never cause pad reuse.
+     * 0 = auto (ADR: epoch_writes, eADR: 1). */
+    std::uint64_t counterSlack = 0;
+
+    /** Max candidate counters probed per line during Osiris-style
+     * counter recovery (decrypt + ECC check). */
+    std::uint64_t counterProbeMax = 128;
+
+    /** Inject a crash at this 1-based write index (0 = no injection). */
+    std::uint64_t crashAtWrite = 0;
+
+    /** Phase within the chosen write at which the crash strikes. */
+    CrashPhase crashPhase = CrashPhase::PostData;
+};
+
 /** Core timing model: in-order, 1 IPC peak, stalling on LLC misses and
  * on memory-controller write-queue backpressure. */
 struct CoreConfig
@@ -297,6 +377,7 @@ struct SimConfig
     CryptoCostConfig crypto;
     MetadataConfig metadata;
     RasConfig ras;
+    PersistenceConfig persist;
     CoreConfig core;
     TelemetryConfig telemetry;
 

@@ -103,6 +103,53 @@ asBool(const std::string &key, const std::string &v)
 
 } // namespace
 
+const char *
+persistDomainName(PersistDomain d)
+{
+    switch (d) {
+      case PersistDomain::Adr: return "adr";
+      case PersistDomain::Eadr: return "eadr";
+    }
+    esd_panic("unreachable persistence domain %d", static_cast<int>(d));
+}
+
+const char *
+crashPhaseName(CrashPhase p)
+{
+    switch (p) {
+      case CrashPhase::PreBarrier: return "pre_barrier";
+      case CrashPhase::MidJournal: return "mid_journal";
+      case CrashPhase::PostData: return "post_data";
+    }
+    esd_panic("unreachable crash phase %d", static_cast<int>(p));
+}
+
+PersistDomain
+parsePersistDomain(const std::string &key, const std::string &v)
+{
+    if (v == "adr")
+        return PersistDomain::Adr;
+    if (v == "eadr")
+        return PersistDomain::Eadr;
+    esd_fatal("config key '%s': '%s' is not a persistence domain "
+              "(expected adr or eadr)",
+              key.c_str(), v.c_str());
+}
+
+CrashPhase
+parseCrashPhase(const std::string &key, const std::string &v)
+{
+    if (v == "pre_barrier")
+        return CrashPhase::PreBarrier;
+    if (v == "mid_journal")
+        return CrashPhase::MidJournal;
+    if (v == "post_data")
+        return CrashPhase::PostData;
+    esd_fatal("config key '%s': '%s' is not a crash phase (expected "
+              "pre_barrier, mid_journal, or post_data)",
+              key.c_str(), v.c_str());
+}
+
 bool
 applyConfigKey(SimConfig &cfg, const std::string &key,
                const std::string &value)
@@ -232,6 +279,30 @@ applyConfigKey(SimConfig &cfg, const std::string &key,
     } else if (k == "telemetry.histogram_buckets") {
         cfg.telemetry.histogramBuckets = asBool(k, v);
     }
+    // Persistence.
+    else if (k == "persistence.enabled") {
+        cfg.persist.enabled = asBool(k, v);
+    } else if (k == "persistence.domain") {
+        cfg.persist.domain = parsePersistDomain(k, v);
+    } else if (k == "persistence.epoch_writes") {
+        cfg.persist.epochWrites = asU64In(k, v, 1, 1u << 20);
+    } else if (k == "persistence.checkpoint_epochs") {
+        cfg.persist.checkpointEpochs = asU64In(k, v, 1, 1u << 20);
+    } else if (k == "persistence.barrier_ns") {
+        cfg.persist.barrierNs = asU64In(k, v, 0, 1u << 20);
+    } else if (k == "persistence.journal_append_ns") {
+        cfg.persist.journalAppendNs = asU64In(k, v, 0, 1u << 20);
+    } else if (k == "persistence.metadata_buffer_records") {
+        cfg.persist.metadataBufferRecords = asU64In(k, v, 1, 1u << 24);
+    } else if (k == "persistence.counter_slack") {
+        cfg.persist.counterSlack = asU64In(k, v, 0, 1u << 24);
+    } else if (k == "persistence.counter_probe_max") {
+        cfg.persist.counterProbeMax = asU64In(k, v, 0, 1u << 16);
+    } else if (k == "persistence.crash_at_write") {
+        cfg.persist.crashAtWrite = asU64In(k, v, 0, 1ull << 40);
+    } else if (k == "persistence.crash_phase") {
+        cfg.persist.crashPhase = parseCrashPhase(k, v);
+    }
     // Core.
     else if (k == "core.clock_ghz") {
         cfg.core.clockGhz = asDouble(k, v);
@@ -348,6 +419,26 @@ renderConfig(const SimConfig &cfg)
        << cfg.telemetry.metricsEveryWrites << "\n"
        << "telemetry.histogram_buckets = "
        << (cfg.telemetry.histogramBuckets ? "true" : "false") << "\n"
+       << "persistence.enabled = "
+       << (cfg.persist.enabled ? "true" : "false") << "\n"
+       << "persistence.domain = " << persistDomainName(cfg.persist.domain)
+       << "\n"
+       << "persistence.epoch_writes = " << cfg.persist.epochWrites << "\n"
+       << "persistence.checkpoint_epochs = "
+       << cfg.persist.checkpointEpochs << "\n"
+       << "persistence.barrier_ns = " << cfg.persist.barrierNs << "\n"
+       << "persistence.journal_append_ns = "
+       << cfg.persist.journalAppendNs << "\n"
+       << "persistence.metadata_buffer_records = "
+       << cfg.persist.metadataBufferRecords << "\n"
+       << "persistence.counter_slack = " << cfg.persist.counterSlack
+       << "\n"
+       << "persistence.counter_probe_max = "
+       << cfg.persist.counterProbeMax << "\n"
+       << "persistence.crash_at_write = " << cfg.persist.crashAtWrite
+       << "\n"
+       << "persistence.crash_phase = "
+       << crashPhaseName(cfg.persist.crashPhase) << "\n"
        << "core.clock_ghz = " << cfg.core.clockGhz << "\n"
        << "core.base_cpi = " << cfg.core.baseCpi << "\n"
        << "seed = " << cfg.seed << "\n";

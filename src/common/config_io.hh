@@ -42,6 +42,19 @@ void loadConfigFile(SimConfig &cfg, const std::string &path);
 /** Render @p cfg in the same key=value format (round-trippable). */
 std::string renderConfig(const SimConfig &cfg);
 
+/** Config-file spelling of a persistence domain ("adr"/"eadr"). */
+const char *persistDomainName(PersistDomain d);
+
+/** Config-file spelling of a crash phase ("pre_barrier"/...). */
+const char *crashPhaseName(CrashPhase p);
+
+/** Parse a persistence domain name; fatal on anything else. */
+PersistDomain parsePersistDomain(const std::string &key,
+                                 const std::string &v);
+
+/** Parse a crash-phase name; fatal on anything else. */
+CrashPhase parseCrashPhase(const std::string &key, const std::string &v);
+
 } // namespace esd
 
 #endif // ESD_COMMON_CONFIG_IO_HH

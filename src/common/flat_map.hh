@@ -95,6 +95,35 @@ class FlatMap
         reserve(expected_entries);
     }
 
+    FlatMap(FlatMap &&) = default;
+    FlatMap &operator=(FlatMap &&) = default;
+
+    /** Deep copy — slot layout (and therefore iteration order) is
+     * preserved exactly, keeping copies replay-deterministic. */
+    FlatMap(const FlatMap &o) { *this = o; }
+
+    FlatMap &
+    operator=(const FlatMap &o)
+    {
+        if (this == &o)
+            return *this;
+        if (o.capacity_ == 0) {
+            entries_.reset();
+            dist_.reset();
+        } else {
+            entries_ = std::make_unique<value_type[]>(o.capacity_);
+            dist_ = std::make_unique<std::uint8_t[]>(o.capacity_);
+            std::memcpy(dist_.get(), o.dist_.get(), o.capacity_);
+            for (std::uint64_t i = 0; i < o.capacity_; ++i) {
+                if (o.dist_[i])
+                    entries_[i] = o.entries_[i];
+            }
+        }
+        capacity_ = o.capacity_;
+        size_ = o.size_;
+        return *this;
+    }
+
     /** Iterator over occupied slots, in slot order. */
     template <typename MapT, typename ValueT>
     class Iter
@@ -426,7 +455,45 @@ class FlatSet
     struct Empty
     {
     };
-    FlatMap<Key, Empty, Hash> map_;
+    using MapT = FlatMap<Key, Empty, Hash>;
+
+  public:
+    /** Key iterator over occupied slots, in slot order. */
+    class const_iterator
+    {
+      public:
+        explicit const_iterator(typename MapT::const_iterator it)
+            : it_(it)
+        {
+        }
+
+        const Key &operator*() const { return it_->first; }
+
+        const_iterator &
+        operator++()
+        {
+            ++it_;
+            return *this;
+        }
+
+        bool operator==(const const_iterator &o) const
+        {
+            return it_ == o.it_;
+        }
+        bool operator!=(const const_iterator &o) const
+        {
+            return it_ != o.it_;
+        }
+
+      private:
+        typename MapT::const_iterator it_;
+    };
+
+    const_iterator begin() const { return const_iterator(map_.begin()); }
+    const_iterator end() const { return const_iterator(map_.end()); }
+
+  private:
+    MapT map_;
 };
 
 /**

@@ -1,5 +1,6 @@
 #include "core/run_report.hh"
 
+#include "common/config_io.hh"
 #include "common/json.hh"
 
 namespace esd
@@ -83,6 +84,26 @@ writeConfigJson(JsonWriter &w, const SimConfig &cfg)
     w.kv("spare_region_lines", cfg.ras.spareRegionLines);
     w.kv("dedup_suspend_ues", cfg.ras.dedupSuspendUes);
     w.endObject();
+
+    // Emitted only when enabled: default-off reports stay byte-
+    // identical to releases that predate the crash subsystem.
+    if (cfg.persist.enabled) {
+        w.key("persistence");
+        w.beginObject();
+        w.kv("enabled", cfg.persist.enabled);
+        w.kv("domain", persistDomainName(cfg.persist.domain));
+        w.kv("epoch_writes", cfg.persist.epochWrites);
+        w.kv("checkpoint_epochs", cfg.persist.checkpointEpochs);
+        w.kv("barrier_ns", cfg.persist.barrierNs);
+        w.kv("journal_append_ns", cfg.persist.journalAppendNs);
+        w.kv("metadata_buffer_records",
+             cfg.persist.metadataBufferRecords);
+        w.kv("counter_slack", cfg.persist.counterSlack);
+        w.kv("counter_probe_max", cfg.persist.counterProbeMax);
+        w.kv("crash_at_write", cfg.persist.crashAtWrite);
+        w.kv("crash_phase", crashPhaseName(cfg.persist.crashPhase));
+        w.endObject();
+    }
 
     w.key("core");
     w.beginObject();

@@ -21,6 +21,14 @@ Simulator::Simulator(const SimConfig &cfg, SchemeKind kind)
                          "measured LLC-miss fill latency, ns");
     registry_.addLatency("scheme.write_latency", writeLatency_,
                          "measured write-path latency, ns");
+    if (cfg_.persist.enabled) {
+        persist_ = std::make_unique<PersistenceManager>(
+            cfg_.persist, device_, store_, cfg_.seed);
+        scheme_->setPersistence(persist_.get());
+        // Registered only on persistence-enabled runs: default-off
+        // stats-JSON schemas stay byte-identical.
+        persist_->registerStats(registry_, "persist");
+    }
 }
 
 void
@@ -34,6 +42,8 @@ Simulator::resetMeasurement()
     sampler_.reset();
     profiler_.reset();
     metrics_.reset();
+    if (persist_)
+        persist_->resetStats();
 }
 
 RunResult
@@ -75,7 +85,17 @@ Simulator::run(TraceSource &trace, std::uint64_t records,
 
         auto now = static_cast<Tick>(core_time);
         if (rec.op == OpType::Write) {
+            if (persist_)
+                persist_->onWriteBegin(now);
             AccessResult r = scheme_->write(rec.addr, rec.data, now);
+            if (persist_) {
+                // Journal flush / epoch commit: the barrier and append
+                // costs charge to this write so journaling overhead
+                // shows in the latency histograms.
+                Tick extra = persist_->onWriteEnd(now + r.latency);
+                r.latency += extra;
+                core_time += static_cast<double>(extra);
+            }
             if (measuring) {
                 writeLatency_.sample(static_cast<double>(r.latency));
                 sampler_.onWrite(++measured_writes);

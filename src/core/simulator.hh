@@ -32,6 +32,7 @@
 #include "metrics/span_trace.hh"
 #include "nvm/nvm_store.hh"
 #include "nvm/pcm_device.hh"
+#include "persist/persistence.hh"
 #include "trace/trace.hh"
 
 namespace esd
@@ -187,6 +188,8 @@ class Simulator
             return;
         profiling_ = true;
         scheme_->setProfiler(&profiler_);
+        if (persist_)
+            persist_->setProfiler(&profiler_);
         profiler_.registerStats(registry_, "host.profile");
         // Registering gauges widened the registry; an already-enabled
         // sampler must re-capture its column set or its row width
@@ -198,6 +201,14 @@ class Simulator
     const Profiler &profiler() const { return profiler_; }
     bool profilingEnabled() const { return profiling_; }
 
+    /** The crash-consistency engine, or nullptr when [persistence] is
+     * off. Crash tooling reads the image and runs recovery off it. */
+    PersistenceManager *persistence() { return persist_.get(); }
+    const PersistenceManager *persistence() const
+    {
+        return persist_.get();
+    }
+
   private:
     void resetMeasurement();
 
@@ -205,6 +216,7 @@ class Simulator
     PcmDevice device_;
     NvmStore store_;
     std::unique_ptr<DedupScheme> scheme_;
+    std::unique_ptr<PersistenceManager> persist_;
 
     StatRegistry registry_;
     IntervalSampler sampler_;

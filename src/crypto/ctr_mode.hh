@@ -66,6 +66,12 @@ class CtrModeEngine
         return it == counters_.end() ? 0 : it->second;
     }
 
+    /** The full per-line counter table. Crash tooling snapshots this
+     * as the ground-truth oracle a recovered counter set is audited
+     * against (a recovered counter below the true value means a pad
+     * would be reused). */
+    const FlatMap<Addr, std::uint64_t> &table() const { return counters_; }
+
     /** Stateless pad application used by both directions. */
     CacheLine
     applyPad(Addr addr, std::uint64_t ctr, const CacheLine &in) const

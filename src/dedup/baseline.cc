@@ -26,6 +26,7 @@ BaselineScheme::write(Addr addr, const CacheLine &data, Tick now)
     NvmAccessResult r = writeLine(addr, cipher, ecc, t);
     bd.lineWrite += static_cast<double>(r.complete - t);
     stats_.nvmDataWrites.inc();
+    noteJournal(JournalOp::DataWrite, addr);
 
     res.latency = r.complete - now;
     res.issuerStall = r.issuerStall;

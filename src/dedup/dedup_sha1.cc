@@ -38,6 +38,7 @@ DedupSha1Scheme::onPhysFreed(Addr phys)
         // owning fingerprint shard follows from the physical address.
         fps_.erase(it->second, channelOf(phys));
         physToFp_.erase(it);
+        noteJournal(JournalOp::EfitEvict, phys);
     }
 }
 
@@ -91,6 +92,7 @@ DedupSha1Scheme::write(Addr addr, const CacheLine &data, Tick now)
     bool dup = lr.found && lines_.isLive(lr.phys);
     if (lr.found && !dup) {
         // Stale index entry pointing at a dead line.
+        noteJournal(JournalOp::EfitEvict, lr.phys);
         fps_.erase(fp, shard);
     }
 
@@ -129,6 +131,7 @@ DedupSha1Scheme::write(Addr addr, const CacheLine &data, Tick now)
                 fps_.insert(fp, phys, fp_store_addr, shard);
                 physToFp_[phys] = fp;
             }
+            noteJournal(JournalOp::EfitInsert, phys, kInvalidAddr, fp);
             stats_.fpNvmStores.inc();
             NvmAccessResult fs = deviceWrite(fp_store_addr, t);
             res.issuerStall += fs.issuerStall;

@@ -56,6 +56,7 @@ DeWriteScheme::onPhysFreed(Addr phys)
         // owning fingerprint shard follows from the physical address.
         fps_.erase(it->second, channelOf(phys));
         physToFp_.erase(it);
+        noteJournal(JournalOp::EfitEvict, phys);
     }
 }
 
@@ -93,8 +94,10 @@ DeWriteScheme::resolveDuplicate(std::uint64_t fp, const CacheLine &data,
     }
 
     if (!lr.found || !lines_.isLive(lr.phys)) {
-        if (lr.found)
+        if (lr.found) {
+            noteJournal(JournalOp::EfitEvict, lr.phys);
             fps_.erase(fp, shard);  // stale entry
+        }
         return out;
     }
     out.probe = FpProbe::Hit;
@@ -176,6 +179,8 @@ DeWriteScheme::write(Addr addr, const CacheLine &data, Tick now)
                     fps_.insert(fp, phys, fp_store, shard);
                     physToFp_[phys] = fp;
                 }
+                noteJournal(JournalOp::EfitInsert, phys, kInvalidAddr,
+                            fp);
                 stats_.fpNvmStores.inc();
                 NvmAccessResult fs = deviceWrite(fp_store, t);
                 res.issuerStall += fs.issuerStall;
@@ -207,6 +212,8 @@ DeWriteScheme::write(Addr addr, const CacheLine &data, Tick now)
                     fps_.insert(fp, phys, fp_store, shard);
                     physToFp_[phys] = fp;
                 }
+                noteJournal(JournalOp::EfitInsert, phys, kInvalidAddr,
+                            fp);
                 stats_.fpNvmStores.inc();
                 NvmAccessResult fs = deviceWrite(fp_store, t_check);
                 res.issuerStall += fs.issuerStall;

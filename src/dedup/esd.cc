@@ -27,6 +27,7 @@ EsdScheme::onPhysFreed(Addr phys)
         // owning EFIT shard is recoverable from the physical address.
         efit_.erase(it->second, phys, channelOf(phys));
         physToEcc_.erase(it);
+        noteJournal(JournalOp::EfitEvict, phys);
     }
 }
 
@@ -114,6 +115,7 @@ EsdScheme::write(Addr addr, const CacheLine &data, Tick now)
     } else if (entry) {
         // Stale entry whose line died — drop it.
         Profiler::Scope ps = profScope(Profiler::Lookup);
+        noteJournal(JournalOp::EfitEvict, entry->phys.toAddr());
         efit_.erase(entry->ecc, entry->phys.toAddr(), shard);
     }
 
@@ -132,11 +134,16 @@ EsdScheme::write(Addr addr, const CacheLine &data, Tick now)
             if (saturated_rewrite) {
                 // Retarget the saturated entry instead of duplicating
                 // it.
+                noteJournal(JournalOp::EfitEvict, entry->phys.toAddr());
                 efit_.redirect(entry, phys);
                 physToEcc_[phys] = ecc;
+                noteJournal(JournalOp::EfitInsert, phys, kInvalidAddr,
+                            ecc);
             } else if (!suspended) {
                 efit_.insert(ecc, phys, shard);
                 physToEcc_[phys] = ecc;
+                noteJournal(JournalOp::EfitInsert, phys, kInvalidAddr,
+                            ecc);
             }
         }
 

@@ -36,6 +36,7 @@ EsdFullScheme::onPhysFreed(Addr phys)
         // owning fingerprint shard follows from the physical address.
         fps_.erase(it->second, channelOf(phys));
         physToFp_.erase(it);
+        noteJournal(JournalOp::EfitEvict, phys);
     }
 }
 
@@ -117,6 +118,7 @@ EsdFullScheme::write(Addr addr, const CacheLine &data, Tick now)
             verdict = CompareVerdict::Mismatch;
         }
     } else if (lr.found) {
+        noteJournal(JournalOp::EfitEvict, lr.phys);
         fps_.erase(ecc, shard);
     }
 
@@ -135,6 +137,7 @@ EsdFullScheme::write(Addr addr, const CacheLine &data, Tick now)
                 fps_.insert(ecc, phys, fp_store, shard);
                 physToFp_[phys] = ecc;
             }
+            noteJournal(JournalOp::EfitInsert, phys, kInvalidAddr, ecc);
             stats_.fpNvmStores.inc();
             NvmAccessResult fs = deviceWrite(fp_store, t);
             res.issuerStall += fs.issuerStall;

@@ -163,6 +163,7 @@ EsdPlusScheme::write(Addr addr, const CacheLine &data, Tick now)
         }
     } else if (entry) {
         Profiler::Scope ps = profScope(Profiler::Lookup);
+        noteJournal(JournalOp::EfitEvict, entry->phys.toAddr());
         efit_.erase(entry->ecc, entry->phys.toAddr(), shard);
     }
 
@@ -177,11 +178,16 @@ EsdPlusScheme::write(Addr addr, const CacheLine &data, Tick now)
         {
             Profiler::Scope ps = profScope(Profiler::Lookup);
             if (saturated_rewrite) {
+                noteJournal(JournalOp::EfitEvict, entry->phys.toAddr());
                 efit_.redirect(entry, phys);
                 physToEcc_[phys] = ecc;
+                noteJournal(JournalOp::EfitInsert, phys, kInvalidAddr,
+                            ecc);
             } else if (!suspended) {
                 efit_.insert(ecc, phys, shard);
                 physToEcc_[phys] = ecc;
+                noteJournal(JournalOp::EfitInsert, phys, kInvalidAddr,
+                            ecc);
             }
         }
 

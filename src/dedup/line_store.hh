@@ -76,7 +76,8 @@ class LineStore
 
     /**
      * Drop one reference.
-     * @return true when the line died (content erased, address freed).
+     * @return true when the line died (content erased, address freed —
+     *         or, under deferred reclamation, queued to be).
      */
     bool
     release(Addr phys)
@@ -87,11 +88,42 @@ class LineStore
         esd_assert(it->second > 0, "refcount underflow");
         if (--it->second == 0) {
             refs_.erase(it);
-            store_.erase(phys);
-            free_[shardOf(phys)].push_back(phys);
+            if (deferred_) {
+                pendingFree_.push_back(phys);
+            } else {
+                store_.erase(phys);
+                free_[shardOf(phys)].push_back(phys);
+            }
             return true;
         }
         return false;
+    }
+
+    /**
+     * Defer the destructive half of release() (content erase + free-
+     * list push) until promoteFreed(). Crash consistency needs this: a
+     * physical line must not be reused before the journal record that
+     * released it commits, or recovery could resurrect a mapping onto
+     * foreign content. Off (the default) release() is immediate and
+     * allocation order is bit-identical to the pre-persistence code.
+     */
+    void
+    setDeferredReclaim(bool on)
+    {
+        esd_assert(on || pendingFree_.empty(),
+                   "disabling deferred reclaim with frees pending");
+        deferred_ = on;
+    }
+
+    /** Reclaim every deferred-dead line (call at epoch commit). */
+    void
+    promoteFreed()
+    {
+        for (Addr phys : pendingFree_) {
+            store_.erase(phys);
+            free_[shardOf(phys)].push_back(phys);
+        }
+        pendingFree_.clear();
     }
 
     /** Current reference count (0 when unknown). */
@@ -123,6 +155,8 @@ class LineStore
     FlatMap<Addr, std::uint32_t> refs_;
     std::vector<std::uint64_t> bump_;           ///< per-shard bump pointer
     std::vector<std::vector<Addr>> free_;       ///< per-shard free lists
+    std::vector<Addr> pendingFree_;             ///< dead, awaiting commit
+    bool deferred_ = false;
 };
 
 } // namespace esd

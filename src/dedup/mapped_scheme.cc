@@ -34,6 +34,15 @@ MappedDedupScheme::registerStats(StatRegistry &reg) const
     amt_.registerStats(reg, "cache.amt");
 }
 
+void
+MappedDedupScheme::setPersistence(PersistenceManager *pm)
+{
+    DedupScheme::setPersistence(pm);
+    lines_.setDeferredReclaim(pm != nullptr);
+    if (pm)
+        pm->setEpochCommitHook([this] { lines_.promoteFreed(); });
+}
+
 Tick
 MappedDedupScheme::remap(Addr addr, Addr phys, Tick &t, WriteBreakdown &bd)
 {
@@ -60,8 +69,13 @@ MappedDedupScheme::remap(Addr addr, Addr phys, Tick &t, WriteBreakdown &bd)
     {
         Profiler::Scope ps = profScope(Profiler::Lookup);
         lines_.addRef(phys);
-        if (old)
-            freed = lines_.isLive(*old) && lines_.release(*old);
+        noteJournal(JournalOp::RefAdd, phys);
+        if (old) {
+            bool was_live = lines_.isLive(*old);
+            freed = was_live && lines_.release(*old);
+            if (was_live)
+                noteJournal(JournalOp::RefRelease, *old);
+        }
     }
     if (freed)
         onPhysFreed(*old);
@@ -75,6 +89,7 @@ MappedDedupScheme::remap(Addr addr, Addr phys, Tick &t, WriteBreakdown &bd)
         Profiler::Scope ps = profScope(Profiler::Lookup);
         eff = amt_.update(addr, phys);
     }
+    noteJournal(JournalOp::AmtUpdate, addr, phys);
     if (eff.nvmWriteback) {
         // Dirty metadata write-back: off the critical path but real
         // device traffic (and possible queue backpressure).

@@ -29,6 +29,14 @@ class MappedDedupScheme : public DedupScheme
     /** Adds the AMT metadata cache under "cache.amt.*". */
     void registerStats(StatRegistry &reg) const override;
 
+    /** Mapped schemes additionally defer line reclamation to epoch
+     * commits, so a freed physical line is never reused before the
+     * journal record releasing it is durable. */
+    void setPersistence(PersistenceManager *pm) override;
+
+    /** Data lives behind the AMT, not at its logical address. */
+    bool persistInPlace() const override { return false; }
+
     const Amt &amt() const { return amt_; }
     const LineStore &lineStore() const { return lines_; }
 

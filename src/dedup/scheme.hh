@@ -29,6 +29,7 @@
 #include "metrics/span_trace.hh"
 #include "nvm/nvm_store.hh"
 #include "nvm/pcm_device.hh"
+#include "persist/persistence.hh"
 #include "ras/ras_engine.hh"
 
 namespace esd
@@ -204,6 +205,35 @@ class DedupScheme
      * Detached (the default) the write path pays one null check. */
     void setSpanTrace(SpanTrace *spans) { spans_ = spans; }
 
+    /**
+     * Attach (or detach with nullptr) the crash-consistency engine.
+     * Attached, every crash-relevant metadata mutation (AMT updates,
+     * refcount changes, fingerprint inserts/evicts, counter bumps,
+     * retirements) journals through it and content writes report their
+     * undo state. Detached (the default) the write path pays one null
+     * check per mutation and behaves bit-identically to before the
+     * subsystem existed.
+     */
+    virtual void
+    setPersistence(PersistenceManager *pm)
+    {
+        persist_ = pm;
+        ras_.setPersistence(pm);
+        if (pm) {
+            pm->attachCrypto(&crypto_);
+            pm->setInPlace(persistInPlace());
+        }
+    }
+
+    /** The scheme writes data at its logical address (no AMT
+     * indirection) — recorded into crash images so recovery knows
+     * whether orphaned lines are possible. */
+    virtual bool persistInPlace() const { return true; }
+
+    /** The counter-mode engine (holds the AES key that survives a
+     * crash) — recovery decrypts counter probes with it. */
+    const CtrModeEngine &crypto() const { return crypto_; }
+
     /** Total scheme-side (non-device) energy in pJ. */
     Energy
     sideEnergy() const
@@ -250,6 +280,20 @@ class DedupScheme
               Tick arrival)
     {
         Profiler::Scope ps(prof_, Profiler::Device);
+        if (persist_) {
+            // Capture the pre-write state before RAS overwrites it:
+            // crash images revert writes still queued at the crash.
+            const StoredLine *prev = store_.peek(lineAlign(phys));
+            bool had = prev != nullptr;
+            StoredLine old;
+            if (had)
+                old = *prev;
+            NvmAccessResult r = ras_.storeAndWrite(phys, cipher, ecc,
+                                                   arrival);
+            persist_->noteLineWrite(phys, had ? &old : nullptr,
+                                    r.complete);
+            return r;
+        }
         return ras_.storeAndWrite(phys, cipher, ecc, arrival);
     }
 
@@ -262,13 +306,18 @@ class DedupScheme
         return cfg_.crypto.metadataCacheLatency;
     }
 
-    /** Encrypt @p plain for physical @p phys, charging cost. */
+    /** Encrypt @p plain for physical @p phys, charging cost and
+     * journaling the counter bump. */
     CacheLine
     encryptLine(Addr phys, const CacheLine &plain)
     {
         Profiler::Scope ps(prof_, Profiler::Encrypt);
         stats_.cryptoEnergy += cfg_.crypto.encryptEnergy;
-        return crypto_.encrypt(phys, plain);
+        CacheLine out = crypto_.encrypt(phys, plain);
+        if (persist_)
+            persist_->note(JournalOp::CtrBump, lineAlign(phys),
+                           kInvalidAddr, crypto_.counter(phys));
+        return out;
     }
 
     /** Decrypt the stored line at @p phys. */
@@ -430,6 +479,15 @@ class DedupScheme
                         Tick queue_wait, Tick latency,
                         const WriteBreakdown &bd);
 
+    /** Journal one metadata mutation (no-op when detached). */
+    void
+    noteJournal(JournalOp op, Addr a, Addr b = kInvalidAddr,
+                std::uint64_t value = 0)
+    {
+        if (persist_)
+            persist_->note(op, a, b, value);
+    }
+
     SimConfig cfg_;
     PcmDevice &device_;
     NvmStore &store_;
@@ -439,6 +497,7 @@ class DedupScheme
     WriteEventTrace *trace_ = nullptr;
     Profiler *prof_ = nullptr;
     SpanTrace *spans_ = nullptr;
+    PersistenceManager *persist_ = nullptr;
 };
 
 } // namespace esd

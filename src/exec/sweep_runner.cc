@@ -10,6 +10,7 @@
 #include "common/logging.hh"
 #include "common/stat_registry.hh"
 #include "core/run_report.hh"
+#include "persist/recovery.hh"
 #include "trace/workloads.hh"
 
 namespace esd::exec
@@ -18,30 +19,10 @@ namespace esd::exec
 namespace
 {
 
-/** Run one grid point start to finish on the calling thread. */
-SweepOutcome
-runOneJob(const SweepJob &job, std::size_t index)
+/** Job-identity preamble shared by report and error fragments. */
+void
+writeJobIdentity(JsonWriter &w, const SweepJob &job, std::size_t index)
 {
-    auto t0 = std::chrono::steady_clock::now();
-
-    SyntheticWorkload trace(findApp(job.app), job.cfg.seed);
-    Simulator sim(job.cfg, job.scheme);
-    SweepOutcome out;
-    out.result = sim.run(trace, job.records, job.warmup);
-
-    // Per-job report fragment, serialized here while the job's
-    // StatRegistry is alive. Compact (indent 0) so the merged document
-    // stays one line per job.
-    std::ostringstream rep;
-    writeStatsReport(rep, job.cfg, out.result, sim.statRegistry(),
-                     nullptr, /*indent=*/0);
-    std::string rep_str = rep.str();
-    while (!rep_str.empty() && rep_str.back() == '\n')
-        rep_str.pop_back();
-
-    std::ostringstream frag;
-    JsonWriter w(frag, /*indent=*/0);
-    w.beginObject();
     w.kv("index", static_cast<std::uint64_t>(index));
     w.kv("app", job.app);
     w.kv("scheme", schemeName(job.scheme));
@@ -49,10 +30,92 @@ runOneJob(const SweepJob &job, std::size_t index)
     w.kv("records", job.records);
     w.kv("warmup", job.warmup);
     w.kv("seed", job.cfg.seed);
-    w.key("report");
-    w.rawValue(rep_str);
-    w.endObject();
-    out.reportJson = frag.str();
+}
+
+/**
+ * Post-run self-check for jobs that injected a crash: the crash must
+ * have fired, recovery must complete with no unresolved state, and the
+ * pad-safety audit must be clean. A violation is a job failure, not a
+ * quiet row of crash-tainted numbers.
+ * @return empty on success, else the failure reason.
+ */
+std::string
+checkInjectedCrash(Simulator &sim)
+{
+    const PersistenceManager *pm = sim.persistence();
+    if (!pm || pm->config().crashAtWrite == 0)
+        return "";
+    if (!pm->crashed())
+        return "run ended before the injected crash point (write " +
+               std::to_string(pm->config().crashAtWrite) + ")";
+    RecoveredState rec = recoverFromImage(pm->image(), pm->config(),
+                                          sim.scheme().crypto());
+    PadSafetyReport audit = auditPadSafety(rec, pm->image());
+    if (!rec.summary.ok)
+        return "crash recovery failed: " +
+               std::to_string(rec.summary.countersUnresolved) +
+               " counters unresolved, " +
+               std::to_string(rec.summary.mappingsInvalidated) +
+               " mappings invalidated";
+    if (audit.violations != 0)
+        return "pad-safety audit failed: " +
+               std::to_string(audit.violations) + " of " +
+               std::to_string(audit.countersChecked) +
+               " counter floors below the true counter";
+    return "";
+}
+
+/** Run one grid point start to finish on the calling thread. */
+SweepOutcome
+runOneJob(const SweepJob &job, std::size_t index)
+{
+    auto t0 = std::chrono::steady_clock::now();
+
+    SweepOutcome out;
+    try {
+        SyntheticWorkload trace(findApp(job.app), job.cfg.seed);
+        Simulator sim(job.cfg, job.scheme);
+        out.result = sim.run(trace, job.records, job.warmup);
+        out.error = checkInjectedCrash(sim);
+        out.ok = out.error.empty();
+
+        if (out.ok) {
+            // Per-job report fragment, serialized here while the job's
+            // StatRegistry is alive. Compact (indent 0) so the merged
+            // document stays one line per job.
+            std::ostringstream rep;
+            writeStatsReport(rep, job.cfg, out.result,
+                             sim.statRegistry(), nullptr, /*indent=*/0);
+            std::string rep_str = rep.str();
+            while (!rep_str.empty() && rep_str.back() == '\n')
+                rep_str.pop_back();
+
+            std::ostringstream frag;
+            JsonWriter w(frag, /*indent=*/0);
+            w.beginObject();
+            writeJobIdentity(w, job, index);
+            w.key("report");
+            w.rawValue(rep_str);
+            w.endObject();
+            out.reportJson = frag.str();
+        }
+    } catch (const std::exception &e) {
+        out.ok = false;
+        out.error = e.what();
+    }
+
+    if (!out.ok) {
+        // Failed slots keep their grid position with an error fragment
+        // instead of a report — the merged document stays valid JSON
+        // and the failure is machine-readable in place.
+        std::ostringstream frag;
+        JsonWriter w(frag, /*indent=*/0);
+        w.beginObject();
+        writeJobIdentity(w, job, index);
+        w.kv("error", out.error);
+        w.endObject();
+        out.reportJson = frag.str();
+    }
 
     out.hostSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -129,9 +192,18 @@ void
 writeSweepReport(std::ostream &os,
                  const std::vector<SweepOutcome> &outcomes)
 {
+    std::uint64_t failed = 0;
+    for (const SweepOutcome &o : outcomes)
+        if (!o.ok)
+            ++failed;
+
     JsonWriter w(os);
     w.beginObject();
     w.kv("job_count", static_cast<std::uint64_t>(outcomes.size()));
+    // Emitted only when jobs failed: all-green sweep documents stay
+    // byte-identical to releases that predate failure propagation.
+    if (failed)
+        w.kv("failed_jobs", failed);
     w.key("jobs");
     w.beginArray();
     for (const SweepOutcome &o : outcomes)
@@ -141,9 +213,13 @@ writeSweepReport(std::ostream &os,
     // Sweep-wide latency aggregate: LatencyStat::merge combines the
     // exact histograms, and merge order never changes the counts, so
     // this section is worker-count independent like the fragments.
+    // Failed jobs contribute nothing — their partial numbers would
+    // taint the sweep-wide percentiles.
     LatencyStat read_all;
     LatencyStat write_all;
     for (const SweepOutcome &o : outcomes) {
+        if (!o.ok)
+            continue;
         read_all.merge(o.result.readLatency);
         write_all.merge(o.result.writeLatency);
     }

@@ -50,13 +50,21 @@ struct SweepOutcome
     RunResult result;
 
     /** Compact per-job JSON document: job identity + the full stats
-     * report ({"config","result","stats"}). Deterministic — contains
-     * no host timing. */
+     * report ({"config","result","stats"}), or job identity + "error"
+     * when the job failed. Deterministic — contains no host timing. */
     std::string reportJson;
 
     /** Host wall-clock seconds this job took (bench-only; deliberately
      * excluded from reportJson). */
     double hostSeconds = 0;
+
+    /** False when the job failed — it threw, or its injected crash
+     * did not recover cleanly. A failed slot is a first-class outcome:
+     * callers must surface it, never silently drop it. */
+    bool ok = true;
+
+    /** Human-readable failure reason when !ok. */
+    std::string error;
 };
 
 /**

@@ -20,6 +20,8 @@ Profiler::phaseName(unsigned phase)
         return "encrypt";
       case Device:
         return "device";
+      case Persist:
+        return "persist";
       default:
         esd_panic("invalid profiler phase %u", phase);
     }

@@ -12,6 +12,8 @@
  *   compare      candidate fetch + decrypt + ECC verify + byte compare
  *   encrypt      counter-mode pad application (AES)
  *   device       PCM timing model, WPQ, wear, content-store writes
+ *   persist      metadata journaling: record append, group commit,
+ *                checkpoint folds (zero when [persistence] is off)
  *
  * Scopes are manual RAII markers placed in the schemes; when no
  * profiler is attached (the default) each marker is a single null
@@ -47,6 +49,7 @@ class Profiler
         Compare,
         Encrypt,
         Device,
+        Persist,
         kPhaseCount
     };
 

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <fstream>
+#include <sstream>
 #include <vector>
 
+#include "common/atomic_file.hh"
 #include "common/logging.hh"
 #include "common/stat_registry.hh"
 
@@ -114,13 +115,13 @@ MetricsExporter::writeSnapshot()
 {
     if (!enabled())
         return;
-    // Truncate-and-rewrite: scrapers always see a complete page.
-    std::ofstream out(path_, std::ios::trunc);
-    if (!out) {
-        esd_warn("metrics exporter: cannot open '%s'", path_.c_str());
-        return;
-    }
+    // Rendered in memory and published with an atomic rename: a
+    // scraper sees the previous page or the new one, never a torn
+    // half-written file — even if the process dies mid-export.
+    std::ostringstream out;
     writePrometheusText(out, *reg_);
+    if (!writeFileAtomic(path_, out.str()))
+        return;
     ++snapshots_;
 }
 

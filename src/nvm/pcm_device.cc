@@ -254,6 +254,8 @@ PcmDevice::access(OpType type, Addr addr, Tick arrival)
         stats_.writeEnergy += cfg_.writeEnergy;
         ChannelWpq &q = wpqs_[ch];
         q.completions.emplace(res.complete, lineAlign(addr));
+        if (res.complete > maxQueuedComplete_)
+            maxQueuedComplete_ = res.complete;
         if (chCfg_.wpqCoalescing)
             q.pending[lineAlign(addr)] = res.complete;
 

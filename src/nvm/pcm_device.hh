@@ -162,6 +162,18 @@ class PcmDevice
         return n;
     }
 
+    /**
+     * Earliest tick (>= @p now) by which every currently queued write
+     * will have reached the array — what a persist barrier under ADR
+     * waits for. Completions already at or before @p now have drained,
+     * so tracking the max completion ever queued is exact.
+     */
+    Tick
+    wpqDrainTick(Tick now) const
+    {
+        return maxQueuedComplete_ > now ? maxQueuedComplete_ : now;
+    }
+
     const NvmStats &stats() const { return stats_; }
 
     /** Per-bank accounting for global bank @p b. */
@@ -241,6 +253,9 @@ class PcmDevice
     ChannelConfig chCfg_;
     unsigned banksPerChannel_ = 0;
     unsigned wpqDepth_ = 0;
+
+    /** Max completion time among writes ever queued (wpqDrainTick). */
+    Tick maxQueuedComplete_ = 0;
 
     std::vector<Tick> banks_;
     std::vector<BankStats> bankStats_;

@@ -1,0 +1,68 @@
+#include "persist/journal.hh"
+
+#include "common/logging.hh"
+
+namespace esd
+{
+
+const char *
+journalOpName(JournalOp op)
+{
+    switch (op) {
+      case JournalOp::AmtUpdate: return "amt_update";
+      case JournalOp::RefAdd: return "ref_add";
+      case JournalOp::RefRelease: return "ref_release";
+      case JournalOp::EfitInsert: return "efit_insert";
+      case JournalOp::EfitEvict: return "efit_evict";
+      case JournalOp::CtrBump: return "ctr_bump";
+      case JournalOp::LineRetire: return "line_retire";
+      case JournalOp::DataWrite: return "data_write";
+    }
+    esd_panic("unreachable journal op %u", static_cast<unsigned>(op));
+}
+
+void
+applyRecord(CheckpointState &st, const JournalRecord &r)
+{
+    switch (r.op) {
+      case JournalOp::AmtUpdate:
+        if (r.b == kInvalidAddr)
+            st.amt.erase(r.a);
+        else
+            st.amt[r.a] = r.b;
+        break;
+      case JournalOp::RefAdd:
+        ++st.refs[r.a];
+        break;
+      case JournalOp::RefRelease: {
+        auto it = st.refs.find(r.a);
+        if (it == st.refs.end()) {
+            // A release whose matching add predates the checkpoint
+            // horizon of a torn group; recovery's AMT reconciliation
+            // re-derives the true count.
+            break;
+        }
+        if (--it->second == 0)
+            st.refs.erase(r.a);
+        break;
+      }
+      case JournalOp::EfitInsert:
+        st.fp[r.a] = r.value;
+        break;
+      case JournalOp::EfitEvict:
+        st.fp.erase(r.a);
+        break;
+      case JournalOp::CtrBump:
+        st.ctr[r.a] = r.value;
+        break;
+      case JournalOp::LineRetire:
+        st.retired.insert(r.a);
+        break;
+      case JournalOp::DataWrite:
+        break;
+    }
+    if (r.seq > st.seq)
+        st.seq = r.seq;
+}
+
+} // namespace esd

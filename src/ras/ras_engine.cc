@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/stat_registry.hh"
+#include "persist/persistence.hh"
 
 namespace esd
 {
@@ -53,7 +54,20 @@ RasEngine::retire(Addr phys)
         return kInvalidAddr;
     remap_[medium] = spare;
     stats_.linesRetired.inc();
+    if (persist_)
+        persist_->note(JournalOp::LineRetire, lineAlign(phys), spare);
     return spare;
+}
+
+void
+RasEngine::noteScrubRewrite(Addr phys, bool had_old,
+                            const StoredLine &old, Tick complete)
+{
+    if (!persist_)
+        return;
+    persist_->note(JournalOp::CtrBump, lineAlign(phys), kInvalidAddr,
+                   crypto_.counter(phys));
+    persist_->noteLineWrite(phys, had_old ? &old : nullptr, complete);
 }
 
 void
@@ -163,13 +177,19 @@ RasEngine::demandScrub(Addr phys, const CacheLine &plain, LineEcc ecc,
 {
     if (!cfg_.enabled || !cfg_.demandScrub)
         return;
+    const StoredLine *prev = store_.peek(phys);
+    bool had_old = prev != nullptr;
+    StoredLine old;
+    if (had_old)
+        old = *prev;
     CacheLine cipher = crypto_.encrypt(phys, plain);
     store_.write(phys, cipher, ecc);
     Addr medium = resolve(phys);
     faults_.onWrite(phys, medium, device_.wear().lineWrites(medium));
     stats_.demandScrubWrites.inc();
     // Posted write-back: charges device traffic/energy, not the read.
-    device_.access(OpType::Write, medium, now);
+    NvmAccessResult wr = device_.access(OpType::Write, medium, now);
+    noteScrubRewrite(phys, had_old, old, wr.complete);
 }
 
 void
@@ -210,10 +230,12 @@ RasEngine::scrubLine(Addr phys, Tick now)
         return;
 
     stats_.patrolCorrected.inc();
+    StoredLine old = *stored;
     CacheLine cipher = crypto_.encrypt(phys, dec.line);
     store_.write(phys, cipher, dec.ecc);
     faults_.onWrite(phys, medium, device_.wear().lineWrites(medium));
-    device_.access(OpType::Write, medium, rd.complete);
+    NvmAccessResult wr = device_.access(OpType::Write, medium, rd.complete);
+    noteScrubRewrite(phys, true, old, wr.complete);
 }
 
 void

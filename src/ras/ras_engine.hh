@@ -47,6 +47,7 @@
 namespace esd
 {
 
+class PersistenceManager;
 class StatRegistry;
 
 /** RAS pipeline accounting. */
@@ -86,6 +87,12 @@ class RasEngine
               CtrModeEngine &crypto, std::uint64_t seed);
 
     void setHooks(Hooks hooks) { hooks_ = std::move(hooks); }
+
+    /** Attach (or detach with nullptr) the crash-consistency engine:
+     * retirements journal LineRetire records, and the pipeline's
+     * internal content rewrites (scrubs) report their counter bumps
+     * and undo state like scheme writes do. */
+    void setPersistence(PersistenceManager *pm) { persist_ = pm; }
 
     bool enabled() const { return cfg_.enabled; }
 
@@ -164,6 +171,12 @@ class RasEngine
     void accountBlast(Addr phys);
     void maybeSuspend();
 
+    /** Journal the counter bump and undo state of an engine-internal
+     * content rewrite (demand/patrol scrub). Call with the pre-write
+     * stored state; no-op when persistence is detached. */
+    void noteScrubRewrite(Addr phys, bool had_old, const StoredLine &old,
+                          Tick complete);
+
     /** Decode the stored line at @p phys through decryption.
      * @return true when the content is (correctably) intact. */
     bool storedIntact(Addr phys);
@@ -176,6 +189,7 @@ class RasEngine
     CtrModeEngine &crypto_;
     FaultModel faults_;
     Hooks hooks_;
+    PersistenceManager *persist_ = nullptr;
 
     /** phys -> spare medium redirections (chains permitted: a spare
      * can itself wear out and retire again). */

@@ -339,5 +339,101 @@ TEST_F(ConfigFileTest, RasRoundTrips)
     EXPECT_EQ(renderConfig(back), renderConfig(cfg));
 }
 
+TEST(ConfigIo, PersistenceKeysApply)
+{
+    SimConfig cfg;
+    EXPECT_FALSE(cfg.persist.enabled);  // default-off master switch
+    EXPECT_TRUE(applyConfigKey(cfg, "persistence.enabled", "true"));
+    EXPECT_TRUE(cfg.persist.enabled);
+    EXPECT_TRUE(applyConfigKey(cfg, "persistence.domain", "eadr"));
+    EXPECT_EQ(cfg.persist.domain, PersistDomain::Eadr);
+    EXPECT_TRUE(applyConfigKey(cfg, "persistence.epoch_writes", "32"));
+    EXPECT_EQ(cfg.persist.epochWrites, 32u);
+    EXPECT_TRUE(
+        applyConfigKey(cfg, "persistence.checkpoint_epochs", "16"));
+    EXPECT_EQ(cfg.persist.checkpointEpochs, 16u);
+    EXPECT_TRUE(applyConfigKey(cfg, "persistence.barrier_ns", "45"));
+    EXPECT_EQ(cfg.persist.barrierNs, 45u);
+    EXPECT_TRUE(
+        applyConfigKey(cfg, "persistence.journal_append_ns", "7"));
+    EXPECT_EQ(cfg.persist.journalAppendNs, 7u);
+    EXPECT_TRUE(applyConfigKey(cfg,
+                               "persistence.metadata_buffer_records",
+                               "512"));
+    EXPECT_EQ(cfg.persist.metadataBufferRecords, 512u);
+    EXPECT_TRUE(applyConfigKey(cfg, "persistence.counter_slack", "4"));
+    EXPECT_EQ(cfg.persist.counterSlack, 4u);
+    EXPECT_TRUE(
+        applyConfigKey(cfg, "persistence.counter_probe_max", "64"));
+    EXPECT_EQ(cfg.persist.counterProbeMax, 64u);
+    EXPECT_TRUE(
+        applyConfigKey(cfg, "persistence.crash_at_write", "1000"));
+    EXPECT_EQ(cfg.persist.crashAtWrite, 1000u);
+    EXPECT_TRUE(
+        applyConfigKey(cfg, "persistence.crash_phase", "mid_journal"));
+    EXPECT_EQ(cfg.persist.crashPhase, CrashPhase::MidJournal);
+    // Unknown keys in the section are rejected like anywhere else.
+    EXPECT_FALSE(applyConfigKey(cfg, "persistence.bogus", "1"));
+}
+
+TEST_F(ConfigFileTest, PersistenceRoundTrips)
+{
+    SimConfig cfg;
+    cfg.persist.enabled = true;
+    cfg.persist.domain = PersistDomain::Eadr;
+    cfg.persist.epochWrites = 128;
+    cfg.persist.checkpointEpochs = 8;
+    cfg.persist.counterSlack = 3;
+    cfg.persist.crashAtWrite = 4242;
+    cfg.persist.crashPhase = CrashPhase::PreBarrier;
+    {
+        std::ofstream out(path_);
+        out << renderConfig(cfg);
+    }
+    SimConfig back;
+    loadConfigFile(back, path_.string());
+    EXPECT_TRUE(back.persist.enabled);
+    EXPECT_EQ(back.persist.domain, PersistDomain::Eadr);
+    EXPECT_EQ(back.persist.epochWrites, 128u);
+    EXPECT_EQ(back.persist.checkpointEpochs, 8u);
+    EXPECT_EQ(back.persist.counterSlack, 3u);
+    EXPECT_EQ(back.persist.crashAtWrite, 4242u);
+    EXPECT_EQ(back.persist.crashPhase, CrashPhase::PreBarrier);
+    EXPECT_EQ(renderConfig(back), renderConfig(cfg));
+}
+
+TEST(ConfigIoDeath, PersistenceDomainUnknownIsFatal)
+{
+    SimConfig cfg;
+    EXPECT_EXIT(applyConfigKey(cfg, "persistence.domain", "nvdimm"),
+                ::testing::ExitedWithCode(1),
+                "not a persistence domain");
+}
+
+TEST(ConfigIoDeath, PersistenceCrashPhaseUnknownIsFatal)
+{
+    SimConfig cfg;
+    EXPECT_EXIT(applyConfigKey(cfg, "persistence.crash_phase",
+                               "mid_write"),
+                ::testing::ExitedWithCode(1), "not a crash phase");
+}
+
+TEST(ConfigIoDeath, PersistenceRangesAreFatal)
+{
+    SimConfig cfg;
+    EXPECT_EXIT(applyConfigKey(cfg, "persistence.epoch_writes", "0"),
+                ::testing::ExitedWithCode(1), "out of range");
+    EXPECT_EXIT(
+        applyConfigKey(cfg, "persistence.checkpoint_epochs", "0"),
+        ::testing::ExitedWithCode(1), "out of range");
+    EXPECT_EXIT(applyConfigKey(cfg,
+                               "persistence.metadata_buffer_records",
+                               "0"),
+                ::testing::ExitedWithCode(1), "out of range");
+    EXPECT_EXIT(applyConfigKey(cfg, "persistence.counter_probe_max",
+                               "100000"),
+                ::testing::ExitedWithCode(1), "out of range");
+}
+
 } // namespace
 } // namespace esd

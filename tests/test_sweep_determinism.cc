@@ -125,6 +125,52 @@ TEST(SweepRunner, OutcomesInJobOrderRegardlessOfCompletion)
     }
 }
 
+TEST(SweepRunner, FailedJobKeepsSlotAndSurfacesInReport)
+{
+    // Job 1 injects a crash but forbids counter probing, so recovery
+    // must fail; the slot keeps its position, carries the error, and
+    // the merged report names the failure instead of dropping it.
+    std::vector<SweepJob> jobs;
+    for (unsigned i = 0; i < 3; ++i) {
+        SweepJob job;
+        job.app = "mcf";
+        job.scheme = SchemeKind::Esd;
+        job.cfg = SimConfig{};
+        job.cfg.seed = exec::deriveJobSeed(11, i);
+        if (i == 1) {
+            job.cfg.persist.enabled = true;
+            job.cfg.persist.crashAtWrite = 500;
+            job.cfg.persist.counterProbeMax = 0;
+        }
+        job.records = 2000;
+        job.warmup = 0;
+        jobs.push_back(std::move(job));
+    }
+    SweepRunner runner(3);
+    std::vector<SweepOutcome> outcomes = runner.run(jobs);
+    ASSERT_EQ(outcomes.size(), 3u);
+    EXPECT_TRUE(outcomes[0].ok);
+    EXPECT_TRUE(outcomes[2].ok);
+    EXPECT_FALSE(outcomes[1].ok);
+    EXPECT_NE(outcomes[1].error.find("crash recovery failed"),
+              std::string::npos)
+        << outcomes[1].error;
+
+    std::ostringstream os;
+    exec::writeSweepReport(os, outcomes);
+    const std::string doc = os.str();
+    EXPECT_NE(doc.find("\"failed_jobs\": 1"), std::string::npos);
+    EXPECT_NE(doc.find("crash recovery failed"), std::string::npos);
+
+    // A healthy grid's report must not even mention the failure key —
+    // all-green documents stay byte-identical to pre-failure-handling
+    // output.
+    std::ostringstream green;
+    exec::writeSweepReport(
+        green, {outcomes[0], outcomes[2]});
+    EXPECT_EQ(green.str().find("failed_jobs"), std::string::npos);
+}
+
 TEST(SweepRunner, ProgressFiresOncePerJobWithMatchingIndex)
 {
     std::vector<SweepJob> jobs = goldenJobs();

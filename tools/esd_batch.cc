@@ -145,9 +145,22 @@ main(int argc, char **argv)
             std::cout << job.app << " / " << r.schemeName << " done\n";
         });
 
+    std::uint64_t failed = 0;
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
         const RunResult &r = outcomes[i].result;
         const exec::SweepJob &job = grid[i];
+        if (!outcomes[i].ok) {
+            // A failed job keeps its grid slot as a comment row: the
+            // CSV stays aligned with the grid and the failure is
+            // visible in the artifact, not silently dropped.
+            ++failed;
+            out << "# FAILED " << job.app << ','
+                << schemeName(job.scheme) << ": " << outcomes[i].error
+                << '\n';
+            esd_warn("job %s/%s failed: %s", job.app.c_str(),
+                     schemeName(job.scheme), outcomes[i].error.c_str());
+            continue;
+        }
         out << job.app << ',' << r.schemeName << ',' << r.records << ','
             << r.logicalWrites << ',' << r.logicalReads << ','
             << r.dedupHits << ',' << r.writeReduction() << ','
@@ -161,5 +174,10 @@ main(int argc, char **argv)
             << r.wear.maxLineWrites << '\n';
     }
     std::cout << "wrote " << out_path << "\n";
+    if (failed) {
+        std::cerr << failed << " of " << outcomes.size()
+                  << " jobs failed\n";
+        return 1;
+    }
     return 0;
 }

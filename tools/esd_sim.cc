@@ -53,20 +53,34 @@
  *   pcm.write_queue_depth);
  *   `-wpq-coalescing=B` absorb re-writes to a still-queued line in
  *   place instead of issuing a second array write.
+ *
+ * Crash-consistency subsystem (any of these enables the `[persistence]`
+ * pipeline; see the config section for the full parameter set):
+ *   `-persist=B` master switch; `-persist-domain=adr|eadr` what a power
+ *   cut preserves; `-persist-epoch-writes=N` group-commit epoch;
+ *   `-persist-checkpoint-epochs=N` journal-truncation cadence;
+ *   `-persist-counter-slack=N` counter-recovery probe window (0 auto);
+ *   `-persist-crash-at=N` inject a crash on the Nth write (warmup
+ *   counts), `-persist-crash-phase=pre_barrier|mid_journal|post_data`
+ *   where in the write it strikes; `-recovery-json=path` writes the
+ *   machine-readable crash + recovery + pad-safety report.
  */
 
 #include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 
+#include "common/atomic_file.hh"
 #include "common/config_io.hh"
 #include "common/logging.hh"
 #include "common/write_trace.hh"
 #include "core/run_report.hh"
 #include "core/simulator.hh"
 #include "metrics/report.hh"
+#include "persist/recovery.hh"
 #include "trace/trace_io.hh"
 #include "trace/workloads.hh"
 
@@ -109,11 +123,31 @@ struct Options
     std::uint64_t wpqDepth = ~0ull;
     int wpqCoalescing = -1;  // -1 not given, else 0/1
 
+    // Persistence overrides, same conventions.
+    int persist = -1;  // -1 not given, else 0/1
+    std::string persistDomain;
+    std::string persistCrashPhase;
+    std::uint64_t persistEpochWrites = ~0ull;
+    std::uint64_t persistCheckpointEpochs = ~0ull;
+    std::uint64_t persistCounterSlack = ~0ull;
+    std::uint64_t persistCrashAt = ~0ull;
+    std::string recoveryJson;
+
     bool
     rasRequested() const
     {
         return rasReadBer >= 0.0 || rasWriteBer >= 0.0 ||
                rasPatrolInterval != ~0ull || rasWriteVerify != ~0ull;
+    }
+
+    bool
+    persistRequested() const
+    {
+        return persist == 1 || !persistDomain.empty() ||
+               !persistCrashPhase.empty() ||
+               persistEpochWrites != ~0ull ||
+               persistCheckpointEpochs != ~0ull ||
+               persistCounterSlack != ~0ull || persistCrashAt != ~0ull;
     }
 };
 
@@ -184,6 +218,13 @@ usage()
            "[-ras-write-verify=N]\n"
            "               [-channels=N] [-wpq-depth=N] "
            "[-wpq-coalescing=B]\n"
+           "               [-persist=B] [-persist-domain=adr|eadr]\n"
+           "               [-persist-epoch-writes=N] "
+           "[-persist-checkpoint-epochs=N]\n"
+           "               [-persist-counter-slack=N] "
+           "[-persist-crash-at=N]\n"
+           "               [-persist-crash-phase=NAME] "
+           "[-recovery-json=path]\n"
            "               [-profile]\n"
            "schemes: 0 Baseline, 1 Dedup_SHA1, 2 DeWrite, 3 ESD, "
            "4 ESD_Full, 5 ESD+\napps: ";
@@ -276,6 +317,52 @@ parseArgs(int argc, char **argv)
                                           value("-wpq-coalescing="))
                                     ? 1
                                     : 0;
+        } else if (arg.rfind("-persist=", 0) == 0) {
+            opt.persist =
+                parseBool("-persist", value("-persist=")) ? 1 : 0;
+        } else if (arg.rfind("-persist-domain=", 0) == 0) {
+            opt.persistDomain = value("-persist-domain=");
+            parsePersistDomain("-persist-domain", opt.persistDomain);
+        } else if (arg.rfind("-persist-epoch-writes=", 0) == 0) {
+            opt.persistEpochWrites = parseU64(
+                "-persist-epoch-writes", value("-persist-epoch-writes="));
+            if (opt.persistEpochWrites < 1 ||
+                opt.persistEpochWrites > (1u << 20))
+                esd_fatal("-persist-epoch-writes: %llu out of range "
+                          "[1, %u]",
+                          static_cast<unsigned long long>(
+                              opt.persistEpochWrites),
+                          1u << 20);
+        } else if (arg.rfind("-persist-checkpoint-epochs=", 0) == 0) {
+            opt.persistCheckpointEpochs =
+                parseU64("-persist-checkpoint-epochs",
+                         value("-persist-checkpoint-epochs="));
+            if (opt.persistCheckpointEpochs < 1 ||
+                opt.persistCheckpointEpochs > (1u << 20))
+                esd_fatal("-persist-checkpoint-epochs: %llu out of range "
+                          "[1, %u]",
+                          static_cast<unsigned long long>(
+                              opt.persistCheckpointEpochs),
+                          1u << 20);
+        } else if (arg.rfind("-persist-counter-slack=", 0) == 0) {
+            opt.persistCounterSlack =
+                parseU64("-persist-counter-slack",
+                         value("-persist-counter-slack="));
+            if (opt.persistCounterSlack > (1u << 20))
+                esd_fatal("-persist-counter-slack: %llu out of range "
+                          "[0, %u]",
+                          static_cast<unsigned long long>(
+                              opt.persistCounterSlack),
+                          1u << 20);
+        } else if (arg.rfind("-persist-crash-at=", 0) == 0) {
+            opt.persistCrashAt = parseU64("-persist-crash-at",
+                                          value("-persist-crash-at="));
+        } else if (arg.rfind("-persist-crash-phase=", 0) == 0) {
+            opt.persistCrashPhase = value("-persist-crash-phase=");
+            parseCrashPhase("-persist-crash-phase",
+                            opt.persistCrashPhase);
+        } else if (arg.rfind("-recovery-json=", 0) == 0) {
+            opt.recoveryJson = value("-recovery-json=");
         } else if (arg == "-profile") {
             opt.profile = true;
         } else if (arg == "-dump-config") {
@@ -322,6 +409,31 @@ main(int argc, char **argv)
         cfg.channels.wpqDepth = static_cast<unsigned>(opt.wpqDepth);
     if (opt.wpqCoalescing >= 0)
         cfg.channels.wpqCoalescing = opt.wpqCoalescing != 0;
+
+    // Persistence flags layer over (and enable) the [persistence]
+    // section; -persist=0 force-disables whatever the file set.
+    if (opt.persistRequested())
+        cfg.persist.enabled = true;
+    if (opt.persist == 0)
+        cfg.persist.enabled = false;
+    if (!opt.persistDomain.empty())
+        cfg.persist.domain =
+            parsePersistDomain("-persist-domain", opt.persistDomain);
+    if (opt.persistEpochWrites != ~0ull)
+        cfg.persist.epochWrites = opt.persistEpochWrites;
+    if (opt.persistCheckpointEpochs != ~0ull)
+        cfg.persist.checkpointEpochs = opt.persistCheckpointEpochs;
+    if (opt.persistCounterSlack != ~0ull)
+        cfg.persist.counterSlack = opt.persistCounterSlack;
+    if (opt.persistCrashAt != ~0ull)
+        cfg.persist.crashAtWrite = opt.persistCrashAt;
+    if (!opt.persistCrashPhase.empty())
+        cfg.persist.crashPhase =
+            parseCrashPhase("-persist-crash-phase", opt.persistCrashPhase);
+    if (!opt.recoveryJson.empty() &&
+        (!cfg.persist.enabled || cfg.persist.crashAtWrite == 0))
+        esd_fatal("-recovery-json requires an injected crash "
+                  "(-persist-crash-at=N)");
 
     if (opt.dumpConfig) {
         std::cout << renderConfig(cfg);
@@ -462,6 +574,54 @@ main(int argc, char **argv)
                   << "\n";
     }
 
+    if (cfg.persist.enabled) {
+        const PersistenceManager &pm = *sim.persistence();
+        const PersistStats &ps = pm.stats();
+        std::cout << "persist: domain="
+                  << persistDomainName(cfg.persist.domain)
+                  << " records=" << ps.journalRecords.value()
+                  << " commits=" << ps.epochCommits.value()
+                  << " checkpoints=" << ps.checkpoints.value()
+                  << " barrier_ns=" << ps.barrierNs.value() << "\n";
+
+        if (pm.crashed()) {
+            const CrashImage &img = pm.image();
+            RecoveredState rec =
+                recoverFromImage(img, cfg.persist, sim.scheme().crypto());
+            PadSafetyReport audit = auditPadSafety(rec, img);
+            std::cout << "crash: write=" << img.crashWriteIndex
+                      << " phase=" << crashPhaseName(img.phase)
+                      << " surviving_lines=" << img.content.size()
+                      << " durable_records=" << img.records.size()
+                      << " torn=" << img.tornRecords << "\n"
+                      << "recovery: replayed="
+                      << rec.summary.recordsReplayed
+                      << " counters_repaired="
+                      << rec.summary.countersRepaired
+                      << " unresolved=" << rec.summary.countersUnresolved
+                      << " mappings_invalidated="
+                      << rec.summary.mappingsInvalidated
+                      << " pad_violations=" << audit.violations
+                      << (rec.summary.ok ? " ok" : " NOT-OK") << "\n";
+            if (!opt.recoveryJson.empty()) {
+                std::ostringstream os;
+                writeRecoveryJson(os, img, rec);
+                if (!writeFileAtomic(opt.recoveryJson, os.str()))
+                    esd_fatal("cannot write '%s'",
+                              opt.recoveryJson.c_str());
+                std::cout << "wrote recovery report to "
+                          << opt.recoveryJson << "\n";
+            }
+        } else if (!opt.recoveryJson.empty()) {
+            esd_fatal("-recovery-json: the run ended before the "
+                      "injected crash point (crash_at_write=%llu, "
+                      "%llu writes seen)",
+                      static_cast<unsigned long long>(
+                          cfg.persist.crashAtWrite),
+                      static_cast<unsigned long long>(pm.writeIndex()));
+        }
+    }
+
     if (!opt.latencyOut.empty()) {
         std::ofstream out(opt.latencyOut);
         if (!out)
@@ -474,23 +634,25 @@ main(int argc, char **argv)
     }
 
     if (!opt.statsJson.empty()) {
-        std::ofstream out(opt.statsJson);
-        if (!out)
-            esd_fatal("cannot open '%s'", opt.statsJson.c_str());
+        // Rendered in memory and published with an atomic rename: a
+        // reader never sees a torn report, even if we die mid-write.
+        std::ostringstream out;
         writeStatsReport(out, cfg, r, sim.statRegistry(),
                          &sim.sampler(), /*indent=*/2,
                          opt.histBuckets ||
                              cfg.telemetry.histogramBuckets);
+        if (!writeFileAtomic(opt.statsJson, out.str()))
+            esd_fatal("cannot write '%s'", opt.statsJson.c_str());
         std::cout << "wrote stats report (" << sim.statRegistry().size()
                   << " stats, " << sim.sampler().rows().size()
                   << " interval samples) to " << opt.statsJson << "\n";
     }
 
     if (!opt.spansOut.empty()) {
-        std::ofstream out(opt.spansOut);
-        if (!out)
-            esd_fatal("cannot open '%s'", opt.spansOut.c_str());
+        std::ostringstream out;
         spans.writeChromeJson(out);
+        if (!writeFileAtomic(opt.spansOut, out.str()))
+            esd_fatal("cannot write '%s'", opt.spansOut.c_str());
         std::cout << "wrote " << spans.size() << " of "
                   << spans.totalRecorded() << " spans to "
                   << opt.spansOut << "\n";

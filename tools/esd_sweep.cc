@@ -92,6 +92,17 @@ main(int argc, char **argv)
                                       t0)
             .count();
 
+    std::uint64_t failed = 0;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (outcomes[i].ok)
+            continue;
+        ++failed;
+        esd_warn("job [%zu] %s/%s failed: %s", i,
+                 grid_jobs[i].app.c_str(),
+                 schemeName(grid_jobs[i].scheme),
+                 outcomes[i].error.c_str());
+    }
+
     std::ostringstream doc;
     writeSweepReport(doc, outcomes);
     if (out_path == "-") {
@@ -104,6 +115,11 @@ main(int argc, char **argv)
         std::cout << "wrote " << out_path << " ("
                   << outcomes.size() << " jobs, " << wall
                   << " s wall)\n";
+    }
+    if (failed) {
+        std::cerr << failed << " of " << outcomes.size()
+                  << " jobs failed\n";
+        return 1;
     }
     return 0;
 }

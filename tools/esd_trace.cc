@@ -193,27 +193,97 @@ analyzeWrites(const std::string &path)
     t.print();
 }
 
+/**
+ * Salvage complete event objects from a torn span file: scan from the
+ * traceEvents marker, extract every balanced `{...}` object, and parse
+ * each independently. A truncated trailing object is dropped with a
+ * count instead of poisoning the whole file.
+ */
+std::vector<JsonValue>
+salvageSpanEvents(const std::string &buf, std::uint64_t &torn)
+{
+    std::vector<JsonValue> out;
+    std::size_t pos = buf.find("\"traceEvents\"");
+    if (pos == std::string::npos)
+        return out;
+    while ((pos = buf.find('{', pos)) != std::string::npos) {
+        // Balanced-brace scan, honouring strings and escapes.
+        int depth = 0;
+        bool in_str = false, esc = false;
+        std::size_t end = std::string::npos;
+        for (std::size_t i = pos; i < buf.size(); ++i) {
+            char c = buf[i];
+            if (esc) {
+                esc = false;
+            } else if (in_str) {
+                if (c == '\\')
+                    esc = true;
+                else if (c == '"')
+                    in_str = false;
+            } else if (c == '"') {
+                in_str = true;
+            } else if (c == '{') {
+                ++depth;
+            } else if (c == '}' && --depth == 0) {
+                end = i;
+                break;
+            }
+        }
+        if (end == std::string::npos) {
+            ++torn;  // runs off the end of the file: the torn tail
+            break;
+        }
+        JsonValue e;
+        std::string err;
+        if (tryParseJson(buf.substr(pos, end - pos + 1), e, &err) &&
+            e.isObject())
+            out.push_back(std::move(e));
+        else
+            ++torn;
+        pos = end + 1;
+    }
+    return out;
+}
+
 void
 analyzeSpans(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
         esd_fatal("cannot open '%s'", path.c_str());
-    std::ostringstream buf;
-    buf << in.rdbuf();
+    std::ostringstream raw;
+    raw << in.rdbuf();
+    std::string buf = raw.str();
 
     JsonValue doc;
+    std::vector<JsonValue> salvaged;
+    const std::vector<JsonValue> *eventList = nullptr;
+    std::uint64_t torn = 0;
     std::string err;
-    if (!tryParseJson(buf.str(), doc, &err))
-        esd_fatal("'%s' is not valid JSON: %s", path.c_str(),
-                  err.c_str());
-    const JsonValue *events = doc.find("traceEvents");
-    if (!events || !events->isArray())
-        esd_fatal("'%s' has no traceEvents array", path.c_str());
+    if (tryParseJson(buf, doc, &err)) {
+        const JsonValue *events = doc.find("traceEvents");
+        if (events && events->isArray()) {
+            eventList = &events->array;
+        } else {
+            esd_warn("'%s' has no traceEvents array", path.c_str());
+            std::cout << path << ": 0 spans, 0 instants\n";
+            return;
+        }
+    } else {
+        // Torn or corrupt (e.g. the writer was killed mid-export):
+        // salvage whole event objects instead of aborting.
+        esd_warn("'%s' is not valid JSON (%s); salvaging records",
+                 path.c_str(), err.c_str());
+        salvaged = salvageSpanEvents(buf, torn);
+        eventList = &salvaged;
+        esd_warn("salvaged %llu complete records, dropped %llu torn",
+                 static_cast<unsigned long long>(salvaged.size()),
+                 static_cast<unsigned long long>(torn));
+    }
 
     // Track tid -> display name from the thread_name metadata.
     std::map<std::uint64_t, std::string> trackNames;
-    for (const JsonValue &e : events->array) {
+    for (const JsonValue &e : *eventList) {
         if (stringOf(e, "ph") == "M" &&
             stringOf(e, "name") == "thread_name") {
             const JsonValue *args = e.find("args");
@@ -227,7 +297,7 @@ analyzeSpans(const std::string &path)
     std::map<std::string, Group> byPhase;
     std::uint64_t spans = 0;
     std::uint64_t instants = 0;
-    for (const JsonValue &e : events->array) {
+    for (const JsonValue &e : *eventList) {
         std::string ph = stringOf(e, "ph");
         if (ph != "X" && ph != "i")
             continue;

@@ -13,6 +13,9 @@ Metric extraction understands the two bench JSON shapes:
                          "aggregate_writes_per_s": W}
   bench_sweep_scaling:  {"scaling": [{"jobs": N, "writes_per_s": W,
                                       "speedup": X}]}
+  bench_pipeline_scaling: {"scaling": [{"workers": N,
+                                        "writes_per_s": W,
+                                        "speedup": X}]}
 
 plus a generic fallback: any top-level numeric field ending in
 "_per_s".
@@ -42,12 +45,17 @@ def extract_metrics(doc):
             metrics[f"scheme[{name}].writes_per_s"] = entry["writes_per_s"]
     for entry in doc.get("scaling", []):
         jobs = entry.get("jobs")
-        if jobs is None:
+        workers = entry.get("workers")
+        if jobs is not None:
+            label = f"jobs[{jobs}]"
+        elif workers is not None:
+            label = f"workers[{workers}]"
+        else:
             continue
         if "writes_per_s" in entry:
-            metrics[f"jobs[{jobs}].writes_per_s"] = entry["writes_per_s"]
+            metrics[f"{label}.writes_per_s"] = entry["writes_per_s"]
         if "speedup" in entry:
-            metrics[f"jobs[{jobs}].speedup"] = entry["speedup"]
+            metrics[f"{label}.speedup"] = entry["speedup"]
     for key, value in doc.items():
         if key.endswith("_per_s") and isinstance(value, (int, float)):
             metrics[key] = value
@@ -91,7 +99,9 @@ def self_test():
             {"scheme": "Baseline", "writes_per_s": 2000.0},
         ],
         "aggregate_writes_per_s": 1500.0,
-        "scaling": [{"jobs": 4, "writes_per_s": 4000.0, "speedup": 3.5}],
+        "scaling": [{"jobs": 4, "writes_per_s": 4000.0, "speedup": 3.5},
+                    {"workers": 2, "writes_per_s": 1800.0,
+                     "speedup": 1.8}],
     }
     bm = extract_metrics(base)
     assert bm == {
@@ -100,6 +110,8 @@ def self_test():
         "aggregate_writes_per_s": 1500.0,
         "jobs[4].writes_per_s": 4000.0,
         "jobs[4].speedup": 3.5,
+        "workers[2].writes_per_s": 1800.0,
+        "workers[2].speedup": 1.8,
     }, bm
 
     # Identical run passes.

@@ -1,0 +1,53 @@
+# Byte-identity gate for the sharded write pipeline, run as a ctest:
+# for every scheme, `esd_sim -workers=8` must write the identical
+# -stats-json= document as `esd_sim -workers=1` on an 8-channel
+# config. Invoked as
+#
+#   cmake -DESD_SIM=<path> -DWORK_DIR=<dir> \
+#         -P check_pipeline_identity.cmake
+#
+# Any byte of divergence (or any non-zero run) is a FATAL_ERROR.
+
+if(NOT DEFINED ESD_SIM OR NOT DEFINED WORK_DIR)
+    message(FATAL_ERROR "need -DESD_SIM= and -DWORK_DIR=")
+endif()
+
+set(records 8000)
+set(warmup 1000)
+
+foreach(scheme RANGE 0 5)
+    set(ref "${WORK_DIR}/identity_s${scheme}_w1.json")
+    set(got "${WORK_DIR}/identity_s${scheme}_w8.json")
+
+    execute_process(
+        COMMAND "${ESD_SIM}" -scheme=${scheme} -app=gcc
+                -records=${records} -warmup=${warmup} -channels=8
+                -workers=1 -stats-json=${ref}
+        RESULT_VARIABLE rc1 OUTPUT_QUIET)
+    if(NOT rc1 EQUAL 0)
+        message(FATAL_ERROR
+                "scheme ${scheme}: -workers=1 run failed (rc=${rc1})")
+    endif()
+
+    execute_process(
+        COMMAND "${ESD_SIM}" -scheme=${scheme} -app=gcc
+                -records=${records} -warmup=${warmup} -channels=8
+                -workers=8 -stats-json=${got}
+        RESULT_VARIABLE rc8 OUTPUT_QUIET)
+    if(NOT rc8 EQUAL 0)
+        message(FATAL_ERROR
+                "scheme ${scheme}: -workers=8 run failed (rc=${rc8})")
+    endif()
+
+    execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                            "${ref}" "${got}"
+                    RESULT_VARIABLE same)
+    if(NOT same EQUAL 0)
+        message(FATAL_ERROR
+                "scheme ${scheme}: -workers=8 stats JSON diverges "
+                "from -workers=1 (${ref} vs ${got})")
+    endif()
+    message(STATUS "scheme ${scheme}: workers 1 vs 8 byte-identical")
+endforeach()
+
+message(STATUS "pipeline identity gate: all schemes byte-identical")

@@ -357,6 +357,28 @@ struct PersistenceConfig
     CrashPhase crashPhase = CrashPhase::PostData;
 };
 
+/**
+ * Sharded write pipeline (exec/pipeline.hh): barrier cadence and queue
+ * sizing for `esd_sim -workers=N`. Execution knobs only — none of
+ * these change simulated results except epoch_records/sample_epochs,
+ * which set where cross-shard barrier effects (dedup-suspension
+ * propagation, merged interval rows) land in the trace; the worker
+ * count itself never does.
+ */
+struct PipelineConfig
+{
+    /** Trace records per epoch (barrier cadence). */
+    std::uint64_t epochRecords = 4096;
+
+    /** Bounded per-shard queue window, in epochs: how far the trace
+     * demux may run ahead of the slowest shard. */
+    std::uint64_t queueEpochs = 4;
+
+    /** Record one merged interval row every this many epochs
+     * (0 = off). */
+    std::uint64_t sampleEpochs = 0;
+};
+
 /** Core timing model: in-order, 1 IPC peak, stalling on LLC misses and
  * on memory-controller write-queue backpressure. */
 struct CoreConfig
@@ -378,6 +400,7 @@ struct SimConfig
     MetadataConfig metadata;
     RasConfig ras;
     PersistenceConfig persist;
+    PipelineConfig pipeline;
     CoreConfig core;
     TelemetryConfig telemetry;
 

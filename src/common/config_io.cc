@@ -303,6 +303,14 @@ applyConfigKey(SimConfig &cfg, const std::string &key,
     } else if (k == "persistence.crash_phase") {
         cfg.persist.crashPhase = parseCrashPhase(k, v);
     }
+    // Sharded write pipeline.
+    else if (k == "pipeline.epoch_records") {
+        cfg.pipeline.epochRecords = asU64In(k, v, 1, 1u << 20);
+    } else if (k == "pipeline.queue_epochs") {
+        cfg.pipeline.queueEpochs = asU64In(k, v, 1, 1024);
+    } else if (k == "pipeline.sample_epochs") {
+        cfg.pipeline.sampleEpochs = asU64In(k, v, 0, 1u << 20);
+    }
     // Core.
     else if (k == "core.clock_ghz") {
         cfg.core.clockGhz = asDouble(k, v);
@@ -439,6 +447,11 @@ renderConfig(const SimConfig &cfg)
        << "\n"
        << "persistence.crash_phase = "
        << crashPhaseName(cfg.persist.crashPhase) << "\n"
+       << "pipeline.epoch_records = " << cfg.pipeline.epochRecords
+       << "\n"
+       << "pipeline.queue_epochs = " << cfg.pipeline.queueEpochs << "\n"
+       << "pipeline.sample_epochs = " << cfg.pipeline.sampleEpochs
+       << "\n"
        << "core.clock_ghz = " << cfg.core.clockGhz << "\n"
        << "core.base_cpi = " << cfg.core.baseCpi << "\n"
        << "seed = " << cfg.seed << "\n";

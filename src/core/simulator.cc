@@ -46,81 +46,95 @@ Simulator::resetMeasurement()
         persist_->resetStats();
 }
 
-RunResult
-Simulator::run(TraceSource &trace, std::uint64_t records,
-               std::uint64_t warmup)
+void
+Simulator::beginRun()
 {
-    RunResult out;
-    out.schemeName = scheme_->name();
-
-    const double ns_per_cycle = 1.0 / cfg_.core.clockGhz;
-
-    double core_time = 0;       // ns
-    std::uint64_t instructions = 0;
-    double measure_start_time = 0;
-    std::uint64_t measure_start_instr = 0;
-    std::uint64_t processed = 0;
-    std::uint64_t measured_writes = 0;
-    bool measuring = warmup == 0;
+    coreTime_ = 0;
+    instructions_ = 0;
+    measureStartTime_ = 0;
+    measureStartInstr_ = 0;
+    measuredRecords_ = 0;
+    measuredWrites_ = 0;
+    measuring_ = false;
+    sawUnmeasured_ = false;
 
     readLatency_.reset();
     writeLatency_.reset();
     sampler_.reset();
     profiler_.reset();
-    auto host_start = std::chrono::steady_clock::now();
+    hostStart_ = std::chrono::steady_clock::now();
+}
 
-    TraceRecord rec;
-    while ((records == 0 || processed < records) && trace.next(rec)) {
-        if (!measuring && processed == warmup) {
+void
+Simulator::stepRecord(const TraceRecord &rec, bool measured)
+{
+    if (measured && !measuring_) {
+        // First measured record: close the warm-up window. A run with
+        // no unmeasured prefix skips the reset — everything is still
+        // in its freshly-constructed state.
+        if (sawUnmeasured_)
             resetMeasurement();
-            measure_start_time = core_time;
-            measure_start_instr = instructions;
-            measuring = true;
-            host_start = std::chrono::steady_clock::now();
-        }
-
-        // The core retires the inter-request instructions first.
-        core_time += rec.icount * cfg_.core.baseCpi * ns_per_cycle;
-        instructions += rec.icount;
-
-        auto now = static_cast<Tick>(core_time);
-        if (rec.op == OpType::Write) {
-            if (persist_)
-                persist_->onWriteBegin(now);
-            AccessResult r = scheme_->write(rec.addr, rec.data, now);
-            if (persist_) {
-                // Journal flush / epoch commit: the barrier and append
-                // costs charge to this write so journaling overhead
-                // shows in the latency histograms.
-                Tick extra = persist_->onWriteEnd(now + r.latency);
-                r.latency += extra;
-                core_time += static_cast<double>(extra);
-            }
-            if (measuring) {
-                writeLatency_.sample(static_cast<double>(r.latency));
-                sampler_.onWrite(++measured_writes);
-                metrics_.onWrite(measured_writes);
-            }
-            // Posted write: only backpressure stalls the core.
-            core_time += static_cast<double>(r.issuerStall);
-        } else {
-            CacheLine data;
-            AccessResult r = scheme_->read(rec.addr, data, now);
-            if (measuring)
-                readLatency_.sample(static_cast<double>(r.latency));
-            // Miss fills block the core.
-            core_time += static_cast<double>(r.latency + r.issuerStall);
-        }
-        ++processed;
+        measureStartTime_ = coreTime_;
+        measureStartInstr_ = instructions_;
+        measuring_ = true;
+        hostStart_ = std::chrono::steady_clock::now();
     }
+    if (!measured)
+        sawUnmeasured_ = true;
 
-    if (!measuring)
-        esd_fatal("trace shorter than the %llu-record warmup",
-                  static_cast<unsigned long long>(warmup));
+    // The core retires the inter-request instructions first.
+    const double ns_per_cycle = 1.0 / cfg_.core.clockGhz;
+    coreTime_ += rec.icount * cfg_.core.baseCpi * ns_per_cycle;
+    instructions_ += rec.icount;
+
+    auto now = static_cast<Tick>(coreTime_);
+    if (rec.op == OpType::Write) {
+        if (persist_)
+            persist_->onWriteBegin(now);
+        AccessResult r = scheme_->write(rec.addr, rec.data, now);
+        if (persist_) {
+            // Journal flush / epoch commit: the barrier and append
+            // costs charge to this write so journaling overhead
+            // shows in the latency histograms.
+            Tick extra = persist_->onWriteEnd(now + r.latency);
+            r.latency += extra;
+            coreTime_ += static_cast<double>(extra);
+        }
+        if (measuring_) {
+            writeLatency_.sample(static_cast<double>(r.latency));
+            sampler_.onWrite(++measuredWrites_);
+            metrics_.onWrite(measuredWrites_);
+        }
+        // Posted write: only backpressure stalls the core.
+        coreTime_ += static_cast<double>(r.issuerStall);
+    } else {
+        CacheLine data;
+        AccessResult r = scheme_->read(rec.addr, data, now);
+        if (measuring_)
+            readLatency_.sample(static_cast<double>(r.latency));
+        // Miss fills block the core.
+        coreTime_ += static_cast<double>(r.latency + r.issuerStall);
+    }
+    if (measuring_)
+        ++measuredRecords_;
+}
+
+RunResult
+Simulator::endRun()
+{
+    RunResult out;
+    out.schemeName = scheme_->name();
+
+    if (!measuring_) {
+        // No measured record (e.g. an empty pipeline shard): an empty
+        // measurement window starting now.
+        measureStartTime_ = coreTime_;
+        measureStartInstr_ = instructions_;
+    }
 
     out.hostNs = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - host_start)
+            std::chrono::steady_clock::now() - hostStart_)
             .count());
     profiler_.setRunNs(out.hostNs);
     // Final exposition snapshot: a scraper always ends up with the
@@ -129,9 +143,9 @@ Simulator::run(TraceSource &trace, std::uint64_t records,
 
     out.readLatency = readLatency_;
     out.writeLatency = writeLatency_;
-    out.records = processed - warmup;
-    out.instructions = instructions - measure_start_instr;
-    out.runtimeNs = core_time - measure_start_time;
+    out.records = measuredRecords_;
+    out.instructions = instructions_ - measureStartInstr_;
+    out.runtimeNs = coreTime_ - measureStartTime_;
     double cycles = out.runtimeNs * cfg_.core.clockGhz;
     out.ipc = cycles > 0 ? out.instructions / cycles : 0.0;
 
@@ -168,6 +182,26 @@ Simulator::run(TraceSource &trace, std::uint64_t records,
         out.amtCacheHitRate = m->amt().stats().hitRate();
 
     return out;
+}
+
+RunResult
+Simulator::run(TraceSource &trace, std::uint64_t records,
+               std::uint64_t warmup)
+{
+    beginRun();
+
+    TraceRecord rec;
+    std::uint64_t processed = 0;
+    while ((records == 0 || processed < records) && trace.next(rec)) {
+        stepRecord(rec, processed >= warmup);
+        ++processed;
+    }
+
+    if (warmup > 0 && !measuring_)
+        esd_fatal("trace shorter than the %llu-record warmup",
+                  static_cast<unsigned long long>(warmup));
+
+    return endRun();
 }
 
 RunResult

@@ -16,6 +16,7 @@
 #ifndef ESD_CORE_SIMULATOR_HH
 #define ESD_CORE_SIMULATOR_HH
 
+#include <chrono>
 #include <memory>
 #include <string>
 
@@ -114,6 +115,33 @@ class Simulator
     RunResult run(TraceSource &trace, std::uint64_t records,
                   std::uint64_t warmup = 0);
 
+    // ------------------------------------------------------------------
+    // Incremental run API.
+    //
+    // The sharded write pipeline (exec/pipeline.hh) drives one
+    // Simulator per shard record by record instead of handing it a
+    // whole TraceSource; run() above is exactly beginRun() + one
+    // stepRecord() per record + endRun(), so both paths share one
+    // timing model.
+
+    /** Reset run-loop state; call once before the first stepRecord(). */
+    void beginRun();
+
+    /**
+     * Advance the system by one trace record. @p measured marks
+     * records inside the measurement window (the caller owns the
+     * warmup policy); the first measured record after an unmeasured
+     * prefix closes the warm-up window exactly like run() does.
+     */
+    void stepRecord(const TraceRecord &rec, bool measured);
+
+    /** Close the run and assemble the RunResult over the measured
+     * window. A run that saw no measured record yields zeros. */
+    RunResult endRun();
+
+    /** True once a measured record has been processed. */
+    bool measuring() const { return measuring_; }
+
     DedupScheme &scheme() { return *scheme_; }
     PcmDevice &device() { return device_; }
     NvmStore &store() { return store_; }
@@ -211,6 +239,17 @@ class Simulator
 
   private:
     void resetMeasurement();
+
+    // Run-loop state shared by run() and the incremental API.
+    double coreTime_ = 0;  ///< simulated ns
+    std::uint64_t instructions_ = 0;
+    double measureStartTime_ = 0;
+    std::uint64_t measureStartInstr_ = 0;
+    std::uint64_t measuredRecords_ = 0;
+    std::uint64_t measuredWrites_ = 0;
+    bool measuring_ = false;
+    bool sawUnmeasured_ = false;
+    std::chrono::steady_clock::time_point hostStart_;
 
     SimConfig cfg_;
     PcmDevice device_;

@@ -10,6 +10,7 @@
 #include "common/logging.hh"
 #include "common/stat_registry.hh"
 #include "core/run_report.hh"
+#include "exec/pipeline.hh"
 #include "persist/recovery.hh"
 #include "trace/workloads.hh"
 
@@ -74,19 +75,39 @@ runOneJob(const SweepJob &job, std::size_t index)
     SweepOutcome out;
     try {
         SyntheticWorkload trace(findApp(job.app), job.cfg.seed);
-        Simulator sim(job.cfg, job.scheme);
-        out.result = sim.run(trace, job.records, job.warmup);
-        out.error = checkInjectedCrash(sim);
-        out.ok = out.error.empty();
+        std::string rep_str;
+        if (job.pipelineWorkers >= 1) {
+            // Sharded intra-simulation pipeline: the job still owns
+            // its whole world (pipeline included), so jobs stay
+            // shared-nothing across the sweep pool.
+            ShardedPipeline pipe(job.cfg, job.scheme,
+                                 job.pipelineWorkers);
+            out.result = pipe.run(trace, job.records, job.warmup);
+            out.error = pipe.checkInjectedCrash();
+            out.ok = out.error.empty();
+            if (out.ok) {
+                std::ostringstream rep;
+                pipe.writeReport(rep, /*indent=*/0);
+                rep_str = rep.str();
+            }
+        } else {
+            Simulator sim(job.cfg, job.scheme);
+            out.result = sim.run(trace, job.records, job.warmup);
+            out.error = checkInjectedCrash(sim);
+            out.ok = out.error.empty();
+            if (out.ok) {
+                // Per-job report fragment, serialized here while the
+                // job's StatRegistry is alive. Compact (indent 0) so
+                // the merged document stays one line per job.
+                std::ostringstream rep;
+                writeStatsReport(rep, job.cfg, out.result,
+                                 sim.statRegistry(), nullptr,
+                                 /*indent=*/0);
+                rep_str = rep.str();
+            }
+        }
 
         if (out.ok) {
-            // Per-job report fragment, serialized here while the job's
-            // StatRegistry is alive. Compact (indent 0) so the merged
-            // document stays one line per job.
-            std::ostringstream rep;
-            writeStatsReport(rep, job.cfg, out.result,
-                             sim.statRegistry(), nullptr, /*indent=*/0);
-            std::string rep_str = rep.str();
             while (!rep_str.empty() && rep_str.back() == '\n')
                 rep_str.pop_back();
 

@@ -42,6 +42,13 @@ struct SweepJob
     SimConfig cfg;            ///< complete config incl. the job's seed
     std::uint64_t records = 0;
     std::uint64_t warmup = 0;
+
+    /** Intra-simulation pipeline threads (exec/pipeline.hh). 0 keeps
+     * the classic single-Simulator path; >= 1 runs the job through a
+     * ShardedPipeline, whose report fragment uses the pipeline schema
+     * (per-shard results) and is byte-identical at any thread count.
+     * Don't mix modes within one sweep — the two schemas differ. */
+    unsigned pipelineWorkers = 0;
 };
 
 /** What one finished job yields. */

@@ -177,6 +177,18 @@ class PersistenceManager
     bool crashed() const { return crashed_; }
     const CrashImage &image() const { return image_; }
 
+    /** Arm the deterministic crash to strike on the next write seen by
+     * this manager. The sharded pipeline injects crashes by *global*
+     * write index, which only the trace demux can count — it arms the
+     * owning shard's manager just before stepping the chosen write
+     * (shard configs carry crash_at_write = 0). */
+    void
+    armCrashOnNextWrite()
+    {
+        if (!crashed_)
+            cfg_.crashAtWrite = writeIndex_ + 1;
+    }
+
     /** Counter slack with the 0=auto default resolved (ADR: one epoch
      * of un-journaled bumps, eADR: one torn group). */
     std::uint64_t effectiveCounterSlack() const;

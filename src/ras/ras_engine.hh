@@ -112,6 +112,17 @@ class RasEngine
     /** True once the UE count crossed cfg.dedupSuspendUes (latches). */
     bool dedupSuspended() const { return dedupSuspended_; }
 
+    /** Latch dedup suspension from outside the engine. The sharded
+     * pipeline sums UE counts across shards at epoch barriers and
+     * propagates the global threshold crossing to every shard in
+     * canonical order. No-op when RAS is disabled. */
+    void
+    forceSuspendDedup()
+    {
+        if (cfg_.enabled)
+            dedupSuspended_ = true;
+    }
+
     /** Read-path fault injection for @p phys (call before consuming
      * stored content). */
     void beforeRead(Addr phys);

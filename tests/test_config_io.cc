@@ -435,5 +435,55 @@ TEST(ConfigIoDeath, PersistenceRangesAreFatal)
                 ::testing::ExitedWithCode(1), "out of range");
 }
 
+TEST(ConfigIo, PipelineKeysApply)
+{
+    SimConfig cfg;
+    EXPECT_TRUE(applyConfigKey(cfg, "pipeline.epoch_records", "512"));
+    EXPECT_EQ(cfg.pipeline.epochRecords, 512u);
+    EXPECT_TRUE(applyConfigKey(cfg, "pipeline.queue_epochs", "8"));
+    EXPECT_EQ(cfg.pipeline.queueEpochs, 8u);
+    EXPECT_TRUE(applyConfigKey(cfg, "pipeline.sample_epochs", "16"));
+    EXPECT_EQ(cfg.pipeline.sampleEpochs, 16u);
+    // 0 = sampling off is inside the valid range.
+    EXPECT_TRUE(applyConfigKey(cfg, "pipeline.sample_epochs", "0"));
+    EXPECT_EQ(cfg.pipeline.sampleEpochs, 0u);
+    EXPECT_FALSE(applyConfigKey(cfg, "pipeline.bogus", "1"));
+}
+
+TEST_F(ConfigFileTest, PipelineRoundTrips)
+{
+    SimConfig cfg;
+    cfg.pipeline.epochRecords = 1024;
+    cfg.pipeline.queueEpochs = 2;
+    cfg.pipeline.sampleEpochs = 4;
+    {
+        std::ofstream out(path_);
+        out << renderConfig(cfg);
+    }
+    SimConfig back;
+    loadConfigFile(back, path_.string());
+    EXPECT_EQ(back.pipeline.epochRecords, 1024u);
+    EXPECT_EQ(back.pipeline.queueEpochs, 2u);
+    EXPECT_EQ(back.pipeline.sampleEpochs, 4u);
+    EXPECT_EQ(renderConfig(back), renderConfig(cfg));
+}
+
+TEST(ConfigIoDeath, PipelineRangesAreFatal)
+{
+    SimConfig cfg;
+    EXPECT_EXIT(applyConfigKey(cfg, "pipeline.epoch_records", "0"),
+                ::testing::ExitedWithCode(1), "out of range");
+    EXPECT_EXIT(
+        applyConfigKey(cfg, "pipeline.epoch_records", "1048577"),
+        ::testing::ExitedWithCode(1), "out of range");
+    EXPECT_EXIT(applyConfigKey(cfg, "pipeline.queue_epochs", "0"),
+                ::testing::ExitedWithCode(1), "out of range");
+    EXPECT_EXIT(applyConfigKey(cfg, "pipeline.queue_epochs", "1025"),
+                ::testing::ExitedWithCode(1), "out of range");
+    EXPECT_EXIT(
+        applyConfigKey(cfg, "pipeline.sample_epochs", "1048577"),
+        ::testing::ExitedWithCode(1), "out of range");
+}
+
 } // namespace
 } // namespace esd

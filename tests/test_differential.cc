@@ -14,11 +14,16 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/simulator.hh"
 #include "dedup/mapped_scheme.hh"
+#include "exec/pipeline.hh"
+#include "exec/sweep_runner.hh"
+#include "trace/trace.hh"
 
 namespace esd
 {
@@ -186,6 +191,137 @@ INSTANTIATE_TEST_SUITE_P(
                                          SchemeKind::EsdFull,
                                          SchemeKind::EsdPlus),
                        ::testing::Values(1u, 4u)),
+    [](const auto &info) {
+        std::string n = schemeName(std::get<0>(info.param));
+        for (char &ch : n)
+            if (!std::isalnum(static_cast<unsigned char>(ch)))
+                ch = '_';
+        return n + "_ch" + std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Sharded-pipeline differential harness: the same golden trace through
+// exec::ShardedPipeline at workers {1, 2, 4}, for every scheme and
+// channel count. Three independent checks per grid point: the report
+// bytes never move with the worker count, every shard still agrees
+// with the shadow map on the content it owns, and per-shard refcount
+// conservation closes.
+
+/** The golden Op trace as a replayable TraceSource. */
+VectorTrace
+buildVectorTrace()
+{
+    VectorTrace trace;
+    for (const Op &op : buildTrace()) {
+        TraceRecord rec;
+        rec.op = op.write ? OpType::Write : OpType::Read;
+        rec.addr = op.addr;
+        rec.data = op.data;
+        trace.push(rec);
+    }
+    return trace;
+}
+
+SimConfig
+differentialPipelineConfig(unsigned channels)
+{
+    SimConfig c;
+    c.pcm.channels = 1;
+    c.pcm.banksPerRank = 8;
+    c.channels.count = channels;
+    c.channels.wpqCoalescing = channels > 1;
+    // Scaled with the shard count so per-shard eviction pressure stays
+    // at the serial harness's level (the fp/EFIT caches need >=
+    // `channels` sets to shard at all).
+    c.metadata.efitCacheBytes = 64 * 16 * channels;
+    c.metadata.amtCacheBytes = 64 * kLineSize;
+    c.metadata.referHMax = 7;
+    c.metadata.decayPeriod = 32;
+    // Many small epochs: the golden trace is short, so a large epoch
+    // would degenerate to a single barrier and test nothing.
+    c.pipeline.epochRecords = 64;
+    return c;
+}
+
+class PipelineDifferentialTest
+    : public ::testing::TestWithParam<std::tuple<SchemeKind, unsigned>>
+{
+};
+
+TEST_P(PipelineDifferentialTest, WorkerCountsAgreeWithShadow)
+{
+    auto [kind, channels] = GetParam();
+    SimConfig c = differentialPipelineConfig(channels);
+
+    // The shadow map is worker-independent by construction: replay the
+    // Op list once.
+    std::unordered_map<Addr, CacheLine> shadow;
+    for (const Op &op : buildTrace())
+        if (op.write)
+            shadow[op.addr] = op.data;
+
+    std::string base_report;
+    for (unsigned workers : {1u, 2u, 4u}) {
+        VectorTrace trace = buildVectorTrace();
+        exec::ShardedPipeline pipe(c, kind, workers);
+        pipe.run(trace, trace.size());
+
+        std::ostringstream os;
+        pipe.writeReport(os);
+        if (workers == 1) {
+            base_report = os.str();
+        } else {
+            ASSERT_EQ(base_report, os.str())
+                << schemeName(kind) << " ch=" << channels
+                << " workers=" << workers << " diverges at "
+                << exec::firstJsonDivergence(base_report, os.str());
+        }
+
+        // Every shard must agree with the shadow map on the addresses
+        // it owns — demux by the same channelOf(line) rule.
+        Tick now = 1'000'000'000;
+        for (const auto &[addr, want] : shadow) {
+            unsigned s = static_cast<unsigned>(lineIndex(addr) %
+                                               pipe.shardCount());
+            CacheLine got;
+            now += 97;
+            pipe.shard(s).scheme().read(addr, got, now);
+            ASSERT_EQ(got, want)
+                << schemeName(kind) << " ch=" << channels << " workers="
+                << workers << " shard=" << s << " addr " << addr;
+        }
+
+        for (unsigned s = 0; s < pipe.shardCount(); ++s) {
+            Simulator &sim = pipe.shard(s);
+
+            // Device-level write conservation per shard.
+            const NvmStats &ds = sim.device().stats();
+            EXPECT_EQ(ds.writesOffered.value(),
+                      ds.writes.value() + ds.writesCoalesced.value());
+
+            // Refcounts over live lines equal the AMT mappings, shard
+            // by shard.
+            if (auto *m = dynamic_cast<const MappedDedupScheme *>(
+                    &sim.scheme())) {
+                std::uint64_t refs = 0;
+                for (const auto &[phys, n] : m->lineStore().refTable())
+                    refs += n;
+                EXPECT_EQ(refs, m->amt().mappingCount())
+                    << schemeName(kind) << " shard " << s;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesByChannels, PipelineDifferentialTest,
+    ::testing::Combine(::testing::Values(SchemeKind::Baseline,
+                                         SchemeKind::DedupSha1,
+                                         SchemeKind::DeWrite,
+                                         SchemeKind::Esd,
+                                         SchemeKind::EsdFull,
+                                         SchemeKind::EsdPlus),
+                       ::testing::Values(1u, 4u, 8u)),
     [](const auto &info) {
         std::string n = schemeName(std::get<0>(info.param));
         for (char &ch : n)

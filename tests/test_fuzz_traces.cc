@@ -17,12 +17,17 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "common/random.hh"
 #include "core/simulator.hh"
 #include "dedup/esd.hh"
 #include "dedup/mapped_scheme.hh"
+#include "exec/pipeline.hh"
+#include "exec/sweep_runner.hh"
+#include "trace/trace.hh"
 
 namespace esd
 {
@@ -33,7 +38,7 @@ class FuzzTraceTest
     : public ::testing::TestWithParam<
           std::tuple<SchemeKind, unsigned, int>>
 {
-  protected:
+  public:
     /** All invariants that must hold at any quiescent point. */
     static void
     checkInvariants(const DedupScheme &scheme, const PcmDevice &dev)
@@ -151,6 +156,124 @@ INSTANTIATE_TEST_SUITE_P(
                 ch = '_';
         return n + "_ch" + std::to_string(std::get<1>(info.param)) +
                "_dup" + std::to_string(std::get<2>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Pipeline fuzz sweep: the same PCG-seeded soups through the sharded
+// write pipeline with [persistence] ADR journaling live, sweeping
+// worker count x duplication rate x crash injection. Per seed, the
+// report must be byte-identical at every worker count, every shard's
+// structural invariants must close, the per-shard bank clocks must
+// land on identical final values (the timing model is part of the
+// determinism contract, not just the counters), and an injected crash
+// must converge through recovery whatever thread executed the write.
+
+/** A random soup as a replayable trace, seeded like the serial fuzz. */
+VectorTrace
+buildFuzzTrace(int dup_pct, int ops)
+{
+    Pcg32 rng(0xF1BE5u + static_cast<std::uint64_t>(dup_pct));
+    VectorTrace trace;
+    for (int op = 0; op < ops; ++op) {
+        TraceRecord rec;
+        rec.addr = static_cast<Addr>(rng.below(320)) * kLineSize;
+        if (rng.chance(0.65)) {
+            rec.op = OpType::Write;
+            if (rng.below(100) < static_cast<std::uint32_t>(dup_pct)) {
+                rec.data.setWord(0, rng.below(4));
+                rec.data.setWord(1, 0xBEEF);
+            } else {
+                rng.fillLine(rec.data);
+            }
+        } else {
+            rec.op = OpType::Read;
+        }
+        trace.push(rec);
+    }
+    return trace;
+}
+
+class PipelineFuzzTest
+    : public ::testing::TestWithParam<
+          std::tuple<SchemeKind, int, bool>>
+{
+};
+
+TEST_P(PipelineFuzzTest, ShardsStayCoherentAtAnyWorkerCount)
+{
+    auto [kind, dup_pct, crash] = GetParam();
+
+    SimConfig c;
+    c.pcm.channels = 1;
+    c.pcm.banksPerRank = 4;
+    c.pcm.writeQueueDepth = 4;
+    c.channels.count = 4;
+    c.channels.wpqCoalescing = true;
+    c.metadata.efitCacheBytes = 64 * 16;
+    c.metadata.amtCacheBytes = 64 * kLineSize;
+    c.metadata.referHMax = 15;
+    c.metadata.decayPeriod = 64;
+    c.pipeline.epochRecords = 256;
+    c.persist.enabled = true;
+    c.persist.domain = PersistDomain::Adr;
+    c.persist.crashAtWrite = crash ? 400 : 0;
+
+    std::string base_report;
+    std::vector<std::vector<Tick>> base_clocks;
+    for (unsigned workers : {1u, 2u, 4u}) {
+        VectorTrace trace = buildFuzzTrace(dup_pct, 3000);
+        exec::ShardedPipeline pipe(c, kind, workers);
+        pipe.run(trace, trace.size());
+
+        // Recovery convergence: an injected crash must have fired on
+        // some shard, recovered cleanly, and passed the pad audit.
+        EXPECT_EQ(pipe.checkInjectedCrash(), "")
+            << schemeName(kind) << " workers=" << workers;
+        if (crash)
+            EXPECT_GE(pipe.crashedShard(), 0);
+        else
+            EXPECT_EQ(pipe.crashedShard(), -1);
+
+        std::ostringstream os;
+        pipe.writeReport(os);
+
+        std::vector<std::vector<Tick>> clocks(pipe.shardCount());
+        for (unsigned s = 0; s < pipe.shardCount(); ++s) {
+            Simulator &sim = pipe.shard(s);
+            FuzzTraceTest::checkInvariants(sim.scheme(), sim.device());
+            for (unsigned b = 0; b < sim.device().totalBanks(); ++b)
+                clocks[s].push_back(sim.device().bankBusyUntil(b));
+        }
+
+        if (workers == 1) {
+            base_report = os.str();
+            base_clocks = clocks;
+            EXPECT_GT(pipe.result().logicalWrites, 0u);
+        } else {
+            ASSERT_EQ(base_report, os.str())
+                << schemeName(kind) << " dup=" << dup_pct
+                << " crash=" << crash << " workers=" << workers
+                << " diverges at "
+                << exec::firstJsonDivergence(base_report, os.str());
+            ASSERT_EQ(base_clocks, clocks)
+                << "per-shard bank clocks moved with the worker count";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DupRateByCrash, PipelineFuzzTest,
+    ::testing::Combine(::testing::Values(SchemeKind::Esd,
+                                         SchemeKind::EsdPlus),
+                       ::testing::Values(10, 70),
+                       ::testing::Bool()),
+    [](const auto &info) {
+        std::string n = schemeName(std::get<0>(info.param));
+        for (char &ch : n)
+            if (!std::isalnum(static_cast<unsigned char>(ch)))
+                ch = '_';
+        return n + "_dup" + std::to_string(std::get<1>(info.param)) +
+               (std::get<2>(info.param) ? "_crash" : "_nocrash");
     });
 
 } // namespace

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Test wall for the intra-simulation sharded write pipeline
+ * (exec/pipeline.hh).
+ *
+ * The pipeline's one promise is worth a wall: the merged stats report
+ * is byte-for-byte identical at any worker count. Every test here
+ * compares whole serialized reports (with firstJsonDivergence as the
+ * failure diagnostic), because "the counters happen to match" is a
+ * much weaker statement than "not one byte moved". The jittered
+ * variants re-run the same comparisons with randomized per-worker
+ * barrier delays (ESD_TEST_JITTER=1) so a scheduling-dependent merge
+ * cannot hide behind a lucky interleaving — under TSan this doubles
+ * as a race-flushing stress.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/simulator.hh"
+#include "exec/pipeline.hh"
+#include "exec/sweep_runner.hh"
+#include "trace/workloads.hh"
+
+namespace esd
+{
+namespace
+{
+
+/** Eight-channel config with a barrier every 512 records: enough
+ * epochs (tens) that cross-shard effects get real exercise. */
+SimConfig
+pipelineConfig(unsigned channels)
+{
+    SimConfig c;
+    c.channels.count = channels;
+    c.channels.wpqCoalescing = channels > 1;
+    c.pipeline.epochRecords = 512;
+    return c;
+}
+
+/** Run one pipeline and return the full serialized report. */
+std::string
+runReport(SchemeKind kind, const SimConfig &cfg, unsigned workers,
+          std::uint64_t records = 12000, std::uint64_t warmup = 2000,
+          const char *app = "gcc")
+{
+    SyntheticWorkload trace(findApp(app), cfg.seed);
+    exec::ShardedPipeline pipe(cfg, kind, workers);
+    pipe.run(trace, records, warmup);
+    std::ostringstream os;
+    pipe.writeReport(os);
+    return os.str();
+}
+
+class PipelineIdentityTest : public ::testing::TestWithParam<SchemeKind>
+{
+};
+
+/** The headline guarantee: workers in {1, 2, 4, 8} over eight shards
+ * produce the identical report, for every scheme. */
+TEST_P(PipelineIdentityTest, ReportBytesIdenticalAcrossWorkerCounts)
+{
+    SimConfig c = pipelineConfig(8);
+    const std::string base = runReport(GetParam(), c, 1);
+    for (unsigned w : {2u, 4u, 8u}) {
+        const std::string other = runReport(GetParam(), c, w);
+        ASSERT_EQ(base, other)
+            << schemeName(GetParam()) << " workers=" << w
+            << " diverges at "
+            << exec::firstJsonDivergence(base, other);
+    }
+}
+
+/** The worker count is an execution knob: it must never leak into the
+ * serialized report (that would break identity by construction). */
+TEST_P(PipelineIdentityTest, ReportNeverSerializesWorkerCount)
+{
+    SimConfig c = pipelineConfig(4);
+    const std::string rep = runReport(GetParam(), c, 4);
+    EXPECT_EQ(rep.find("\"workers\""), std::string::npos);
+    EXPECT_NE(rep.find("\"shards\""), std::string::npos);
+    EXPECT_NE(rep.find("\"pipeline\""), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, PipelineIdentityTest,
+    ::testing::Values(SchemeKind::Baseline, SchemeKind::DedupSha1,
+                      SchemeKind::DeWrite, SchemeKind::Esd,
+                      SchemeKind::EsdFull, SchemeKind::EsdPlus),
+    [](const auto &info) {
+        std::string n = schemeName(info.param);
+        for (char &ch : n)
+            if (!std::isalnum(static_cast<unsigned char>(ch)))
+                ch = '_';
+        return n;
+    });
+
+/** Randomized barrier arrival delays must be invisible in the bytes:
+ * determinism is structural, not a race won by fast hardware. */
+TEST(Pipeline, JitteredBarriersDoNotChangeBytes)
+{
+    SimConfig c = pipelineConfig(4);
+    const std::string base = runReport(SchemeKind::Esd, c, 1);
+    ::setenv("ESD_TEST_JITTER", "1", 1);
+    const std::string jittered = runReport(SchemeKind::Esd, c, 4);
+    ::unsetenv("ESD_TEST_JITTER");
+    EXPECT_EQ(base, jittered)
+        << exec::firstJsonDivergence(base, jittered);
+}
+
+/** One channel degenerates to one shard and one worker — the pipeline
+ * must clamp rather than spin idle threads. */
+TEST(Pipeline, SingleChannelClampsToOneWorker)
+{
+    SimConfig c = pipelineConfig(1);
+    exec::ShardedPipeline pipe(c, SchemeKind::Esd, 8);
+    EXPECT_EQ(pipe.shardCount(), 1u);
+    EXPECT_EQ(pipe.workers(), 1u);
+
+    SyntheticWorkload trace(findApp("x264"), c.seed);
+    const RunResult &r = pipe.run(trace, 4000, 500);
+    EXPECT_EQ(r.records, 3500u);
+    EXPECT_GE(pipe.epochsRun(), 1u);
+}
+
+/** The merged result must be exactly the shard-order fold of the
+ * per-shard results: sums for counters, max for simulated time, and
+ * exact histogram merges for latency. */
+TEST(Pipeline, MergedResultIsShardOrderFold)
+{
+    SimConfig c = pipelineConfig(4);
+    SyntheticWorkload trace(findApp("mcf"), c.seed);
+    exec::ShardedPipeline pipe(c, SchemeKind::EsdPlus, 4);
+    const RunResult &m = pipe.run(trace, 10000, 1000);
+    EXPECT_EQ(m.records, 9000u);
+
+    std::uint64_t records = 0, writes = 0, reads = 0, hits = 0;
+    std::uint64_t nvm_w = 0, nvm_r = 0, wlat = 0, rlat = 0;
+    std::uint64_t meta = 0, wear_writes = 0;
+    double max_rt = 0;
+    for (unsigned s = 0; s < pipe.shardCount(); ++s) {
+        const RunResult &r = pipe.shardResult(s);
+        records += r.records;
+        writes += r.logicalWrites;
+        reads += r.logicalReads;
+        hits += r.dedupHits;
+        nvm_w += r.nvmWritesTotal;
+        nvm_r += r.nvmReadsTotal;
+        wlat += r.writeLatency.count();
+        rlat += r.readLatency.count();
+        meta += r.metadataNvmBytes;
+        wear_writes += r.wear.totalWrites;
+        max_rt = std::max(max_rt, r.runtimeNs);
+    }
+    EXPECT_EQ(m.records, records);
+    EXPECT_EQ(m.logicalWrites, writes);
+    EXPECT_EQ(m.logicalReads, reads);
+    EXPECT_EQ(m.dedupHits, hits);
+    EXPECT_EQ(m.nvmWritesTotal, nvm_w);
+    EXPECT_EQ(m.nvmReadsTotal, nvm_r);
+    EXPECT_EQ(m.writeLatency.count(), wlat);
+    EXPECT_EQ(m.readLatency.count(), rlat);
+    EXPECT_EQ(m.metadataNvmBytes, meta);
+    EXPECT_EQ(m.wear.totalWrites, wear_writes);
+    EXPECT_DOUBLE_EQ(m.runtimeNs, max_rt);
+    EXPECT_EQ(m.nvmDataWrites + m.dedupHits, m.logicalWrites);
+}
+
+/** Barrier-sampled interval rows: identical across worker counts,
+ * cumulative counters monotone, epochs strictly increasing. */
+TEST(Pipeline, IntervalRowsIdenticalAndMonotone)
+{
+    SimConfig c = pipelineConfig(4);
+    c.pipeline.sampleEpochs = 2;
+
+    auto runRows = [&c](unsigned workers) {
+        SyntheticWorkload trace(findApp("gcc"), c.seed);
+        exec::ShardedPipeline pipe(c, SchemeKind::Esd, workers);
+        pipe.run(trace, 12000, 2000);
+        return pipe.intervals();
+    };
+    const auto rows1 = runRows(1);
+    const auto rows4 = runRows(4);
+
+    ASSERT_FALSE(rows1.empty());
+    ASSERT_EQ(rows1.size(), rows4.size());
+    for (std::size_t i = 0; i < rows1.size(); ++i) {
+        EXPECT_EQ(rows1[i].epoch, rows4[i].epoch);
+        EXPECT_EQ(rows1[i].logicalWrites, rows4[i].logicalWrites);
+        EXPECT_EQ(rows1[i].dedupHits, rows4[i].dedupHits);
+        EXPECT_EQ(rows1[i].nvmWritesTotal, rows4[i].nvmWritesTotal);
+        EXPECT_EQ(rows1[i].nvmReadsTotal, rows4[i].nvmReadsTotal);
+        if (i > 0) {
+            EXPECT_GT(rows1[i].epoch, rows1[i - 1].epoch);
+            EXPECT_GE(rows1[i].logicalWrites, rows1[i - 1].logicalWrites);
+            EXPECT_GE(rows1[i].nvmWritesTotal,
+                      rows1[i - 1].nvmWritesTotal);
+        }
+    }
+}
+
+/** [ras] composition: the cross-shard UE sum latches dedup suspension
+ * on *every* shard at the same barrier whatever the worker count. */
+TEST(Pipeline, GlobalSuspensionLatchesDeterministically)
+{
+    SimConfig c = pipelineConfig(4);
+    c.ras.enabled = true;
+    c.ras.readBer = 1e-3;  // double-bit UEs within a few hundred reads
+    c.ras.dedupSuspendUes = 3;
+
+    auto runOnce = [&c](unsigned workers, std::string &rep,
+                        std::uint64_t &epoch, bool &latched) {
+        SyntheticWorkload trace(findApp("dedup"), c.seed);
+        exec::ShardedPipeline pipe(c, SchemeKind::Esd, workers);
+        pipe.run(trace, 12000, 2000);
+        std::ostringstream os;
+        pipe.writeReport(os);
+        rep = os.str();
+        latched = pipe.dedupSuspendedGlobally();
+        epoch = pipe.suspendEpoch();
+        if (latched) {
+            for (unsigned s = 0; s < pipe.shardCount(); ++s) {
+                EXPECT_TRUE(pipe.shard(s).scheme().ras().dedupSuspended())
+                    << "shard " << s << " missed the global latch";
+            }
+        }
+    };
+
+    std::string rep1, rep4;
+    std::uint64_t epoch1 = 0, epoch4 = 0;
+    bool latched1 = false, latched4 = false;
+    runOnce(1, rep1, epoch1, latched1);
+    runOnce(4, rep4, epoch4, latched4);
+
+    ASSERT_TRUE(latched1) << "BER too low to trip the latch";
+    EXPECT_EQ(latched1, latched4);
+    EXPECT_EQ(epoch1, epoch4);
+    EXPECT_EQ(rep1, rep4) << exec::firstJsonDivergence(rep1, rep4);
+}
+
+/** [persistence] composition: a globally-indexed injected crash lands
+ * on the same shard at the same local write whatever the worker
+ * count, and recovery off the crash image converges. */
+TEST(Pipeline, CrashInjectionIdenticalAcrossWorkerCounts)
+{
+    SimConfig c = pipelineConfig(4);
+    c.persist.enabled = true;
+    c.persist.domain = PersistDomain::Adr;
+    c.persist.crashAtWrite = 600;
+
+    auto runOnce = [&c](unsigned workers, std::string &rep,
+                        int &shard) {
+        SyntheticWorkload trace(findApp("gcc"), c.seed);
+        exec::ShardedPipeline pipe(c, SchemeKind::Esd, workers);
+        pipe.run(trace, 8000, 1000);
+        EXPECT_EQ(pipe.checkInjectedCrash(), "");
+        shard = pipe.crashedShard();
+        std::ostringstream os;
+        pipe.writeReport(os);
+        rep = os.str();
+    };
+
+    std::string rep1, rep4;
+    int shard1 = -1, shard4 = -1;
+    runOnce(1, rep1, shard1);
+    runOnce(4, rep4, shard4);
+
+    ASSERT_GE(shard1, 0) << "injected crash never fired";
+    EXPECT_EQ(shard1, shard4);
+    EXPECT_EQ(rep1, rep4) << exec::firstJsonDivergence(rep1, rep4);
+}
+
+} // namespace
+} // namespace esd

@@ -5,17 +5,22 @@
  * of any figure.
  *
  *   esd_batch [-records=N] [-warmup=N] [-schemes=0,3] [-apps=a,b,c]
- *             [-jobs=N] [-ConfigFile=path] [-out=results.csv]
+ *             [-jobs=N] [-workers=N] [-ConfigFile=path]
+ *             [-out=results.csv]
  *
  * Unknown -schemes/-apps values are rejected up front with a non-zero
  * exit. With -jobs=N the grid runs on a thread pool (shared-nothing,
  * one Simulator per pair); rows are written in grid order whatever the
  * completion order, so the CSV is identical at any job count.
+ * -workers=N additionally runs each job through the intra-simulation
+ * sharded pipeline (exec/pipeline.hh) with N threads; jobs * workers
+ * must not oversubscribe the host.
  */
 
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "common/config_io.hh"
@@ -60,6 +65,7 @@ main(int argc, char **argv)
     std::uint64_t records = 100000;
     std::uint64_t warmup = 20000;
     unsigned jobs = 1;
+    unsigned workers = 0;  ///< 0 = classic single-Simulator jobs
     std::string out_path = "results.csv";
     std::string config_file;
     std::vector<SchemeKind> schemes = allSchemeKinds();
@@ -73,6 +79,10 @@ main(int argc, char **argv)
             warmup = std::stoull(arg.substr(8));
         } else if (arg.rfind("-jobs=", 0) == 0) {
             jobs = static_cast<unsigned>(std::stoul(arg.substr(6)));
+        } else if (arg.rfind("-workers=", 0) == 0) {
+            workers = static_cast<unsigned>(std::stoul(arg.substr(9)));
+            if (workers < 1 || workers > 256)
+                esd_fatal("-workers: %u out of range [1, 256]", workers);
         } else if (arg.rfind("-out=", 0) == 0) {
             out_path = arg.substr(5);
         } else if (arg.rfind("-ConfigFile=", 0) == 0) {
@@ -107,6 +117,23 @@ main(int argc, char **argv)
                       app.c_str(), knownAppNames().c_str());
     }
 
+    // Pipeline workers multiply under the sweep pool: -jobs=J each
+    // running a -workers=W pipeline is J*W live threads. Refuse plans
+    // that oversubscribe the host instead of quietly thrashing it.
+    if (workers >= 1) {
+        unsigned hc = std::thread::hardware_concurrency();
+        if (hc == 0)
+            hc = 1;
+        unsigned eff_jobs = jobs == 0 ? hc : jobs;  // -jobs=0: one/hw thread
+        if (static_cast<std::uint64_t>(eff_jobs) * workers > hc)
+            esd_fatal("-jobs=%u x -workers=%u = %llu threads "
+                      "oversubscribes this host (%u hardware threads); "
+                      "lower one of them",
+                      eff_jobs, workers,
+                      static_cast<unsigned long long>(eff_jobs) * workers,
+                      hc);
+    }
+
     SimConfig cfg;
     if (!config_file.empty())
         loadConfigFile(cfg, config_file);
@@ -134,6 +161,7 @@ main(int argc, char **argv)
             job.cfg = cfg;
             job.records = records;
             job.warmup = warmup;
+            job.pipelineWorkers = workers;
             grid.push_back(std::move(job));
         }
     }

@@ -64,6 +64,16 @@
  *   counts), `-persist-crash-phase=pre_barrier|mid_journal|post_data`
  *   where in the write it strikes; `-recovery-json=path` writes the
  *   machine-readable crash + recovery + pad-safety report.
+ *
+ * Sharded write pipeline:
+ *   `-workers=N` runs the simulation through the intra-simulation
+ *   sharded pipeline (exec/pipeline.hh): one shard simulator per
+ *   memory channel, driven by N worker threads joining at `[pipeline]`
+ *   epoch barriers. The stats report is byte-identical at any N
+ *   (including N=1), so -workers only buys wall-clock time. Per-write
+ *   observability exports (-trace-out, -spans-out, -metrics-out,
+ *   -latency-out, -profile, -recovery-json) are single-simulator
+ *   features and are rejected in pipeline mode.
  */
 
 #include <algorithm>
@@ -79,6 +89,7 @@
 #include "common/write_trace.hh"
 #include "core/run_report.hh"
 #include "core/simulator.hh"
+#include "exec/pipeline.hh"
 #include "metrics/report.hh"
 #include "persist/recovery.hh"
 #include "trace/trace_io.hh"
@@ -107,6 +118,7 @@ struct Options
     std::uint64_t records = 200000;
     std::uint64_t warmup = 40000;
     std::uint64_t seed = 1;
+    std::uint64_t workers = ~0ull;  ///< given at all = pipeline mode
     bool dumpConfig = false;
     bool profile = false;
     bool histBuckets = false;
@@ -206,7 +218,8 @@ usage()
     std::cerr
         << "usage: esd_sim -scheme=<0..5|name> [-ConfigFile=path]\n"
            "               (-InputFile=trace | -app=name)\n"
-           "               [-records=N] [-warmup=N] [-seed=N]\n"
+           "               [-records=N] [-warmup=N] [-seed=N] "
+           "[-workers=N]\n"
            "               [-latency-out=path] [-dump-config]\n"
            "               [-stats-json=path] [-stats-interval=N]\n"
            "               [-trace-out=path] [-trace-ring=N]\n"
@@ -256,6 +269,11 @@ parseArgs(int argc, char **argv)
             opt.warmup = parseU64("-warmup", value("-warmup="));
         } else if (arg.rfind("-seed=", 0) == 0) {
             opt.seed = parseU64("-seed", value("-seed="));
+        } else if (arg.rfind("-workers=", 0) == 0) {
+            opt.workers = parseU64("-workers", value("-workers="));
+            if (opt.workers < 1 || opt.workers > 256)
+                esd_fatal("-workers: %llu out of range [1, 256]",
+                          static_cast<unsigned long long>(opt.workers));
         } else if (arg.rfind("-latency-out=", 0) == 0) {
             opt.latencyOut = value("-latency-out=");
         } else if (arg.rfind("-stats-json=", 0) == 0) {
@@ -378,6 +396,142 @@ parseArgs(int argc, char **argv)
     return opt;
 }
 
+/**
+ * Pipeline-mode run: shard simulators + worker threads in place of the
+ * single Simulator, console summary from the merged result, stats-JSON
+ * via the pipeline report (per-shard fragments, worker-count-free).
+ */
+int
+runPipeline(const Options &opt, const SimConfig &cfg,
+            TraceSource &trace, std::uint64_t records,
+            std::uint64_t warmup)
+{
+    exec::ShardedPipeline pipe(cfg, opt.scheme,
+                               static_cast<unsigned>(opt.workers));
+    const RunResult &r = pipe.run(trace, records, warmup);
+
+    std::cout << "scheme: " << r.schemeName << "\n"
+              << "records: " << r.records << " (" << r.logicalWrites
+              << " writes, " << r.logicalReads << " reads)\n"
+              << "pipeline: shards=" << pipe.shardCount()
+              << " workers=" << pipe.workers()
+              << " epochs=" << pipe.epochsRun()
+              << " epoch_records=" << cfg.pipeline.epochRecords
+              << (pipe.dedupSuspendedGlobally()
+                      ? " dedup_suspended@" +
+                            std::to_string(pipe.suspendEpoch())
+                      : "")
+              << "\n";
+
+    TablePrinter t({"metric", "value"});
+    t.addRow({"write reduction", TablePrinter::pct(r.writeReduction())});
+    t.addRow({"NVMM writes (data/total)",
+              std::to_string(r.nvmDataWrites) + " / " +
+                  std::to_string(r.nvmWritesTotal)});
+    if (cfg.channels.count > 1 || cfg.channels.wpqCoalescing)
+        t.addRow({"channels (issued+coalesced)",
+                  std::to_string(cfg.channels.count) + " ch, " +
+                      std::to_string(r.nvmWritesTotal) + " + " +
+                      std::to_string(r.nvmWritesCoalesced) + " writes"});
+    t.addRow({"NVMM reads (total)", std::to_string(r.nvmReadsTotal)});
+    t.addRow({"write latency mean/p99",
+              TablePrinter::num(r.writeLatency.mean(), 1) + " / " +
+                  TablePrinter::num(r.writeLatency.percentile(99), 0) +
+                  " ns"});
+    t.addRow({"read latency mean/p99",
+              TablePrinter::num(r.readLatency.mean(), 1) + " / " +
+                  TablePrinter::num(r.readLatency.percentile(99), 0) +
+                  " ns"});
+    t.addRow({"IPC", TablePrinter::num(r.ipc, 3)});
+    t.addRow({"energy", TablePrinter::num(r.energy.total() / 1e6, 2) +
+                            " uJ"});
+    t.addRow({"metadata in NVMM",
+              TablePrinter::num(r.metadataNvmBytes / 1024.0, 1) + " KB"});
+    t.print();
+
+    if (cfg.ras.enabled) {
+        std::uint64_t corrected = 0, ues = 0, retired = 0, sdc = 0;
+        std::uint64_t blast = 0;
+        for (unsigned s = 0; s < pipe.shardCount(); ++s) {
+            const SchemeStats &ss = pipe.shard(s).scheme().stats();
+            const RasStats &rs = pipe.shard(s).scheme().ras().stats();
+            corrected += ss.eccCorrectedReads.value();
+            ues += rs.ueEvents.value();
+            retired += rs.linesRetired.value();
+            sdc += ss.sdcEvents.value();
+            blast += rs.blastRadiusRefs.value();
+        }
+        std::cout << "ras: corrected=" << corrected
+                  << " uncorrectable=" << ues << " retired=" << retired
+                  << " sdc=" << sdc << " blast_radius=" << blast
+                  << (pipe.dedupSuspendedGlobally() ? " dedup_suspended"
+                                                    : "")
+                  << "\n";
+    }
+
+    if (cfg.persist.enabled) {
+        std::uint64_t jrecords = 0, commits = 0, checkpoints = 0;
+        std::uint64_t barrier_ns = 0;
+        for (unsigned s = 0; s < pipe.shardCount(); ++s) {
+            const PersistStats &ps =
+                pipe.shard(s).persistence()->stats();
+            jrecords += ps.journalRecords.value();
+            commits += ps.epochCommits.value();
+            checkpoints += ps.checkpoints.value();
+            barrier_ns += ps.barrierNs.value();
+        }
+        std::cout << "persist: domain="
+                  << persistDomainName(cfg.persist.domain)
+                  << " records=" << jrecords << " commits=" << commits
+                  << " checkpoints=" << checkpoints
+                  << " barrier_ns=" << barrier_ns << "\n";
+
+        int cs = pipe.crashedShard();
+        if (cs >= 0) {
+            Simulator &sim = pipe.shard(static_cast<unsigned>(cs));
+            const PersistenceManager &pm = *sim.persistence();
+            const CrashImage &img = pm.image();
+            RecoveredState rec = recoverFromImage(
+                img, pm.config(), sim.scheme().crypto());
+            PadSafetyReport audit = auditPadSafety(rec, img);
+            std::cout << "crash: shard=" << cs
+                      << " write=" << img.crashWriteIndex
+                      << " phase=" << crashPhaseName(img.phase)
+                      << " surviving_lines=" << img.content.size()
+                      << " durable_records=" << img.records.size()
+                      << " torn=" << img.tornRecords << "\n"
+                      << "recovery: replayed="
+                      << rec.summary.recordsReplayed
+                      << " counters_repaired="
+                      << rec.summary.countersRepaired
+                      << " unresolved="
+                      << rec.summary.countersUnresolved
+                      << " mappings_invalidated="
+                      << rec.summary.mappingsInvalidated
+                      << " pad_violations=" << audit.violations
+                      << (rec.summary.ok ? " ok" : " NOT-OK") << "\n";
+        } else if (cfg.persist.crashAtWrite != 0) {
+            esd_fatal("the run ended before the injected crash point "
+                      "(crash_at_write=%llu)",
+                      static_cast<unsigned long long>(
+                          cfg.persist.crashAtWrite));
+        }
+    }
+
+    if (!opt.statsJson.empty()) {
+        std::ostringstream out;
+        pipe.writeReport(out, /*indent=*/2,
+                         opt.histBuckets ||
+                             cfg.telemetry.histogramBuckets);
+        if (!writeFileAtomic(opt.statsJson, out.str()))
+            esd_fatal("cannot write '%s'", opt.statsJson.c_str());
+        std::cout << "wrote pipeline stats report ("
+                  << pipe.shardCount() << " shards) to " << opt.statsJson
+                  << "\n";
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -462,6 +616,24 @@ main(int argc, char **argv)
     // Trace files are replayed to exhaustion unless -records caps them.
     std::uint64_t records = opt.inputFile.empty() ? opt.records : 0;
     std::uint64_t warmup = opt.inputFile.empty() ? opt.warmup : 0;
+
+    if (opt.workers != ~0ull) {
+        // Per-write observability exports attach to one Simulator's
+        // sinks; they have no deterministic merged form across shards.
+        if (!opt.traceOut.empty())
+            esd_fatal("-workers is incompatible with -trace-out=");
+        if (!opt.spansOut.empty())
+            esd_fatal("-workers is incompatible with -spans-out=");
+        if (!opt.metricsOut.empty())
+            esd_fatal("-workers is incompatible with -metrics-out=");
+        if (!opt.latencyOut.empty())
+            esd_fatal("-workers is incompatible with -latency-out=");
+        if (opt.profile)
+            esd_fatal("-workers is incompatible with -profile");
+        if (!opt.recoveryJson.empty())
+            esd_fatal("-workers is incompatible with -recovery-json=");
+        return runPipeline(opt, cfg, *trace, records, warmup);
+    }
 
     Simulator sim(cfg, opt.scheme);
 

@@ -1,0 +1,78 @@
+# Capture/replay byte-identity gate for the streaming trace frontend,
+# run as a ctest: for every scheme, a captured synthetic run must
+# replay to the byte-identical -stats-json= document — from the
+# original text capture, from an esd_tracecvt binary re-encoding, and
+# from a gzip re-encoding. Invoked as
+#
+#   cmake -DESD_SIM=<path> -DESD_TRACECVT=<path> -DWORK_DIR=<dir> \
+#         -P check_capture_replay.cmake
+#
+# Any byte of divergence (or any non-zero run) is a FATAL_ERROR.
+
+if(NOT DEFINED ESD_SIM OR NOT DEFINED ESD_TRACECVT
+   OR NOT DEFINED WORK_DIR)
+    message(FATAL_ERROR "need -DESD_SIM=, -DESD_TRACECVT=, -DWORK_DIR=")
+endif()
+
+set(records 6000)
+set(warmup 1000)
+
+foreach(scheme RANGE 0 5)
+    set(cap "${WORK_DIR}/capture_s${scheme}.trace")
+    set(ref "${WORK_DIR}/capture_s${scheme}_ref.json")
+
+    execute_process(
+        COMMAND "${ESD_SIM}" -scheme=${scheme} -app=mcf
+                -records=${records} -warmup=${warmup}
+                -capture-out=${cap} -stats-json=${ref}
+        RESULT_VARIABLE rc OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+                "scheme ${scheme}: capture run failed (rc=${rc})")
+    endif()
+
+    # Re-encode the capture through the converter: text is the capture
+    # default, binary and gzip exercise the other decoders.
+    set(bin "${WORK_DIR}/capture_s${scheme}.bin")
+    set(gz "${WORK_DIR}/capture_s${scheme}.gz")
+    execute_process(
+        COMMAND "${ESD_TRACECVT}" -in=${cap} -out=${bin} -format=binary
+        RESULT_VARIABLE rc OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+                "scheme ${scheme}: binary conversion failed (rc=${rc})")
+    endif()
+    execute_process(
+        COMMAND "${ESD_TRACECVT}" -in=${bin} -out=${gz} -format=gzip
+        RESULT_VARIABLE rc OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+                "scheme ${scheme}: gzip conversion failed (rc=${rc})")
+    endif()
+
+    foreach(replay ${cap} ${bin} ${gz})
+        set(got "${WORK_DIR}/capture_s${scheme}_replay.json")
+        execute_process(
+            COMMAND "${ESD_SIM}" -scheme=${scheme} -trace-in=${replay}
+                    -warmup=${warmup} -stats-json=${got}
+            RESULT_VARIABLE rc OUTPUT_QUIET)
+        if(NOT rc EQUAL 0)
+            message(FATAL_ERROR
+                    "scheme ${scheme}: replay of ${replay} failed "
+                    "(rc=${rc})")
+        endif()
+        execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                                "${ref}" "${got}"
+                        RESULT_VARIABLE same)
+        if(NOT same EQUAL 0)
+            message(FATAL_ERROR
+                    "scheme ${scheme}: replay of ${replay} diverges "
+                    "from the captured run (${ref} vs ${got})")
+        endif()
+    endforeach()
+    message(STATUS
+            "scheme ${scheme}: capture replays byte-identically "
+            "(text, binary, gzip)")
+endforeach()
+
+message(STATUS "capture/replay gate: all schemes byte-identical")

@@ -16,6 +16,8 @@ Metric extraction understands the two bench JSON shapes:
   bench_pipeline_scaling: {"scaling": [{"workers": N,
                                         "writes_per_s": W,
                                         "speedup": X}]}
+  bench_trace_ingest:   {"formats": [{"format": F,
+                                      "records_per_s": R}]}
 
 plus a generic fallback: any top-level numeric field ending in
 "_per_s".
@@ -56,6 +58,11 @@ def extract_metrics(doc):
             metrics[f"{label}.writes_per_s"] = entry["writes_per_s"]
         if "speedup" in entry:
             metrics[f"{label}.speedup"] = entry["speedup"]
+    for entry in doc.get("formats", []):
+        name = entry.get("format")
+        if name is not None and "records_per_s" in entry:
+            metrics[f"format[{name}].records_per_s"] = \
+                entry["records_per_s"]
     for key, value in doc.items():
         if key.endswith("_per_s") and isinstance(value, (int, float)):
             metrics[key] = value
@@ -102,6 +109,7 @@ def self_test():
         "scaling": [{"jobs": 4, "writes_per_s": 4000.0, "speedup": 3.5},
                     {"workers": 2, "writes_per_s": 1800.0,
                      "speedup": 1.8}],
+        "formats": [{"format": "binary", "records_per_s": 9e6}],
     }
     bm = extract_metrics(base)
     assert bm == {
@@ -112,6 +120,7 @@ def self_test():
         "jobs[4].speedup": 3.5,
         "workers[2].writes_per_s": 1800.0,
         "workers[2].speedup": 1.8,
+        "format[binary].records_per_s": 9e6,
     }, bm
 
     # Identical run passes.

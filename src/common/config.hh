@@ -379,6 +379,39 @@ struct PipelineConfig
     std::uint64_t sampleEpochs = 0;
 };
 
+/** On-disk trace format ([trace] format key). `Auto` sniffs the input
+ * file's first bytes (0x1f 0x8b = gzip, "ESDT" = binary, else text)
+ * and means text on the capture side. */
+enum class TraceFormat
+{
+    Auto,
+    Text,
+    Gzip,
+    Binary,
+};
+
+/**
+ * Trace frontend / capture parameters ([trace] section).
+ *
+ * Host-side ingest plumbing only: like [telemetry] and [pipeline],
+ * nothing here changes simulated results (a trace replays identically
+ * at any read_ahead), so the section is rendered by -dump-config but
+ * never serialized into run reports.
+ */
+struct TraceConfig
+{
+    /** Capture-side format; input always sniffs the file content. */
+    TraceFormat format = TraceFormat::Auto;
+
+    /** Capture 64 B write payloads (true) or address-only records
+     * whose content is re-synthesized deterministically on replay. */
+    bool linePayload = true;
+
+    /** Decoded-record read-ahead bound: the streaming frontend never
+     * buffers more than this many records ([1, 1M]). */
+    std::uint64_t readAhead = 4096;
+};
+
 /** Core timing model: in-order, 1 IPC peak, stalling on LLC misses and
  * on memory-controller write-queue backpressure. */
 struct CoreConfig
@@ -403,6 +436,7 @@ struct SimConfig
     PipelineConfig pipeline;
     CoreConfig core;
     TelemetryConfig telemetry;
+    TraceConfig trace;
 
     /** Master random seed for any stochastic machinery. */
     std::uint64_t seed = 1;

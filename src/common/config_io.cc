@@ -150,6 +150,34 @@ parseCrashPhase(const std::string &key, const std::string &v)
               key.c_str(), v.c_str());
 }
 
+const char *
+traceFormatName(TraceFormat f)
+{
+    switch (f) {
+      case TraceFormat::Auto: return "auto";
+      case TraceFormat::Text: return "text";
+      case TraceFormat::Gzip: return "gzip";
+      case TraceFormat::Binary: return "binary";
+    }
+    esd_panic("unreachable trace format %d", static_cast<int>(f));
+}
+
+TraceFormat
+parseTraceFormat(const std::string &key, const std::string &v)
+{
+    if (v == "auto")
+        return TraceFormat::Auto;
+    if (v == "text")
+        return TraceFormat::Text;
+    if (v == "gzip")
+        return TraceFormat::Gzip;
+    if (v == "binary")
+        return TraceFormat::Binary;
+    esd_fatal("config key '%s': '%s' is not a trace format (expected "
+              "auto, text, gzip, or binary)",
+              key.c_str(), v.c_str());
+}
+
 bool
 applyConfigKey(SimConfig &cfg, const std::string &key,
                const std::string &value)
@@ -303,6 +331,14 @@ applyConfigKey(SimConfig &cfg, const std::string &key,
     } else if (k == "persistence.crash_phase") {
         cfg.persist.crashPhase = parseCrashPhase(k, v);
     }
+    // Trace frontend / capture.
+    else if (k == "trace.format") {
+        cfg.trace.format = parseTraceFormat(k, v);
+    } else if (k == "trace.line_payload") {
+        cfg.trace.linePayload = asBool(k, v);
+    } else if (k == "trace.read_ahead") {
+        cfg.trace.readAhead = asU64In(k, v, 1, 1u << 20);
+    }
     // Sharded write pipeline.
     else if (k == "pipeline.epoch_records") {
         cfg.pipeline.epochRecords = asU64In(k, v, 1, 1u << 20);
@@ -447,6 +483,10 @@ renderConfig(const SimConfig &cfg)
        << "\n"
        << "persistence.crash_phase = "
        << crashPhaseName(cfg.persist.crashPhase) << "\n"
+       << "trace.format = " << traceFormatName(cfg.trace.format) << "\n"
+       << "trace.line_payload = "
+       << (cfg.trace.linePayload ? "true" : "false") << "\n"
+       << "trace.read_ahead = " << cfg.trace.readAhead << "\n"
        << "pipeline.epoch_records = " << cfg.pipeline.epochRecords
        << "\n"
        << "pipeline.queue_epochs = " << cfg.pipeline.queueEpochs << "\n"

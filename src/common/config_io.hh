@@ -55,6 +55,13 @@ PersistDomain parsePersistDomain(const std::string &key,
 /** Parse a crash-phase name; fatal on anything else. */
 CrashPhase parseCrashPhase(const std::string &key, const std::string &v);
 
+/** Config-file spelling of a trace format ("auto"/"text"/...). */
+const char *traceFormatName(TraceFormat f);
+
+/** Parse a trace-format name; fatal on anything else. */
+TraceFormat parseTraceFormat(const std::string &key,
+                             const std::string &v);
+
 } // namespace esd
 
 #endif // ESD_COMMON_CONFIG_IO_HH

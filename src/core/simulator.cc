@@ -1,5 +1,7 @@
 #include "core/simulator.hh"
 
+#include <vector>
+
 #include "common/logging.hh"
 #include "dedup/dewrite.hh"
 #include "dedup/dedup_sha1.hh"
@@ -190,11 +192,23 @@ Simulator::run(TraceSource &trace, std::uint64_t records,
 {
     beginRun();
 
-    TraceRecord rec;
+    // Pull in batches (TraceSource::nextBatch): streaming sources pay
+    // one virtual call per buffer instead of per record, and the
+    // record sequence is identical to one-at-a-time consumption.
+    constexpr std::size_t kRunChunk = 1024;
+    std::vector<TraceRecord> chunk(kRunChunk);
     std::uint64_t processed = 0;
-    while ((records == 0 || processed < records) && trace.next(rec)) {
-        stepRecord(rec, processed >= warmup);
-        ++processed;
+    while (records == 0 || processed < records) {
+        std::size_t want = kRunChunk;
+        if (records != 0 && records - processed < want)
+            want = static_cast<std::size_t>(records - processed);
+        std::size_t got = trace.nextBatch(chunk.data(), want);
+        if (got == 0)
+            break;
+        for (std::size_t i = 0; i < got; ++i) {
+            stepRecord(chunk[i], processed >= warmup);
+            ++processed;
+        }
     }
 
     if (warmup > 0 && !measuring_)

@@ -273,29 +273,42 @@ ShardedPipeline::run(TraceSource &trace, std::uint64_t records,
     // Demux: the reader thread is the only consumer of the trace, so
     // record order — and with it every shard's input stream, the
     // global warmup boundary, and the global crash index — is
-    // identical at any worker count.
+    // identical at any worker count. Records are pulled in batches
+    // (TraceSource::nextBatch) so streaming sources pay one virtual
+    // call per buffer, not per record; the consumed sequence is the
+    // same either way.
     const std::uint64_t crash_at =
         cfg_.persist.enabled ? cfg_.persist.crashAtWrite : 0;
     const std::uint64_t epoch_records = cfg_.pipeline.epochRecords;
     std::vector<std::vector<Item>> pending(shardCount_);
-    TraceRecord rec;
+    constexpr std::size_t kDemuxChunk = 1024;
+    std::vector<TraceRecord> chunk(kDemuxChunk);
     std::uint64_t processed = 0;
     std::uint64_t writes_seen = 0;
     std::uint64_t in_epoch = 0;
-    while ((records == 0 || processed < records) && trace.next(rec)) {
-        Item it;
-        it.rec = rec;
-        it.measured = processed >= warmup;
-        if (rec.op == OpType::Write) {
-            ++writes_seen;
-            it.armCrash = crash_at != 0 && writes_seen == crash_at;
-        }
-        pending[lineIndex(rec.addr) % shardCount_].push_back(
-            std::move(it));
-        ++processed;
-        if (++in_epoch == epoch_records) {
-            flushEpoch(pending, /*final=*/false);
-            in_epoch = 0;
+    while (records == 0 || processed < records) {
+        std::size_t want = kDemuxChunk;
+        if (records != 0 && records - processed < want)
+            want = static_cast<std::size_t>(records - processed);
+        std::size_t got = trace.nextBatch(chunk.data(), want);
+        if (got == 0)
+            break;
+        for (std::size_t i = 0; i < got; ++i) {
+            const TraceRecord &rec = chunk[i];
+            Item it;
+            it.rec = rec;
+            it.measured = processed >= warmup;
+            if (rec.op == OpType::Write) {
+                ++writes_seen;
+                it.armCrash = crash_at != 0 && writes_seen == crash_at;
+            }
+            pending[lineIndex(rec.addr) % shardCount_].push_back(
+                std::move(it));
+            ++processed;
+            if (++in_epoch == epoch_records) {
+                flushEpoch(pending, /*final=*/false);
+                in_epoch = 0;
+            }
         }
     }
     flushEpoch(pending, /*final=*/true);

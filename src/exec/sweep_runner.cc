@@ -12,6 +12,7 @@
 #include "core/run_report.hh"
 #include "exec/pipeline.hh"
 #include "persist/recovery.hh"
+#include "trace/trace_frontend.hh"
 #include "trace/workloads.hh"
 
 namespace esd::exec
@@ -26,6 +27,10 @@ writeJobIdentity(JsonWriter &w, const SweepJob &job, std::size_t index)
 {
     w.kv("index", static_cast<std::uint64_t>(index));
     w.kv("app", job.app);
+    // Only trace-replay jobs carry the key: synthetic sweeps keep
+    // their pre-frontend report schema byte-for-byte.
+    if (!job.traceFile.empty())
+        w.kv("trace", job.traceFile);
     w.kv("scheme", schemeName(job.scheme));
     w.kv("scheme_kind", static_cast<int>(job.scheme));
     w.kv("records", job.records);
@@ -74,7 +79,14 @@ runOneJob(const SweepJob &job, std::size_t index)
 
     SweepOutcome out;
     try {
-        SyntheticWorkload trace(findApp(job.app), job.cfg.seed);
+        std::unique_ptr<TraceSource> trace_owner;
+        if (!job.traceFile.empty())
+            trace_owner = std::make_unique<TraceFrontend>(
+                job.traceFile, job.cfg.trace);
+        else
+            trace_owner = std::make_unique<SyntheticWorkload>(
+                findApp(job.app), job.cfg.seed);
+        TraceSource &trace = *trace_owner;
         std::string rep_str;
         if (job.pipelineWorkers >= 1) {
             // Sharded intra-simulation pipeline: the job still owns

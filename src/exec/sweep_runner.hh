@@ -43,6 +43,11 @@ struct SweepJob
     std::uint64_t records = 0;
     std::uint64_t warmup = 0;
 
+    /** On-disk trace to replay through the streaming frontend instead
+     * of generating `app` synthetically (esd_batch -trace-in=). Each
+     * job opens its own frontend, so jobs stay shared-nothing. */
+    std::string traceFile;
+
     /** Intra-simulation pipeline threads (exec/pipeline.hh). 0 keeps
      * the classic single-Simulator path; >= 1 runs the job through a
      * ShardedPipeline, whose report fragment uses the pipeline schema

@@ -45,6 +45,23 @@ class TraceSource
      */
     virtual bool next(TraceRecord &rec) = 0;
 
+    /**
+     * Produce up to @p max records into @p out; returns the number
+     * produced (0 = exhausted). Consumers that drain whole batches —
+     * the sharded-pipeline demux, Simulator::run — use this so
+     * streaming sources pay one virtual call per buffer instead of per
+     * record. The default forwards to next(), so batched and
+     * record-at-a-time consumption see the identical record sequence.
+     */
+    virtual std::size_t
+    nextBatch(TraceRecord *out, std::size_t max)
+    {
+        std::size_t n = 0;
+        while (n < max && next(out[n]))
+            ++n;
+        return n;
+    }
+
     /** Restart from the beginning when supported; default no-op. */
     virtual void reset() {}
 };

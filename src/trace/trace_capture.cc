@@ -1,0 +1,251 @@
+#include "trace/trace_capture.hh"
+
+#include <cstring>
+
+#include <zlib.h>
+
+#include "common/logging.hh"
+#include "trace/trace_frontend.hh"
+
+namespace esd
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'E', 'S', 'D', 'T'};
+
+/** Uncompressed-side window the gzip deflater writes through. */
+constexpr std::size_t kGzipOutChunk = 64 * 1024;
+
+void
+storeLe64(std::uint8_t *p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void
+storeLe32(std::uint8_t *p, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+} // namespace
+
+namespace detail
+{
+
+FileByteSink::FileByteSink(const std::string &path) : ByteSink(path)
+{
+    f_ = std::fopen(path.c_str(), "wb");
+    if (!f_)
+        esd_fatal("cannot open trace file '%s' for writing",
+                  path.c_str());
+}
+
+FileByteSink::~FileByteSink()
+{
+    if (f_)
+        std::fclose(f_);
+}
+
+void
+FileByteSink::write(const std::uint8_t *data, std::size_t n)
+{
+    if (std::fwrite(data, 1, n, f_) != n)
+        esd_fatal("write error on trace file '%s'", path_.c_str());
+}
+
+void
+FileByteSink::finish()
+{
+    if (std::fflush(f_) != 0)
+        esd_fatal("write error on trace file '%s'", path_.c_str());
+}
+
+struct GzipByteSink::ZState
+{
+    z_stream strm{};
+    std::uint8_t out[kGzipOutChunk];
+};
+
+GzipByteSink::GzipByteSink(std::unique_ptr<ByteSink> inner)
+    : ByteSink(inner->path()), inner_(std::move(inner)),
+      z_(std::make_unique<ZState>())
+{
+    // 15 window bits + 16 = emit a gzip wrapper (what the frontend's
+    // sniffer expects).
+    if (deflateInit2(&z_->strm, Z_DEFAULT_COMPRESSION, Z_DEFLATED,
+                     15 + 16, 8, Z_DEFAULT_STRATEGY) != Z_OK)
+        esd_fatal("cannot initialize gzip deflater for '%s'",
+                  path_.c_str());
+}
+
+GzipByteSink::~GzipByteSink()
+{
+    deflateEnd(&z_->strm);
+}
+
+void
+GzipByteSink::pump(bool finishing)
+{
+    z_stream &s = z_->strm;
+    do {
+        s.next_out = z_->out;
+        s.avail_out = static_cast<uInt>(kGzipOutChunk);
+        int rc = deflate(&s, finishing ? Z_FINISH : Z_NO_FLUSH);
+        if (rc == Z_STREAM_ERROR)
+            esd_panic("deflate state clobbered for '%s'",
+                      path_.c_str());
+        std::size_t produced = kGzipOutChunk - s.avail_out;
+        if (produced > 0)
+            inner_->write(z_->out, produced);
+        if (finishing && rc == Z_STREAM_END)
+            break;
+    } while (s.avail_out == 0 || (finishing && s.avail_in > 0) ||
+             finishing);
+}
+
+void
+GzipByteSink::write(const std::uint8_t *data, std::size_t n)
+{
+    z_->strm.next_in = const_cast<std::uint8_t *>(data);
+    z_->strm.avail_in = static_cast<uInt>(n);
+    while (z_->strm.avail_in > 0)
+        pump(false);
+}
+
+void
+GzipByteSink::finish()
+{
+    z_->strm.next_in = nullptr;
+    z_->strm.avail_in = 0;
+    pump(true);
+    inner_->finish();
+}
+
+} // namespace detail
+
+TraceCaptureWriter::TraceCaptureWriter(const std::string &path,
+                                       const TraceConfig &cfg)
+    : cfg_(cfg)
+{
+    auto file = std::make_unique<detail::FileByteSink>(path);
+    switch (cfg_.format) {
+      case TraceFormat::Gzip:
+        out_ = std::make_unique<detail::GzipByteSink>(std::move(file));
+        binary_ = false;
+        break;
+      case TraceFormat::Binary:
+        out_ = std::move(file);
+        binary_ = true;
+        break;
+      case TraceFormat::Auto:
+      case TraceFormat::Text:
+        out_ = std::move(file);
+        binary_ = false;
+        break;
+    }
+    if (binary_) {
+        std::uint8_t hdr[8];
+        std::memcpy(hdr, kMagic, 4);
+        hdr[4] = kBinaryTraceVersion;
+        hdr[5] = cfg_.linePayload ? 1 : 0;
+        hdr[6] = 0;
+        hdr[7] = 0;
+        out_->write(hdr, 8);
+    } else {
+        static const char banner[] =
+            "# ESD text trace: <W|R> <hex addr> [<128 hex data>] "
+            "<icount>\n";
+        out_->write(reinterpret_cast<const std::uint8_t *>(banner),
+                    sizeof(banner) - 1);
+    }
+}
+
+TraceCaptureWriter::~TraceCaptureWriter()
+{
+    close();
+}
+
+void
+TraceCaptureWriter::close()
+{
+    if (closed_)
+        return;
+    closed_ = true;
+    out_->finish();
+}
+
+void
+TraceCaptureWriter::write(const TraceRecord &rec)
+{
+    esd_assert(!closed_, "write after close on trace capture");
+    if (binary_)
+        writeBinary(rec);
+    else
+        writeText(rec);
+    ++count_;
+}
+
+void
+TraceCaptureWriter::writeText(const TraceRecord &rec)
+{
+    static const char *hex = "0123456789abcdef";
+    char buf[kLineSize * 2 + 48];
+    std::size_t n = 0;
+    buf[n++] = rec.op == OpType::Write ? 'W' : 'R';
+    buf[n++] = ' ';
+    n += static_cast<std::size_t>(
+        std::snprintf(buf + n, sizeof(buf) - n, "%llx",
+                      static_cast<unsigned long long>(rec.addr)));
+    buf[n++] = ' ';
+    if (rec.op == OpType::Write && cfg_.linePayload) {
+        for (std::size_t i = 0; i < kLineSize; ++i) {
+            buf[n++] = hex[rec.data[i] >> 4];
+            buf[n++] = hex[rec.data[i] & 0xf];
+        }
+        buf[n++] = ' ';
+    }
+    n += static_cast<std::size_t>(
+        std::snprintf(buf + n, sizeof(buf) - n, "%u\n", rec.icount));
+    out_->write(reinterpret_cast<const std::uint8_t *>(buf), n);
+}
+
+void
+TraceCaptureWriter::writeBinary(const TraceRecord &rec)
+{
+    bool payload = rec.op == OpType::Write && cfg_.linePayload;
+    std::uint8_t buf[1 + kBinaryRecordPayload];
+    std::size_t len =
+        payload ? kBinaryRecordPayload : kBinaryRecordNoPayload;
+    buf[0] = static_cast<std::uint8_t>(len);
+    buf[1] = rec.op == OpType::Write ? 1 : 0;
+    storeLe64(buf + 2, rec.addr);
+    storeLe32(buf + 10, rec.icount);
+    if (payload)
+        std::memcpy(buf + 1 + kBinaryRecordNoPayload, rec.data.data(),
+                    kLineSize);
+    out_->write(buf, 1 + len);
+}
+
+std::uint64_t
+convertTrace(const std::string &inPath, const std::string &outPath,
+             TraceFormat outFormat, bool linePayload)
+{
+    TraceConfig inCfg;
+    TraceFrontend in(inPath, inCfg);
+    TraceConfig outCfg;
+    outCfg.format = outFormat;
+    outCfg.linePayload = linePayload;
+    TraceCaptureWriter out(outPath, outCfg);
+    TraceRecord rec;
+    while (in.next(rec))
+        out.write(rec);
+    out.close();
+    return out.count();
+}
+
+} // namespace esd

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Trace capture: re-export any run's request stream to disk.
+ *
+ * TraceCaptureWriter encodes TraceRecords into any of the three
+ * frontend formats (text, gzip-compressed text, binary v2);
+ * CapturingSource tees an arbitrary TraceSource through a writer so
+ * `esd_sim -capture-out=` records exactly the stream the simulator
+ * consumed — replaying the file reproduces the run bit-identically
+ * (tests/test_trace_frontend.cc pins stats-JSON byte identity).
+ * convertTrace() is the esd_tracecvt engine: stream records from any
+ * readable format into any writable one, constant memory.
+ */
+
+#ifndef ESD_TRACE_TRACE_CAPTURE_HH
+#define ESD_TRACE_TRACE_CAPTURE_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/config.hh"
+#include "trace/trace.hh"
+
+namespace esd
+{
+
+namespace detail
+{
+
+/** Push-based byte sink mirroring ByteStream. */
+class ByteSink
+{
+  public:
+    virtual ~ByteSink() = default;
+
+    /** Append @p n bytes; fatal on any write error. */
+    virtual void write(const std::uint8_t *data, std::size_t n) = 0;
+
+    /** Flush buffered state to the medium (gzip: finish the member).
+     * Must be called exactly once, before destruction. */
+    virtual void finish() = 0;
+
+    const std::string &path() const { return path_; }
+
+  protected:
+    explicit ByteSink(std::string path) : path_(std::move(path)) {}
+
+    std::string path_;
+};
+
+/** Plain file bytes. */
+class FileByteSink : public ByteSink
+{
+  public:
+    explicit FileByteSink(const std::string &path);
+    ~FileByteSink() override;
+
+    void write(const std::uint8_t *data, std::size_t n) override;
+    void finish() override;
+
+  private:
+    std::FILE *f_ = nullptr;
+};
+
+/** Gzip-deflating wrapper (fixed compression window). */
+class GzipByteSink : public ByteSink
+{
+  public:
+    explicit GzipByteSink(std::unique_ptr<ByteSink> inner);
+    ~GzipByteSink() override;
+
+    void write(const std::uint8_t *data, std::size_t n) override;
+    void finish() override;
+
+  private:
+    struct ZState;
+    void pump(bool finishing);
+
+    std::unique_ptr<ByteSink> inner_;
+    std::unique_ptr<ZState> z_;
+};
+
+} // namespace detail
+
+/**
+ * Streaming trace encoder (`esd_sim -capture-out=`, esd_tracecvt).
+ *
+ * Format Auto means text. Gzip compresses the text encoding (the
+ * frontend sniffs inside the inflated stream, so gzip'd binary also
+ * replays — convertTrace can produce it by composing explicitly).
+ * With cfg.linePayload false, write records are emitted address-only
+ * and replay re-synthesizes content deterministically.
+ */
+class TraceCaptureWriter
+{
+  public:
+    TraceCaptureWriter(const std::string &path, const TraceConfig &cfg);
+    ~TraceCaptureWriter();
+
+    void write(const TraceRecord &rec);
+
+    /** Finalize the file (flush, gzip trailer). Idempotent; the
+     * destructor calls it when forgotten. */
+    void close();
+
+    std::uint64_t count() const { return count_; }
+
+  private:
+    void writeText(const TraceRecord &rec);
+    void writeBinary(const TraceRecord &rec);
+
+    TraceConfig cfg_;
+    std::unique_ptr<detail::ByteSink> out_;
+    bool binary_ = false;
+    bool closed_ = false;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * Tee: pulls from @p inner and mirrors every record into @p writer.
+ * The pipeline demux and Simulator::run both consume through
+ * nextBatch, so the tee forwards batches too — capture order is
+ * exactly consumption order at any worker count.
+ */
+class CapturingSource : public TraceSource
+{
+  public:
+    CapturingSource(TraceSource &inner, TraceCaptureWriter &writer)
+        : inner_(inner), writer_(writer)
+    {
+    }
+
+    bool
+    next(TraceRecord &rec) override
+    {
+        if (!inner_.next(rec))
+            return false;
+        writer_.write(rec);
+        return true;
+    }
+
+    std::size_t
+    nextBatch(TraceRecord *out, std::size_t max) override
+    {
+        std::size_t n = inner_.nextBatch(out, max);
+        for (std::size_t i = 0; i < n; ++i)
+            writer_.write(out[i]);
+        return n;
+    }
+
+    void reset() override { inner_.reset(); }
+
+  private:
+    TraceSource &inner_;
+    TraceCaptureWriter &writer_;
+};
+
+/**
+ * Stream @p inPath into @p outPath re-encoded as @p outFormat
+ * (Auto = text). Constant memory at any trace length.
+ * @return records converted.
+ */
+std::uint64_t convertTrace(const std::string &inPath,
+                           const std::string &outPath,
+                           TraceFormat outFormat, bool linePayload);
+
+} // namespace esd
+
+#endif // ESD_TRACE_TRACE_CAPTURE_HH

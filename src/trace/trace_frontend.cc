@@ -1,0 +1,567 @@
+#include "trace/trace_frontend.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include <zlib.h>
+
+#include "common/logging.hh"
+
+namespace esd
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'E', 'S', 'D', 'T'};
+
+/** Compressed-side window the gzip inflater reads through. */
+constexpr std::size_t kGzipChunk = 64 * 1024;
+
+/** Raw-byte window the text line scanner reads through. */
+constexpr std::size_t kTextChunk = 16 * 1024;
+
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+int
+hexVal(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+std::uint64_t
+loadLe64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+std::uint32_t
+loadLe32(const std::uint8_t *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+bool
+isOpToken(const std::string &tok)
+{
+    return tok.size() == 1 &&
+           (tok[0] == 'W' || tok[0] == 'w' || tok[0] == 'R' ||
+            tok[0] == 'r');
+}
+
+} // namespace
+
+TraceFormat
+detectTraceFormat(const std::string &path)
+{
+    detail::FileByteStream in(path);
+    std::uint8_t head[4];
+    std::size_t got = in.read(head, 4);
+    if (got >= 2 && head[0] == 0x1f && head[1] == 0x8b)
+        return TraceFormat::Gzip;
+    if (got == 4 && std::memcmp(head, kMagic, 4) == 0)
+        return TraceFormat::Binary;
+    return TraceFormat::Text;
+}
+
+CacheLine
+synthesizeLineContent(Addr addr, std::uint64_t windex)
+{
+    CacheLine line;
+    std::uint64_t state = splitmix64(splitmix64(addr) ^ windex);
+    for (std::size_t w = 0; w < kWordsPerLine; ++w) {
+        state = splitmix64(state);
+        line.setWord(w, state);
+    }
+    return line;
+}
+
+namespace detail
+{
+
+std::size_t
+ByteStream::read(std::uint8_t *out, std::size_t n)
+{
+    std::size_t served = 0;
+    if (!pushback_.empty()) {
+        served = std::min(n, pushback_.size());
+        std::memcpy(out, pushback_.data(), served);
+        pushback_.erase(pushback_.begin(),
+                        pushback_.begin() + static_cast<long>(served));
+    }
+    while (served < n) {
+        std::size_t got = fill(out + served, n - served);
+        if (got == 0)
+            break;
+        served += got;
+    }
+    return served;
+}
+
+bool
+ByteStream::readExact(std::uint8_t *out, std::size_t n, const char *what)
+{
+    std::size_t got = read(out, n);
+    if (got == 0)
+        return false;
+    if (got < n)
+        esd_fatal("'%s': truncated %s (wanted %zu bytes, got %zu)",
+                  path_.c_str(), what, n, got);
+    return true;
+}
+
+void
+ByteStream::unread(const std::uint8_t *data, std::size_t n)
+{
+    pushback_.insert(pushback_.begin(), data, data + n);
+}
+
+FileByteStream::FileByteStream(const std::string &path) : ByteStream(path)
+{
+    f_ = std::fopen(path.c_str(), "rb");
+    if (!f_)
+        esd_fatal("cannot open trace file '%s'", path.c_str());
+}
+
+FileByteStream::~FileByteStream()
+{
+    if (f_)
+        std::fclose(f_);
+}
+
+std::size_t
+FileByteStream::fill(std::uint8_t *out, std::size_t n)
+{
+    std::size_t got = std::fread(out, 1, n, f_);
+    if (got < n && std::ferror(f_))
+        esd_fatal("read error on trace file '%s'", path_.c_str());
+    return got;
+}
+
+struct GzipByteStream::ZState
+{
+    z_stream strm{};
+    std::uint8_t in[kGzipChunk];
+    bool innerEof = false;
+    bool finished = false;
+};
+
+GzipByteStream::GzipByteStream(std::unique_ptr<ByteStream> inner)
+    : ByteStream(inner->path()), inner_(std::move(inner)),
+      z_(std::make_unique<ZState>())
+{
+    // 15 window bits + 16 = gzip wrapper only (the sniffer saw the
+    // 0x1f 0x8b gzip magic before routing here).
+    if (inflateInit2(&z_->strm, 15 + 16) != Z_OK)
+        esd_fatal("cannot initialize gzip inflater for '%s'",
+                  path_.c_str());
+}
+
+GzipByteStream::~GzipByteStream()
+{
+    inflateEnd(&z_->strm);
+}
+
+std::size_t
+GzipByteStream::fill(std::uint8_t *out, std::size_t n)
+{
+    if (z_->finished)
+        return 0;
+    z_stream &s = z_->strm;
+    s.next_out = out;
+    s.avail_out = static_cast<uInt>(n);
+    while (s.avail_out > 0) {
+        if (s.avail_in == 0 && !z_->innerEof) {
+            std::size_t got = inner_->read(z_->in, kGzipChunk);
+            s.next_in = z_->in;
+            s.avail_in = static_cast<uInt>(got);
+            if (got == 0)
+                z_->innerEof = true;
+        }
+        uInt before = s.avail_out;
+        int rc = inflate(&s, Z_NO_FLUSH);
+        if (rc == Z_STREAM_END) {
+            // A concatenated member would start here; single-member
+            // streams are what the capture side writes. Trailing
+            // garbage after the member is a corruption signal.
+            if (s.avail_in > 0 || inner_->read(z_->in, 1) > 0)
+                esd_fatal("'%s': trailing bytes after gzip stream",
+                          path_.c_str());
+            z_->finished = true;
+            break;
+        }
+        if (rc != Z_OK && rc != Z_BUF_ERROR)
+            esd_fatal("'%s': corrupt gzip stream (%s)", path_.c_str(),
+                      s.msg ? s.msg : zError(rc));
+        if (s.avail_out == before && z_->innerEof)
+            esd_fatal("'%s': gzip stream ends mid-member (truncated?)",
+                      path_.c_str());
+    }
+    return n - s.avail_out;
+}
+
+} // namespace detail
+
+TraceFrontend::TraceFrontend(const std::string &path,
+                             const TraceConfig &cfg)
+    : path_(path), cfg_(cfg)
+{
+    if (cfg_.readAhead == 0)
+        cfg_.readAhead = 1;
+    open();
+}
+
+TraceFrontend::~TraceFrontend() = default;
+
+void
+TraceFrontend::open()
+{
+    in_ = std::make_unique<detail::FileByteStream>(path_);
+    format_ = TraceFormat::Text;
+
+    std::uint8_t head[2];
+    std::size_t got = in_->read(head, 2);
+    if (got == 2 && head[0] == 0x1f && head[1] == 0x8b) {
+        in_->unread(head, 2);
+        in_ = std::make_unique<detail::GzipByteStream>(std::move(in_));
+        format_ = TraceFormat::Gzip;
+    } else {
+        in_->unread(head, got);
+    }
+
+    // Sniff the (possibly inflated) record stream for the binary magic.
+    std::uint8_t magic[4];
+    got = in_->read(magic, 4);
+    binary_ = got == 4 && std::memcmp(magic, kMagic, 4) == 0;
+    if (!binary_) {
+        in_->unread(magic, got);
+        if (format_ == TraceFormat::Text)
+            format_ = TraceFormat::Text;
+        return;
+    }
+    if (format_ != TraceFormat::Gzip)
+        format_ = TraceFormat::Binary;
+
+    // Version byte. Legacy v1 streams have no header: the byte after
+    // the magic is the first record's op (0 or 1), which no versioned
+    // header ever uses as its version.
+    std::uint8_t ver;
+    got = in_->read(&ver, 1);
+    if (got == 0) {
+        binVersion_ = 1;  // empty legacy trace: magic then EOF
+        return;
+    }
+    if (ver <= 1) {
+        in_->unread(&ver, 1);
+        binVersion_ = 1;
+        return;
+    }
+    if (ver > kBinaryTraceVersion)
+        esd_fatal("'%s': unsupported trace version %u (this build reads "
+                  "<= %u)", path_.c_str(), static_cast<unsigned>(ver),
+                  static_cast<unsigned>(kBinaryTraceVersion));
+    binVersion_ = ver;
+    std::uint8_t rest[3];  // flags u8 + reserved u16
+    if (!in_->readExact(rest, 3, "binary trace header"))
+        esd_fatal("'%s': truncated binary trace header", path_.c_str());
+    if (rest[0] & ~1u)
+        esd_fatal("'%s': unknown trace flags 0x%02x", path_.c_str(),
+                  static_cast<unsigned>(rest[0]));
+    if (rest[1] != 0 || rest[2] != 0)
+        esd_fatal("'%s': corrupt binary trace header (reserved bytes "
+                  "set)", path_.c_str());
+    binPayloads_ = rest[0] & 1;
+}
+
+bool
+TraceFrontend::readLine(std::string &line)
+{
+    line.clear();
+    std::uint8_t c;
+    while (true) {
+        if (in_->read(&c, 1) == 0)
+            return !line.empty();
+        if (c == '\n')
+            return true;
+        line.push_back(static_cast<char>(c));
+        if (line.size() > kMaxTraceLine)
+            esd_fatal("%s:%llu: line exceeds %zu bytes", path_.c_str(),
+                      static_cast<unsigned long long>(lineNo_ + 1),
+                      kMaxTraceLine);
+    }
+}
+
+bool
+TraceFrontend::decodeText(TraceRecord &rec)
+{
+    std::string line;
+    while (readLine(line)) {
+        ++lineNo_;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+
+        // Comments and blanks: decided before tokenization so a long
+        // banner comment is never mistaken for an over-long record.
+        std::size_t first = 0;
+        while (first < line.size() &&
+               (line[first] == ' ' || line[first] == '\t'))
+            ++first;
+        if (first >= line.size() || line[first] == '#')
+            continue;
+
+        // Tokenize on whitespace; at most four fields are legal.
+        std::string toks[5];
+        std::size_t ntok = 0;
+        std::size_t i = first;
+        while (i < line.size()) {
+            while (i < line.size() &&
+                   (line[i] == ' ' || line[i] == '\t'))
+                ++i;
+            if (i >= line.size())
+                break;
+            std::size_t start = i;
+            while (i < line.size() && line[i] != ' ' && line[i] != '\t')
+                ++i;
+            if (ntok == 5)
+                esd_fatal("%s:%llu: trailing junk on record",
+                          path_.c_str(),
+                          static_cast<unsigned long long>(lineNo_));
+            toks[ntok++] = line.substr(start, i - start);
+        }
+        if (ntok > 4)
+            esd_fatal("%s:%llu: trailing junk on record", path_.c_str(),
+                      static_cast<unsigned long long>(lineNo_));
+
+        // Two token orders: canonical `<op> <addr> ...` and
+        // Ramulator-style `<addr> <op> ...`.
+        std::string opTok, addrTok;
+        if (isOpToken(toks[0])) {
+            if (ntok < 2)
+                esd_fatal("%s:%llu: malformed record", path_.c_str(),
+                          static_cast<unsigned long long>(lineNo_));
+            opTok = toks[0];
+            addrTok = toks[1];
+        } else {
+            if (ntok < 2)
+                esd_fatal("%s:%llu: malformed record", path_.c_str(),
+                          static_cast<unsigned long long>(lineNo_));
+            if (!isOpToken(toks[1]))
+                esd_fatal("%s:%llu: bad op '%s'", path_.c_str(),
+                          static_cast<unsigned long long>(lineNo_),
+                          toks[1].c_str());
+            addrTok = toks[0];
+            opTok = toks[1];
+        }
+        rec.op = (opTok[0] == 'W' || opTok[0] == 'w') ? OpType::Write
+                                                      : OpType::Read;
+        try {
+            std::size_t consumed = 0;
+            rec.addr = std::stoull(addrTok, &consumed, 16);
+            if (consumed != addrTok.size())
+                throw std::invalid_argument(addrTok);
+        } catch (const std::exception &) {
+            esd_fatal("%s:%llu: bad hex address '%s'", path_.c_str(),
+                      static_cast<unsigned long long>(lineNo_),
+                      addrTok.c_str());
+        }
+
+        // Remaining tokens: optional 128-hex-char payload, then an
+        // optional decimal icount. A long token that is not exactly a
+        // full line of hex is a malformed payload, not an icount.
+        std::size_t r = 2;
+        bool havePayload = false;
+        if (r < ntok && toks[r].size() > 16) {
+            const std::string &d = toks[r];
+            if (d.size() != kLineSize * 2)
+                esd_fatal("%s:%llu: write payload must be %zu hex chars "
+                          "(got %zu)", path_.c_str(),
+                          static_cast<unsigned long long>(lineNo_),
+                          kLineSize * 2, d.size());
+            for (std::size_t b = 0; b < kLineSize; ++b) {
+                int hi = hexVal(d[b * 2]);
+                int lo = hexVal(d[b * 2 + 1]);
+                if (hi < 0 || lo < 0)
+                    esd_fatal("%s:%llu: bad hex data", path_.c_str(),
+                              static_cast<unsigned long long>(lineNo_));
+                rec.data[b] =
+                    static_cast<std::uint8_t>((hi << 4) | lo);
+            }
+            havePayload = true;
+            ++r;
+        }
+        rec.icount = 100;
+        if (r < ntok) {
+            const std::string &ic = toks[r];
+            std::uint64_t v = 0;
+            try {
+                std::size_t consumed = 0;
+                v = std::stoull(ic, &consumed, 10);
+                if (consumed != ic.size() || v > 0xffffffffull)
+                    throw std::invalid_argument(ic);
+            } catch (const std::exception &) {
+                esd_fatal("%s:%llu: bad icount '%s'", path_.c_str(),
+                          static_cast<unsigned long long>(lineNo_),
+                          ic.c_str());
+            }
+            rec.icount = static_cast<std::uint32_t>(v);
+            ++r;
+        }
+        if (r < ntok)
+            esd_fatal("%s:%llu: trailing junk on record", path_.c_str(),
+                      static_cast<unsigned long long>(lineNo_));
+
+        if (rec.op == OpType::Write) {
+            if (!havePayload)
+                rec.data = synthesizeLineContent(rec.addr, writesSeen_);
+            ++writesSeen_;
+        } else {
+            rec.data = CacheLine{};
+        }
+        return true;
+    }
+    return false;
+}
+
+bool
+TraceFrontend::decodeBinary(TraceRecord &rec)
+{
+    if (binVersion_ <= 1) {
+        // Legacy headerless stream: raw BinaryTraceWriter records.
+        std::uint8_t op;
+        if (!in_->readExact(&op, 1, "record"))
+            return false;
+        if (op > 1)
+            esd_fatal("'%s': bad op byte %u (corrupt trace?)",
+                      path_.c_str(), static_cast<unsigned>(op));
+        std::uint8_t fixed[12];
+        if (!in_->readExact(fixed, 12, "record"))
+            esd_fatal("'%s': truncated record", path_.c_str());
+        rec.op = op ? OpType::Write : OpType::Read;
+        rec.addr = loadLe64(fixed);
+        rec.icount = loadLe32(fixed + 8);
+        if (rec.op == OpType::Write) {
+            if (!in_->readExact(rec.data.data(), kLineSize,
+                                "write payload"))
+                esd_fatal("'%s': truncated write payload",
+                          path_.c_str());
+            ++writesSeen_;
+        } else {
+            rec.data = CacheLine{};
+        }
+        return true;
+    }
+
+    // v2: length-prefixed records.
+    std::uint8_t len;
+    if (!in_->readExact(&len, 1, "record"))
+        return false;
+    if (len != kBinaryRecordNoPayload && len != kBinaryRecordPayload)
+        esd_fatal("'%s': bad record length %u (expected %zu or %zu)",
+                  path_.c_str(), static_cast<unsigned>(len),
+                  kBinaryRecordNoPayload, kBinaryRecordPayload);
+    std::uint8_t body[kBinaryRecordPayload];
+    if (!in_->readExact(body, len, "record"))
+        esd_fatal("'%s': truncated record", path_.c_str());
+    if (body[0] > 1)
+        esd_fatal("'%s': bad op byte %u (corrupt trace?)", path_.c_str(),
+                  static_cast<unsigned>(body[0]));
+    rec.op = body[0] ? OpType::Write : OpType::Read;
+    rec.addr = loadLe64(body + 1);
+    rec.icount = loadLe32(body + 9);
+    if (rec.op == OpType::Write) {
+        if (len == kBinaryRecordPayload) {
+            rec.data = CacheLine(body + kBinaryRecordNoPayload);
+        } else {
+            rec.data = synthesizeLineContent(rec.addr, writesSeen_);
+        }
+        ++writesSeen_;
+    } else {
+        rec.data = CacheLine{};
+    }
+    return true;
+}
+
+bool
+TraceFrontend::decodeOne(TraceRecord &rec)
+{
+    return binary_ ? decodeBinary(rec) : decodeText(rec);
+}
+
+void
+TraceFrontend::refill()
+{
+    buffer_.clear();
+    bufPos_ = 0;
+    if (eof_)
+        return;
+    TraceRecord rec;
+    while (buffer_.size() < cfg_.readAhead && decodeOne(rec))
+        buffer_.push_back(rec);
+    if (buffer_.size() < cfg_.readAhead)
+        eof_ = true;
+    decoded_ += buffer_.size();
+    peakBuffered_ = std::max(peakBuffered_, buffer_.size());
+}
+
+bool
+TraceFrontend::next(TraceRecord &rec)
+{
+    if (bufPos_ >= buffer_.size()) {
+        refill();
+        if (buffer_.empty())
+            return false;
+    }
+    rec = buffer_[bufPos_++];
+    return true;
+}
+
+std::size_t
+TraceFrontend::nextBatch(TraceRecord *out, std::size_t max)
+{
+    if (bufPos_ >= buffer_.size()) {
+        refill();
+        if (buffer_.empty())
+            return 0;
+    }
+    std::size_t n = std::min(max, buffer_.size() - bufPos_);
+    std::copy(buffer_.begin() + static_cast<long>(bufPos_),
+              buffer_.begin() + static_cast<long>(bufPos_ + n), out);
+    bufPos_ += n;
+    return n;
+}
+
+void
+TraceFrontend::reset()
+{
+    buffer_.clear();
+    bufPos_ = 0;
+    lineNo_ = 0;
+    writesSeen_ = 0;
+    eof_ = false;
+    binary_ = false;
+    binVersion_ = 0;
+    binPayloads_ = true;
+    open();
+}
+
+} // namespace esd

@@ -485,5 +485,49 @@ TEST(ConfigIoDeath, PipelineRangesAreFatal)
         ::testing::ExitedWithCode(1), "out of range");
 }
 
+TEST(ConfigIo, ApplyTraceKeys)
+{
+    SimConfig cfg;
+    EXPECT_TRUE(applyConfigKey(cfg, "trace.format", "binary"));
+    EXPECT_EQ(cfg.trace.format, TraceFormat::Binary);
+    EXPECT_TRUE(applyConfigKey(cfg, "trace.format", "auto"));
+    EXPECT_EQ(cfg.trace.format, TraceFormat::Auto);
+    EXPECT_TRUE(applyConfigKey(cfg, "trace.line_payload", "false"));
+    EXPECT_FALSE(cfg.trace.linePayload);
+    EXPECT_TRUE(applyConfigKey(cfg, "trace.read_ahead", "128"));
+    EXPECT_EQ(cfg.trace.readAhead, 128u);
+    EXPECT_FALSE(applyConfigKey(cfg, "trace.bogus", "1"));
+}
+
+TEST_F(ConfigFileTest, TraceRoundTrips)
+{
+    SimConfig cfg;
+    cfg.trace.format = TraceFormat::Gzip;
+    cfg.trace.linePayload = false;
+    cfg.trace.readAhead = 512;
+    {
+        std::ofstream out(path_);
+        out << renderConfig(cfg);
+    }
+    SimConfig back;
+    loadConfigFile(back, path_.string());
+    EXPECT_EQ(back.trace.format, TraceFormat::Gzip);
+    EXPECT_FALSE(back.trace.linePayload);
+    EXPECT_EQ(back.trace.readAhead, 512u);
+    EXPECT_EQ(renderConfig(back), renderConfig(cfg));
+}
+
+TEST(ConfigIoDeath, TraceKeysValidate)
+{
+    SimConfig cfg;
+    EXPECT_EXIT(applyConfigKey(cfg, "trace.format", "xml"),
+                ::testing::ExitedWithCode(1),
+                "not a trace format");
+    EXPECT_EXIT(applyConfigKey(cfg, "trace.read_ahead", "0"),
+                ::testing::ExitedWithCode(1), "out of range");
+    EXPECT_EXIT(applyConfigKey(cfg, "trace.read_ahead", "1048577"),
+                ::testing::ExitedWithCode(1), "out of range");
+}
+
 } // namespace
 } // namespace esd

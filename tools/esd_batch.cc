@@ -6,7 +6,7 @@
  *
  *   esd_batch [-records=N] [-warmup=N] [-schemes=0,3] [-apps=a,b,c]
  *             [-jobs=N] [-workers=N] [-ConfigFile=path]
- *             [-out=results.csv]
+ *             [-trace-in=path] [-out=results.csv]
  *
  * Unknown -schemes/-apps values are rejected up front with a non-zero
  * exit. With -jobs=N the grid runs on a thread pool (shared-nothing,
@@ -15,6 +15,11 @@
  * -workers=N additionally runs each job through the intra-simulation
  * sharded pipeline (exec/pipeline.hh) with N threads; jobs * workers
  * must not oversubscribe the host.
+ * -trace-in=path replays one on-disk trace (text/gzip/binary, format
+ * sniffed) across every scheme instead of generating synthetic apps —
+ * each job streams the file through its own frontend. Incompatible
+ * with -apps=; the whole file replays with no warmup unless -records /
+ * -warmup are given explicitly.
  */
 
 #include <fstream>
@@ -27,6 +32,7 @@
 #include "common/logging.hh"
 #include "core/simulator.hh"
 #include "exec/sweep_runner.hh"
+#include "trace/trace_frontend.hh"
 #include "trace/workloads.hh"
 
 namespace
@@ -64,10 +70,13 @@ main(int argc, char **argv)
 {
     std::uint64_t records = 100000;
     std::uint64_t warmup = 20000;
+    bool records_given = false;
+    bool warmup_given = false;
     unsigned jobs = 1;
     unsigned workers = 0;  ///< 0 = classic single-Simulator jobs
     std::string out_path = "results.csv";
     std::string config_file;
+    std::string trace_in;
     std::vector<SchemeKind> schemes = allSchemeKinds();
     std::vector<std::string> apps;
 
@@ -75,8 +84,12 @@ main(int argc, char **argv)
         std::string arg = argv[i];
         if (arg.rfind("-records=", 0) == 0) {
             records = std::stoull(arg.substr(9));
+            records_given = true;
         } else if (arg.rfind("-warmup=", 0) == 0) {
             warmup = std::stoull(arg.substr(8));
+            warmup_given = true;
+        } else if (arg.rfind("-trace-in=", 0) == 0) {
+            trace_in = arg.substr(10);
         } else if (arg.rfind("-jobs=", 0) == 0) {
             jobs = static_cast<unsigned>(std::stoul(arg.substr(6)));
         } else if (arg.rfind("-workers=", 0) == 0) {
@@ -105,7 +118,20 @@ main(int argc, char **argv)
             esd_fatal("unknown argument '%s'", arg.c_str());
         }
     }
-    if (apps.empty()) {
+    if (!trace_in.empty()) {
+        // One replayed trace replaces the synthetic-app dimension.
+        if (!apps.empty())
+            esd_fatal("-trace-in is incompatible with -apps= (the "
+                      "trace is the workload)");
+        // Sniffing validates up front that the file opens; a typo'd
+        // path must exit non-zero before any simulation runs.
+        detectTraceFormat(trace_in);
+        if (!records_given)
+            records = 0;
+        if (!warmup_given)
+            warmup = 0;
+    }
+    if (apps.empty() && trace_in.empty()) {
         for (const AppProfile &p : paperApps())
             apps.push_back(p.name);
     }
@@ -152,17 +178,35 @@ main(int argc, char **argv)
     // outcome slots; every pair keeps the historical cfg.seed trace so
     // results stay comparable with serial runs of older versions.
     std::vector<exec::SweepJob> grid;
-    grid.reserve(apps.size() * schemes.size());
-    for (const std::string &app : apps) {
+    if (!trace_in.empty()) {
+        // Trace replay: one job per scheme, each streaming its own
+        // frontend over the same file. The app column carries the
+        // trace path so CSV rows stay self-describing.
+        grid.reserve(schemes.size());
         for (SchemeKind k : schemes) {
             exec::SweepJob job;
-            job.app = app;
+            job.app = trace_in;
+            job.traceFile = trace_in;
             job.scheme = k;
             job.cfg = cfg;
             job.records = records;
             job.warmup = warmup;
             job.pipelineWorkers = workers;
             grid.push_back(std::move(job));
+        }
+    } else {
+        grid.reserve(apps.size() * schemes.size());
+        for (const std::string &app : apps) {
+            for (SchemeKind k : schemes) {
+                exec::SweepJob job;
+                job.app = app;
+                job.scheme = k;
+                job.cfg = cfg;
+                job.records = records;
+                job.warmup = warmup;
+                job.pipelineWorkers = workers;
+                grid.push_back(std::move(job));
+            }
         }
     }
 

@@ -74,6 +74,21 @@
  *   observability exports (-trace-out, -spans-out, -metrics-out,
  *   -latency-out, -profile, -recovery-json) are single-simulator
  *   features and are rejected in pipeline mode.
+ *
+ * Trace frontend / capture (see `[trace]` config keys):
+ *   `-trace-in=path` streams an on-disk trace (text, gzip, or binary;
+ *   format sniffed from content) through the streaming frontend —
+ *   constant memory at any trace length. Exclusive with -app= and
+ *   -InputFile=; composes with -workers=N and crash injection. The
+ *   whole file replays unless -records caps it; -warmup applies only
+ *   when given (file input defaults to 0/0);
+ *   `-capture-out=path` tees the consumed record stream to a trace
+ *   file (format from -trace-format / [trace] format; address-only
+ *   records with -trace-payload=0) so the run replays bit-identically
+ *   via -trace-in. Requires a synthetic workload (-app=);
+ *   `-trace-format=auto|text|gzip|binary` capture format (auto=text);
+ *   `-trace-payload=B` capture 64 B write payloads (default 1);
+ *   `-trace-read-ahead=N` frontend record buffer bound.
  */
 
 #include <algorithm>
@@ -92,6 +107,8 @@
 #include "exec/pipeline.hh"
 #include "metrics/report.hh"
 #include "persist/recovery.hh"
+#include "trace/trace_capture.hh"
+#include "trace/trace_frontend.hh"
 #include "trace/trace_io.hh"
 #include "trace/workloads.hh"
 
@@ -106,6 +123,11 @@ struct Options
     std::string configFile;
     std::string inputFile;
     std::string app;
+    std::string traceIn;
+    std::string captureOut;
+    std::string traceFormat;
+    std::uint64_t traceReadAhead = ~0ull;  ///< not given: [trace] value
+    int tracePayload = -1;  // -1 not given, else 0/1
     std::string latencyOut;
     std::string statsJson;
     std::string traceOut;
@@ -117,6 +139,8 @@ struct Options
     std::uint64_t statsInterval = 10000;
     std::uint64_t records = 200000;
     std::uint64_t warmup = 40000;
+    bool recordsGiven = false;  ///< file input defaults differ
+    bool warmupGiven = false;
     std::uint64_t seed = 1;
     std::uint64_t workers = ~0ull;  ///< given at all = pipeline mode
     bool dumpConfig = false;
@@ -217,9 +241,13 @@ usage()
 {
     std::cerr
         << "usage: esd_sim -scheme=<0..5|name> [-ConfigFile=path]\n"
-           "               (-InputFile=trace | -app=name)\n"
+           "               (-InputFile=trace | -app=name | "
+           "-trace-in=trace)\n"
            "               [-records=N] [-warmup=N] [-seed=N] "
            "[-workers=N]\n"
+           "               [-capture-out=path] "
+           "[-trace-format=auto|text|gzip|binary]\n"
+           "               [-trace-payload=B] [-trace-read-ahead=N]\n"
            "               [-latency-out=path] [-dump-config]\n"
            "               [-stats-json=path] [-stats-interval=N]\n"
            "               [-trace-out=path] [-trace-ring=N]\n"
@@ -263,10 +291,33 @@ parseArgs(int argc, char **argv)
             opt.inputFile = value("-InputFile=");
         } else if (arg.rfind("-app=", 0) == 0) {
             opt.app = value("-app=");
+        } else if (arg.rfind("-trace-in=", 0) == 0) {
+            opt.traceIn = value("-trace-in=");
+        } else if (arg.rfind("-capture-out=", 0) == 0) {
+            opt.captureOut = value("-capture-out=");
+        } else if (arg.rfind("-trace-format=", 0) == 0) {
+            opt.traceFormat = value("-trace-format=");
+            parseTraceFormat("-trace-format", opt.traceFormat);
+        } else if (arg.rfind("-trace-payload=", 0) == 0) {
+            opt.tracePayload = parseBool("-trace-payload",
+                                         value("-trace-payload="))
+                                   ? 1
+                                   : 0;
+        } else if (arg.rfind("-trace-read-ahead=", 0) == 0) {
+            opt.traceReadAhead = parseU64("-trace-read-ahead",
+                                          value("-trace-read-ahead="));
+            if (opt.traceReadAhead < 1 ||
+                opt.traceReadAhead > (1u << 20))
+                esd_fatal("-trace-read-ahead: %llu out of range [1, %u]",
+                          static_cast<unsigned long long>(
+                              opt.traceReadAhead),
+                          1u << 20);
         } else if (arg.rfind("-records=", 0) == 0) {
             opt.records = parseU64("-records", value("-records="));
+            opt.recordsGiven = true;
         } else if (arg.rfind("-warmup=", 0) == 0) {
             opt.warmup = parseU64("-warmup", value("-warmup="));
+            opt.warmupGiven = true;
         } else if (arg.rfind("-seed=", 0) == 0) {
             opt.seed = parseU64("-seed", value("-seed="));
         } else if (arg.rfind("-workers=", 0) == 0) {
@@ -589,18 +640,44 @@ main(int argc, char **argv)
         esd_fatal("-recovery-json requires an injected crash "
                   "(-persist-crash-at=N)");
 
+    // Trace flags layer over the [trace] config section.
+    if (!opt.traceFormat.empty())
+        cfg.trace.format =
+            parseTraceFormat("-trace-format", opt.traceFormat);
+    if (opt.tracePayload >= 0)
+        cfg.trace.linePayload = opt.tracePayload != 0;
+    if (opt.traceReadAhead != ~0ull)
+        cfg.trace.readAhead = opt.traceReadAhead;
+
     if (opt.dumpConfig) {
         std::cout << renderConfig(cfg);
         return 0;
     }
 
-    if (opt.inputFile.empty() && opt.app.empty()) {
+    // Exactly one workload source: reject ambiguous combinations up
+    // front instead of silently preferring one.
+    if (!opt.traceIn.empty() && !opt.app.empty())
+        esd_fatal("-trace-in is incompatible with -app= (the trace is "
+                  "the workload)");
+    if (!opt.traceIn.empty() && !opt.inputFile.empty())
+        esd_fatal("-trace-in is incompatible with -InputFile=");
+    if (!opt.inputFile.empty() && !opt.app.empty())
+        esd_fatal("-InputFile is incompatible with -app= (pick one "
+                  "workload source)");
+    if (opt.traceIn.empty() && opt.inputFile.empty() &&
+        opt.app.empty()) {
         usage();
-        esd_fatal("need -InputFile or -app");
+        esd_fatal("need -InputFile, -app, or -trace-in");
     }
+    // Capture re-exports a synthetic run; capturing a replayed file
+    // would only copy it.
+    if (!opt.captureOut.empty() && opt.app.empty())
+        esd_fatal("-capture-out requires a synthetic workload (-app=)");
 
     std::unique_ptr<TraceSource> trace;
-    if (!opt.inputFile.empty()) {
+    if (!opt.traceIn.empty()) {
+        trace = std::make_unique<TraceFrontend>(opt.traceIn, cfg.trace);
+    } else if (!opt.inputFile.empty()) {
         bool binary = opt.inputFile.size() > 4 &&
                       opt.inputFile.substr(opt.inputFile.size() - 4) ==
                           ".bin";
@@ -613,9 +690,27 @@ main(int argc, char **argv)
             std::make_unique<SyntheticWorkload>(findApp(opt.app), opt.seed);
     }
 
-    // Trace files are replayed to exhaustion unless -records caps them.
-    std::uint64_t records = opt.inputFile.empty() ? opt.records : 0;
-    std::uint64_t warmup = opt.inputFile.empty() ? opt.warmup : 0;
+    // Trace files replay to exhaustion with no warmup unless -records /
+    // -warmup are given explicitly (replaying a captured run passes the
+    // original -warmup to reproduce its stats byte-for-byte).
+    bool file_input = !opt.traceIn.empty() || !opt.inputFile.empty();
+    std::uint64_t records =
+        !file_input || opt.recordsGiven ? opt.records : 0;
+    std::uint64_t warmup =
+        !file_input || opt.warmupGiven ? opt.warmup : 0;
+
+    // Capture tee: the pipeline demux and Simulator::run are each the
+    // sole consumer of the source, so the captured order is exactly
+    // the consumed order in both modes.
+    std::unique_ptr<TraceCaptureWriter> capture;
+    std::unique_ptr<TraceSource> captured_inner;
+    if (!opt.captureOut.empty()) {
+        capture = std::make_unique<TraceCaptureWriter>(opt.captureOut,
+                                                       cfg.trace);
+        captured_inner = std::move(trace);
+        trace = std::make_unique<CapturingSource>(*captured_inner,
+                                                  *capture);
+    }
 
     if (opt.workers != ~0ull) {
         // Per-write observability exports attach to one Simulator's
@@ -632,7 +727,13 @@ main(int argc, char **argv)
             esd_fatal("-workers is incompatible with -profile");
         if (!opt.recoveryJson.empty())
             esd_fatal("-workers is incompatible with -recovery-json=");
-        return runPipeline(opt, cfg, *trace, records, warmup);
+        int rc = runPipeline(opt, cfg, *trace, records, warmup);
+        if (capture) {
+            capture->close();
+            std::cout << "captured " << capture->count()
+                      << " records to " << opt.captureOut << "\n";
+        }
+        return rc;
     }
 
     Simulator sim(cfg, opt.scheme);
@@ -668,6 +769,12 @@ main(int argc, char **argv)
         sim.enableProfiling();
 
     RunResult r = sim.run(*trace, records, warmup);
+
+    if (capture) {
+        capture->close();
+        std::cout << "captured " << capture->count() << " records to "
+                  << opt.captureOut << "\n";
+    }
 
     std::cout << "scheme: " << r.schemeName << "\n"
               << "records: " << r.records << " (" << r.logicalWrites

@@ -18,6 +18,9 @@ Metric extraction understands the two bench JSON shapes:
                                         "speedup": X}]}
   bench_trace_ingest:   {"formats": [{"format": F,
                                       "records_per_s": R}]}
+  bench_ecc_codecs:     {"codecs": [{"codec": C,
+                                     "encode_lines_per_s": E,
+                                     "decode_lines_per_s": D}]}
 
 plus a generic fallback: any top-level numeric field ending in
 "_per_s".
@@ -63,6 +66,13 @@ def extract_metrics(doc):
         if name is not None and "records_per_s" in entry:
             metrics[f"format[{name}].records_per_s"] = \
                 entry["records_per_s"]
+    for entry in doc.get("codecs", []):
+        name = entry.get("codec")
+        if name is None:
+            continue
+        for field in ("encode_lines_per_s", "decode_lines_per_s"):
+            if field in entry:
+                metrics[f"codec[{name}].{field}"] = entry[field]
     for key, value in doc.items():
         if key.endswith("_per_s") and isinstance(value, (int, float)):
             metrics[key] = value
@@ -110,6 +120,9 @@ def self_test():
                     {"workers": 2, "writes_per_s": 1800.0,
                      "speedup": 1.8}],
         "formats": [{"format": "binary", "records_per_s": 9e6}],
+        "codecs": [{"codec": "rs", "encode_lines_per_s": 7e5,
+                    "decode_lines_per_s": 3.5e5,
+                    "similar_collisions": 0}],
     }
     bm = extract_metrics(base)
     assert bm == {
@@ -121,6 +134,8 @@ def self_test():
         "workers[2].writes_per_s": 1800.0,
         "workers[2].speedup": 1.8,
         "format[binary].records_per_s": 9e6,
+        "codec[rs].encode_lines_per_s": 7e5,
+        "codec[rs].decode_lines_per_s": 3.5e5,
     }, bm
 
     # Identical run passes.

@@ -412,6 +412,36 @@ struct TraceConfig
     std::uint64_t readAhead = 4096;
 };
 
+/** Which line ECC codec the memory controller runs ([ecc] engine
+ * key). Every engine packs its check data into the same 64-bit LineEcc
+ * word, so stored-line and EFIT layouts never change with the code. */
+enum class EccEngineKind
+{
+    /** Per-word Hamming(72,64) SEC-DED — the paper's baseline and the
+     * default; bit-identical to the pre-pluggable codec. */
+    Hamming,
+
+    /** Four interleaved binary BCH(144,128) codewords, t=2 bit errors
+     * each (two data words per codeword, 16 check bits). */
+    Bch,
+
+    /** Reed-Solomon RS(72,64) over GF(2^8): one codeword per line,
+     * t=4 byte-symbol errors, 8 parity bytes. */
+    Rs,
+};
+
+/**
+ * ECC engine selection ([ecc] section).
+ *
+ * Default Hamming keeps every golden report byte-identical: the
+ * section is only serialized into run reports when a non-default
+ * engine is selected.
+ */
+struct EccConfig
+{
+    EccEngineKind engine = EccEngineKind::Hamming;
+};
+
 /** Core timing model: in-order, 1 IPC peak, stalling on LLC misses and
  * on memory-controller write-queue backpressure. */
 struct CoreConfig
@@ -432,6 +462,7 @@ struct SimConfig
     CryptoCostConfig crypto;
     MetadataConfig metadata;
     RasConfig ras;
+    EccConfig ecc;
     PersistenceConfig persist;
     PipelineConfig pipeline;
     CoreConfig core;

@@ -104,6 +104,31 @@ asBool(const std::string &key, const std::string &v)
 } // namespace
 
 const char *
+eccEngineName(EccEngineKind k)
+{
+    switch (k) {
+      case EccEngineKind::Hamming: return "hamming";
+      case EccEngineKind::Bch: return "bch";
+      case EccEngineKind::Rs: return "rs";
+    }
+    esd_panic("unreachable ecc engine %d", static_cast<int>(k));
+}
+
+EccEngineKind
+parseEccEngine(const std::string &key, const std::string &v)
+{
+    if (v == "hamming")
+        return EccEngineKind::Hamming;
+    if (v == "bch")
+        return EccEngineKind::Bch;
+    if (v == "rs")
+        return EccEngineKind::Rs;
+    esd_fatal("config key '%s': '%s' is not an ecc engine "
+              "(expected hamming, bch, or rs)",
+              key.c_str(), v.c_str());
+}
+
+const char *
 persistDomainName(PersistDomain d)
 {
     switch (d) {
@@ -307,6 +332,10 @@ applyConfigKey(SimConfig &cfg, const std::string &key,
     } else if (k == "telemetry.histogram_buckets") {
         cfg.telemetry.histogramBuckets = asBool(k, v);
     }
+    // ECC engine.
+    else if (k == "ecc.engine") {
+        cfg.ecc.engine = parseEccEngine(k, v);
+    }
     // Persistence.
     else if (k == "persistence.enabled") {
         cfg.persist.enabled = asBool(k, v);
@@ -463,6 +492,7 @@ renderConfig(const SimConfig &cfg)
        << cfg.telemetry.metricsEveryWrites << "\n"
        << "telemetry.histogram_buckets = "
        << (cfg.telemetry.histogramBuckets ? "true" : "false") << "\n"
+       << "ecc.engine = " << eccEngineName(cfg.ecc.engine) << "\n"
        << "persistence.enabled = "
        << (cfg.persist.enabled ? "true" : "false") << "\n"
        << "persistence.domain = " << persistDomainName(cfg.persist.domain)

@@ -42,6 +42,12 @@ void loadConfigFile(SimConfig &cfg, const std::string &path);
 /** Render @p cfg in the same key=value format (round-trippable). */
 std::string renderConfig(const SimConfig &cfg);
 
+/** Config-file spelling of an ECC engine ("hamming"/"bch"/"rs"). */
+const char *eccEngineName(EccEngineKind k);
+
+/** Parse an ECC engine name; fatal on anything else. */
+EccEngineKind parseEccEngine(const std::string &key, const std::string &v);
+
 /** Config-file spelling of a persistence domain ("adr"/"eadr"). */
 const char *persistDomainName(PersistDomain d);
 

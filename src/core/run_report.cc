@@ -85,6 +85,15 @@ writeConfigJson(JsonWriter &w, const SimConfig &cfg)
     w.kv("dedup_suspend_ues", cfg.ras.dedupSuspendUes);
     w.endObject();
 
+    // Emitted only off the default engine: hamming reports stay byte-
+    // identical to releases that predate pluggable ECC.
+    if (cfg.ecc.engine != EccEngineKind::Hamming) {
+        w.key("ecc");
+        w.beginObject();
+        w.kv("engine", eccEngineName(cfg.ecc.engine));
+        w.endObject();
+    }
+
     // Emitted only when enabled: default-off reports stay byte-
     // identical to releases that predate the crash subsystem.
     if (cfg.persist.enabled) {

@@ -6,8 +6,9 @@ namespace esd
 {
 
 SecureCounterMemory::SecureCounterMemory(const AesKey &key,
-                                         std::uint32_t persist_stride)
-    : aes_(key), stride_(persist_stride)
+                                         std::uint32_t persist_stride,
+                                         const EccEngine &ecc)
+    : aes_(key), stride_(persist_stride), ecc_(ecc)
 {
     if (stride_ == 0)
         esd_fatal("persist stride must be positive");
@@ -40,7 +41,7 @@ SecureCounterMemory::write(Addr addr, const CacheLine &plain)
 
     SecureLine line;
     line.cipher = pad(addr, ctr, plain);
-    line.plainEcc = LineEccCodec::encode(plain);
+    line.plainEcc = ecc_.encodeLine(plain);
     lines_[addr] = line;
 
     // Lazy persistence: write the counter through only every
@@ -92,7 +93,7 @@ SecureCounterMemory::recover()
             std::uint64_t cand = base + delta;
             ++rep.trialDecrypts;
             CacheLine plain = pad(addr, cand, line.cipher);
-            if (LineEccCodec::encode(plain) == line.plainEcc) {
+            if (ecc_.encodeLine(plain) == line.plainEcc) {
                 volatileCtr_[addr] = cand;
                 found = true;
                 if (delta == 0)
@@ -113,8 +114,7 @@ SecureCounterMemory::recover()
             std::uint64_t cand = base + delta;
             ++rep.trialDecrypts;
             CacheLine plain = pad(addr, cand, line.cipher);
-            LineDecodeResult r = LineEccCodec::decode(plain,
-                                                      line.plainEcc);
+            LineDecodeResult r = ecc_.decodeLine(plain, line.plainEcc);
             if (r.status != EccStatus::Uncorrectable &&
                 r.correctedWords <= 1) {
                 volatileCtr_[addr] = cand;

@@ -27,6 +27,7 @@
 #include "common/types.hh"
 #include "crypto/aes.hh"
 #include "crypto/ctr_mode.hh"
+#include "ecc/ecc_engine.hh"
 #include "ecc/line_ecc.hh"
 
 namespace esd
@@ -57,8 +58,13 @@ class SecureCounterMemory
      * @param key            AES-128 key
      * @param persist_stride counter persistence interval (1 = every
      *                       write, Osiris uses 4-8)
+     * @param ecc            line codec the plaintext ECC oracle uses;
+     *                       recovery must probe with the same engine
+     *                       that encoded the stored lines
      */
-    SecureCounterMemory(const AesKey &key, std::uint32_t persist_stride);
+    SecureCounterMemory(const AesKey &key, std::uint32_t persist_stride,
+                        const EccEngine &ecc =
+                            eccEngine(EccEngineKind::Hamming));
 
     /** Encrypt and store @p plain at @p addr. */
     void write(Addr addr, const CacheLine &plain);
@@ -109,6 +115,7 @@ class SecureCounterMemory
 
     Aes128 aes_;
     std::uint32_t stride_;
+    const EccEngine &ecc_;
 
     /** Volatile (on-chip) exact counters — lost at crash. */
     FlatMap<Addr, std::uint64_t> volatileCtr_;

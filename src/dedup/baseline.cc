@@ -21,7 +21,7 @@ BaselineScheme::write(Addr addr, const CacheLine &data, Tick now)
     LineEcc ecc;
     {
         Profiler::Scope ps = profScope(Profiler::Fingerprint);
-        ecc = LineEccCodec::encode(data);
+        ecc = ecc_.encodeLine(data);
     }
     NvmAccessResult r = writeLine(addr, cipher, ecc, t);
     bd.lineWrite += static_cast<double>(r.complete - t);

@@ -44,7 +44,7 @@ EsdScheme::write(Addr addr, const CacheLine &data, Tick now)
     LineEcc ecc;
     {
         Profiler::Scope ps = profScope(Profiler::Fingerprint);
-        ecc = LineEccCodec::encode(data);
+        ecc = ecc_.encodeLine(data);
     }
     Tick t = now + cfg_.crypto.eccLatency;
     bd.fpCompute += static_cast<double>(cfg_.crypto.eccLatency);

@@ -58,7 +58,7 @@ EsdFullScheme::write(Addr addr, const CacheLine &data, Tick now)
     LineEcc ecc;
     {
         Profiler::Scope ps = profScope(Profiler::Fingerprint);
-        ecc = LineEccCodec::encode(data);
+        ecc = ecc_.encodeLine(data);
     }
     Tick t = now + cfg_.crypto.eccLatency;
 

@@ -120,7 +120,7 @@ MappedDedupScheme::writeNewLine(Addr addr, const CacheLine &data,
     LineEcc ecc;
     {
         Profiler::Scope ps = profScope(Profiler::Fingerprint);
-        ecc = LineEccCodec::encode(data);
+        ecc = ecc_.encodeLine(data);
     }
     NvmAccessResult r = writeLine(phys_out, cipher, ecc, t);
     bd.lineWrite += static_cast<double>(r.complete - t);

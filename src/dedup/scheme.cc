@@ -99,7 +99,8 @@ DedupScheme::DedupScheme(const SimConfig &cfg, PcmDevice &device,
                          NvmStore &store)
     : cfg_(cfg), device_(device), store_(store),
       crypto_(defaultKey(cfg.seed)),
-      ras_(cfg.ras, store, device, crypto_, cfg.seed)
+      ecc_(eccEngine(cfg.ecc.engine)),
+      ras_(cfg.ras, store, device, crypto_, ecc_, cfg.seed)
 {
 }
 

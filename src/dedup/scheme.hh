@@ -24,6 +24,7 @@
 #include "crypto/ctr_mode.hh"
 #include "dedup/amt.hh"
 #include "dedup/line_store.hh"
+#include "ecc/ecc_engine.hh"
 #include "ecc/line_ecc.hh"
 #include "metrics/profiler.hh"
 #include "metrics/span_trace.hh"
@@ -234,6 +235,10 @@ class DedupScheme
      * crash) — recovery decrypts counter probes with it. */
     const CtrModeEngine &crypto() const { return crypto_; }
 
+    /** The line ECC engine this run fingerprints and scrubs with —
+     * recovery re-encodes counter probes through the same codec. */
+    const EccEngine &ecc() const { return ecc_; }
+
     /** Total scheme-side (non-device) energy in pJ. */
     Energy
     sideEnergy() const
@@ -344,7 +349,7 @@ class DedupScheme
     {
         VerifiedRead out;
         CacheLine plain = decryptLine(phys, stored.data);
-        LineDecodeResult r = LineEccCodec::decode(plain, stored.ecc);
+        LineDecodeResult r = ecc_.decodeLine(plain, stored.ecc);
         if (r.status == EccStatus::Uncorrectable) {
             stats_.eccUncorrectableReads.inc();
             if (!ras_.enabled()) {
@@ -492,6 +497,7 @@ class DedupScheme
     PcmDevice &device_;
     NvmStore &store_;
     CtrModeEngine crypto_;
+    const EccEngine &ecc_;
     RasEngine ras_;
     SchemeStats stats_;
     WriteEventTrace *trace_ = nullptr;

@@ -1,0 +1,337 @@
+#include "ecc/bch.hh"
+
+#include "common/logging.hh"
+#include "ecc/gf256.hh"
+
+namespace esd
+{
+
+namespace
+{
+
+/** Bytes of one received codeword: 2 check bytes + 16 data bytes.
+ * Bit b of byte B sits at codeword position 8B + b. */
+constexpr unsigned kCodeBytes = BchLineEngine::kCodeBits / 8;
+
+/** Precomputed encode remainders and per-byte syndrome partials. */
+struct BchTables
+{
+    /** g(x) = m1(x)·m3(x) with the x^16 term (bit 16). */
+    std::uint32_t gen = 0;
+
+    /** encTab[v] = v(x)·x^16 mod g(x). */
+    std::uint16_t encTab[256];
+
+    /** sTab[0][B][v] = XOR of alpha^(8B+b) over set bits b of v;
+     * sTab[1] the same with alpha^3. */
+    std::uint8_t sTab[2][kCodeBytes][256];
+
+    BchTables()
+    {
+        gen = generator();
+        esd_assert(gen >> 16 == 1, "bch generator degree != 16");
+
+        for (unsigned v = 0; v < 256; ++v) {
+            std::uint32_t r = v << 16;
+            for (int d = 23; d >= 16; --d) {
+                if (r & (1u << d))
+                    r ^= gen << (d - 16);
+            }
+            encTab[v] = static_cast<std::uint16_t>(r);
+        }
+
+        for (unsigned B = 0; B < kCodeBytes; ++B) {
+            for (unsigned v = 0; v < 256; ++v) {
+                std::uint8_t s1 = 0;
+                std::uint8_t s3 = 0;
+                for (unsigned b = 0; b < 8; ++b) {
+                    if (v & (1u << b)) {
+                        s1 ^= gf256::exp(8 * B + b);
+                        s3 ^= gf256::exp(3 * (8 * B + b));
+                    }
+                }
+                sTab[0][B][v] = s1;
+                sTab[1][B][v] = s3;
+            }
+        }
+    }
+
+    /** Minimal polynomial of alpha^start over GF(2): the product of
+     * (x + c) over the conjugacy class {alpha^(start·2^i)}. Returned
+     * as a bitmask; every coefficient is asserted to be 0/1. */
+    static std::uint32_t
+    minPoly(unsigned start)
+    {
+        std::uint8_t coeff[17] = {1};  // coeff[i] = coefficient of x^i
+        unsigned deg = 0;
+        unsigned e = start;
+        do {
+            const std::uint8_t c = gf256::exp(e);
+            // poly *= (x + c), in place from the top coefficient down.
+            ++deg;
+            esd_assert(deg <= 16, "bch minimal polynomial too large");
+            coeff[deg] = 0;
+            for (unsigned i = deg; i > 0; --i)
+                coeff[i] = coeff[i - 1] ^ gf256::mul(coeff[i], c);
+            coeff[0] = gf256::mul(coeff[0], c);
+            e = (e * 2) % gf256::kGroupOrder;
+        } while (e != start);
+
+        std::uint32_t bits = 0;
+        for (unsigned i = 0; i <= deg; ++i) {
+            esd_assert(coeff[i] <= 1, "bch minimal polynomial not binary");
+            bits |= static_cast<std::uint32_t>(coeff[i]) << i;
+        }
+        return bits;
+    }
+
+    static std::uint32_t
+    generator()
+    {
+        const std::uint32_t m1 = minPoly(1);
+        const std::uint32_t m3 = minPoly(3);
+        // Carry-less multiply of the two binary polynomials.
+        std::uint32_t g = 0;
+        for (unsigned i = 0; i < 32; ++i) {
+            if (m1 & (1u << i))
+                g ^= m3 << i;
+        }
+        return g;
+    }
+};
+
+const BchTables &
+tables()
+{
+    static const BchTables t;
+    return t;
+}
+
+/** The 16 data bytes of one group, MSB-first: byte 0 carries the top
+ * coefficients x^143..x^136 (odd-word bits 56..63). */
+std::uint8_t
+dataByte(std::uint64_t lo, std::uint64_t hi, unsigned k)
+{
+    if (k < 8)
+        return static_cast<std::uint8_t>(hi >> (8 * (7 - k)));
+    return static_cast<std::uint8_t>(lo >> (8 * (15 - k)));
+}
+
+/** Per-group decode outcome fed back into the line-level summary. */
+struct GroupFix
+{
+    bool ok = true;
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    std::uint16_t check = 0;
+    bool loFixed = false;
+    bool hiFixed = false;
+    bool checkFixed = false;
+};
+
+/** Flip codeword position @p p of the received (lo, hi, check). */
+void
+flipPosition(GroupFix &f, unsigned p)
+{
+    if (p < BchLineEngine::kCheckBits) {
+        f.check = static_cast<std::uint16_t>(f.check ^ (1u << p));
+        f.checkFixed = true;
+    } else if (p < BchLineEngine::kCheckBits + 64) {
+        f.lo ^= 1ull << (p - BchLineEngine::kCheckBits);
+        f.loFixed = true;
+    } else {
+        f.hi ^= 1ull << (p - BchLineEngine::kCheckBits - 64);
+        f.hiFixed = true;
+    }
+}
+
+/** Syndrome-decode one group: correct up to two bit flips anywhere in
+ * the 144-bit codeword, refuse anything it cannot pin down. */
+GroupFix
+decodeGroup(std::uint64_t lo, std::uint64_t hi, std::uint16_t check)
+{
+    const BchTables &t = tables();
+
+    GroupFix f;
+    f.lo = lo;
+    f.hi = hi;
+    f.check = check;
+
+    std::uint8_t s1 = 0;
+    std::uint8_t s3 = 0;
+    for (unsigned B = 0; B < kCodeBytes; ++B) {
+        std::uint8_t byte;
+        if (B < 2) {
+            byte = static_cast<std::uint8_t>(check >> (8 * B));
+        } else {
+            const unsigned j = B - 2;
+            byte = static_cast<std::uint8_t>(
+                j < 8 ? lo >> (8 * j) : hi >> (8 * (j - 8)));
+        }
+        s1 ^= t.sTab[0][B][byte];
+        s3 ^= t.sTab[1][B][byte];
+    }
+
+    if (s1 == 0 && s3 == 0)
+        return f;
+
+    if (s1 == 0) {
+        // Two errors would give s1 = alpha^i + alpha^j != 0; this is
+        // three or more.
+        f.ok = false;
+        return f;
+    }
+
+    const std::uint8_t s1sq = gf256::mul(s1, s1);
+    const std::uint8_t s1cu = gf256::mul(s1sq, s1);
+    if (s1cu == s3) {
+        // Single error at position log(s1).
+        const unsigned p = gf256::log(s1);
+        if (p >= BchLineEngine::kCodeBits) {
+            f.ok = false;  // points into the shortened region
+            return f;
+        }
+        flipPosition(f, p);
+    } else {
+        // Two errors: locator Lambda(x) = 1 + s1·x + (s3/s1 + s1^2)·x^2
+        // searched over the 144 live positions; Lambda(alpha^-j) = 0
+        // marks an error at j.
+        const std::uint8_t sigma2 = gf256::div(s3, s1) ^ s1sq;
+        std::uint8_t t1 = s1;
+        std::uint8_t t2 = sigma2;
+        unsigned roots[2];
+        unsigned nroots = 0;
+        for (unsigned j = 0; j < BchLineEngine::kCodeBits; ++j) {
+            if (static_cast<std::uint8_t>(1 ^ t1 ^ t2) == 0) {
+                if (nroots == 2) {
+                    f.ok = false;  // locator degenerate: > 2 roots
+                    return f;
+                }
+                roots[nroots++] = j;
+            }
+            t1 = gf256::mulExp(t1, gf256::kGroupOrder - 1);
+            t2 = gf256::mulExp(t2, gf256::kGroupOrder - 2);
+        }
+        if (nroots != 2) {
+            f.ok = false;
+            return f;
+        }
+        flipPosition(f, roots[0]);
+        flipPosition(f, roots[1]);
+    }
+
+    // A correction is only trusted if the patched codeword re-encodes
+    // cleanly — beyond-capability patterns that alias into a "fix" are
+    // rejected rather than silently mis-corrected.
+    if (BchLineEngine::encodeGroup(f.lo, f.hi) != f.check)
+        f.ok = false;
+    return f;
+}
+
+} // namespace
+
+std::uint32_t
+BchLineEngine::generatorPoly()
+{
+    return tables().gen;
+}
+
+std::uint16_t
+BchLineEngine::encodeGroup(std::uint64_t lo, std::uint64_t hi)
+{
+    const BchTables &t = tables();
+    std::uint16_t rem = 0;
+    for (unsigned k = 0; k < 16; ++k) {
+        const std::uint8_t byte = dataByte(lo, hi, k);
+        rem = static_cast<std::uint16_t>(
+            (rem << 8) ^ t.encTab[(rem >> 8) ^ byte]);
+    }
+    return rem;
+}
+
+std::uint16_t
+BchLineEngine::encodeGroupNaive(std::uint64_t lo, std::uint64_t hi)
+{
+    const std::uint16_t glow = static_cast<std::uint16_t>(generatorPoly());
+    std::uint16_t rem = 0;
+    for (int i = 127; i >= 0; --i) {
+        const unsigned top = (rem >> 15) & 1;
+        const unsigned bit = static_cast<unsigned>(
+            (i >= 64 ? hi >> (i - 64) : lo >> i) & 1);
+        rem = static_cast<std::uint16_t>(rem << 1);
+        if (top)
+            rem ^= glow;
+        if (bit)
+            rem ^= glow;
+    }
+    return rem;
+}
+
+LineEcc
+BchLineEngine::encodeLine(const CacheLine &line) const
+{
+    LineEcc ecc = 0;
+    for (unsigned g = 0; g < kGroups; ++g) {
+        const std::uint16_t c =
+            encodeGroup(line.word(2 * g), line.word(2 * g + 1));
+        ecc |= static_cast<std::uint64_t>(c) << (16 * g);
+    }
+    return ecc;
+}
+
+LineEcc
+BchLineEngine::encodeLineOracle(const CacheLine &line) const
+{
+    LineEcc ecc = 0;
+    for (unsigned g = 0; g < kGroups; ++g) {
+        const std::uint16_t c =
+            encodeGroupNaive(line.word(2 * g), line.word(2 * g + 1));
+        ecc |= static_cast<std::uint64_t>(c) << (16 * g);
+    }
+    return ecc;
+}
+
+LineDecodeResult
+BchLineEngine::decodeLine(const CacheLine &line, LineEcc ecc) const
+{
+    LineDecodeResult out;
+    out.line = line;
+    out.ecc = ecc;
+
+    bool anyData = false;
+    bool anyCheck = false;
+    for (unsigned g = 0; g < kGroups; ++g) {
+        const GroupFix f = decodeGroup(
+            line.word(2 * g), line.word(2 * g + 1),
+            static_cast<std::uint16_t>(ecc >> (16 * g)));
+        if (!f.ok) {
+            out.status = EccStatus::Uncorrectable;
+            return out;
+        }
+        if (f.loFixed) {
+            out.line.setWord(2 * g, f.lo);
+            ++out.correctedWords;
+            anyData = true;
+        }
+        if (f.hiFixed) {
+            out.line.setWord(2 * g + 1, f.hi);
+            ++out.correctedWords;
+            anyData = true;
+        }
+        if (f.checkFixed) {
+            out.ecc &= ~(0xffffull << (16 * g));
+            out.ecc |= static_cast<std::uint64_t>(f.check) << (16 * g);
+            if (!f.loFixed && !f.hiFixed)
+                ++out.correctedWords;
+            anyCheck = true;
+        }
+    }
+
+    if (anyData)
+        out.status = EccStatus::CorrectedData;
+    else if (anyCheck)
+        out.status = EccStatus::CorrectedCheck;
+    return out;
+}
+
+} // namespace esd

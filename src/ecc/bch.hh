@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Interleaved binary BCH line codec: four BCH(144,128) codewords per
+ * 64-byte line, t=2 bit errors correctable per codeword.
+ *
+ * Group g (0..3) protects line words 2g and 2g+1 (128 data bits) with
+ * 16 check bits stored in LineEcc bits [16g, 16g+16). The code is the
+ * narrow-sense binary BCH of length 255 over GF(2^8) (primitive
+ * polynomial 0x11d) shortened to 144: generator g(x) = m1(x)·m3(x),
+ * the product of the minimal polynomials of alpha and alpha^3, degree
+ * 16, designed distance 5.
+ *
+ * Codeword bit positions: 0..15 hold the check bits (position j =
+ * check bit j), 16..143 hold the data bits (position 16+i = data bit
+ * i; bits 0..63 come from the even word, 64..127 from the odd word).
+ *
+ * Encode is a CRC-style byte-table remainder of d(x)·x^16 mod g(x);
+ * encodeGroupNaive is the bitwise long-division oracle. Decode
+ * computes syndromes S1 = r(alpha), S3 = r(alpha^3) from per-byte
+ * XOR tables, corrects single errors at log(S1) and double errors via
+ * the quadratic error locator with a Chien search over the 144 live
+ * positions, and re-encodes to verify every correction.
+ */
+
+#ifndef ESD_ECC_BCH_HH
+#define ESD_ECC_BCH_HH
+
+#include "ecc/ecc_engine.hh"
+
+namespace esd
+{
+
+class BchLineEngine final : public EccEngine
+{
+  public:
+    /** Independent codewords per line. */
+    static constexpr unsigned kGroups = 4;
+
+    /** Codeword length in bits (16 check + 128 data). */
+    static constexpr unsigned kCodeBits = 144;
+
+    /** Check bits per codeword. */
+    static constexpr unsigned kCheckBits = 16;
+
+    /** The degree-16 generator polynomial m1·m3, including the x^16
+     * term (bit 16 set) — exposed so tests can check its structure. */
+    static std::uint32_t generatorPoly();
+
+    /** Table-driven check bits of one group (@p lo = even word,
+     * @p hi = odd word). */
+    static std::uint16_t encodeGroup(std::uint64_t lo, std::uint64_t hi);
+
+    /** Bitwise long-division oracle for encodeGroup. */
+    static std::uint16_t encodeGroupNaive(std::uint64_t lo,
+                                          std::uint64_t hi);
+
+    EccEngineKind kind() const override { return EccEngineKind::Bch; }
+    const char *name() const override { return "bch"; }
+
+    EccCapability
+    capability() const override
+    {
+        return EccCapability{kGroups, 2, 1, 128};
+    }
+
+    LineEcc encodeLine(const CacheLine &line) const override;
+    LineEcc encodeLineOracle(const CacheLine &line) const override;
+    LineDecodeResult decodeLine(const CacheLine &line,
+                                LineEcc ecc) const override;
+};
+
+} // namespace esd
+
+#endif // ESD_ECC_BCH_HH

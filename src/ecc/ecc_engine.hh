@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Runtime-selected line ECC engines.
+ *
+ * The paper's central bet — free SEC-DED check bits double as a dedup
+ * fingerprint — is exercised against stronger codes through this
+ * interface: one EccEngine per codec (Hamming SEC-DED, interleaved
+ * BCH, Reed-Solomon), all emitting the same 64-bit LineEcc check word
+ * so stored lines, EFIT entries, and trace records keep their layout
+ * whatever the code.
+ *
+ * Engines are stateless; eccEngine() hands out process-wide
+ * singletons. Selection flows from `[ecc] engine=` / `esd_sim -ecc=`
+ * into SimConfig and from there into every consumer (scheme write and
+ * verify paths, RAS scrub-correct-retire, Osiris counter probing).
+ */
+
+#ifndef ESD_ECC_ECC_ENGINE_HH
+#define ESD_ECC_ECC_ENGINE_HH
+
+#include "common/config.hh"
+#include "ecc/line_ecc.hh"
+
+namespace esd
+{
+
+/** Correction-strength metadata of one engine, in units of the code's
+ * independent codewords ("units") per 64-byte line. */
+struct EccCapability
+{
+    /** Independent codewords per line (Hamming: 8, BCH: 4, RS: 1). */
+    unsigned units = 0;
+
+    /** Guaranteed-correctable symbol errors per codeword (t). */
+    unsigned tPerUnit = 0;
+
+    /** Bits per code symbol (1 for the binary codes, 8 for RS). */
+    unsigned symbolBits = 0;
+
+    /** Data bits protected by one codeword. */
+    unsigned dataBitsPerUnit = 0;
+};
+
+/**
+ * One pluggable line codec: 64 data bytes in, 64 check bits out, with
+ * decode-and-correct against possibly faulty media.
+ */
+class EccEngine
+{
+  public:
+    virtual ~EccEngine() = default;
+
+    virtual EccEngineKind kind() const = 0;
+
+    /** Config-file spelling ("hamming" / "bch" / "rs"). */
+    virtual const char *name() const = 0;
+
+    /** Correction-capability metadata (drives generic tests and the
+     * DESIGN.md capability table). */
+    virtual EccCapability capability() const = 0;
+
+    /** Check-word width — the fingerprint the dedup schemes intercept.
+     * Every engine packs into the 64-bit LineEcc, so the EFIT entry
+     * layout (8 B fingerprint field) is engine-independent. */
+    unsigned fingerprintBits() const { return 64; }
+
+    /** Compute the 64-bit check word of @p line (production kernel). */
+    virtual LineEcc encodeLine(const CacheLine &line) const = 0;
+
+    /** Naive scalar reference encoder — the test oracle; never used on
+     * the simulation hot path. */
+    virtual LineEcc encodeLineOracle(const CacheLine &line) const = 0;
+
+    /**
+     * Verify-and-correct @p line against @p ecc.
+     *
+     * Errors within each codeword's capability t are corrected (data
+     * and check bits alike); anything beyond marks the line
+     * Uncorrectable. Corrections are re-verified by re-encoding, so a
+     * Corrected* result always carries a consistent (line, ecc) pair.
+     */
+    virtual LineDecodeResult decodeLine(const CacheLine &line,
+                                        LineEcc ecc) const = 0;
+
+    /** The dedup fingerprint of @p line — the check word itself. */
+    std::uint64_t fingerprint(const CacheLine &line) const
+    {
+        return encodeLine(line);
+    }
+};
+
+/** The process-wide singleton engine for @p kind. */
+const EccEngine &eccEngine(EccEngineKind kind);
+
+} // namespace esd
+
+#endif // ESD_ECC_ECC_ENGINE_HH

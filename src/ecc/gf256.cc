@@ -1,0 +1,125 @@
+#include "ecc/gf256.hh"
+
+#include "common/logging.hh"
+
+namespace esd
+{
+namespace gf256
+{
+
+namespace
+{
+
+/** Log/antilog tables, built once at first use (thread-safe statics).
+ * expTab is doubled so exp(log(a)+log(b)) needs no modular reduce. */
+struct Tables
+{
+    std::uint8_t expTab[2 * kGroupOrder];
+    unsigned logTab[256];
+
+    Tables()
+    {
+        unsigned v = 1;
+        for (unsigned i = 0; i < kGroupOrder; ++i) {
+            expTab[i] = static_cast<std::uint8_t>(v);
+            expTab[i + kGroupOrder] = static_cast<std::uint8_t>(v);
+            logTab[v] = i;
+            v <<= 1;
+            if (v & 0x100)
+                v ^= kPrimPoly;
+        }
+        logTab[0] = 0;  // never consulted; log(0) is a caller bug
+    }
+};
+
+const Tables &
+tables()
+{
+    static const Tables t;
+    return t;
+}
+
+} // namespace
+
+std::uint8_t
+mul(std::uint8_t a, std::uint8_t b)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    const Tables &t = tables();
+    return t.expTab[t.logTab[a] + t.logTab[b]];
+}
+
+std::uint8_t
+div(std::uint8_t a, std::uint8_t b)
+{
+    esd_assert(b != 0, "gf256 division by zero");
+    if (a == 0)
+        return 0;
+    const Tables &t = tables();
+    return t.expTab[t.logTab[a] + kGroupOrder - t.logTab[b]];
+}
+
+std::uint8_t
+inv(std::uint8_t a)
+{
+    esd_assert(a != 0, "gf256 inverse of zero");
+    const Tables &t = tables();
+    return t.expTab[kGroupOrder - t.logTab[a]];
+}
+
+std::uint8_t
+exp(unsigned e)
+{
+    return tables().expTab[e % kGroupOrder];
+}
+
+unsigned
+log(std::uint8_t a)
+{
+    esd_assert(a != 0, "gf256 log of zero");
+    return tables().logTab[a];
+}
+
+std::uint8_t
+mulExp(std::uint8_t x, unsigned e)
+{
+    if (x == 0)
+        return 0;
+    const Tables &t = tables();
+    return t.expTab[t.logTab[x] + (e % kGroupOrder)];
+}
+
+std::uint8_t
+mulNaive(std::uint8_t a, std::uint8_t b)
+{
+    unsigned acc = 0;
+    unsigned aa = a;
+    for (unsigned bit = 0; bit < 8; ++bit) {
+        if (b & (1u << bit))
+            acc ^= aa << bit;
+    }
+    // Reduce the degree-<15 product by the primitive polynomial.
+    for (int d = 14; d >= 8; --d) {
+        if (acc & (1u << d))
+            acc ^= kPrimPoly << (d - 8);
+    }
+    return static_cast<std::uint8_t>(acc);
+}
+
+std::uint8_t
+powNaive(std::uint8_t a, unsigned e)
+{
+    std::uint8_t result = 1;
+    std::uint8_t base = a;
+    while (e != 0) {
+        if (e & 1)
+            result = mulNaive(result, base);
+        base = mulNaive(base, base);
+        e >>= 1;
+    }
+    return result;
+}
+
+} // namespace gf256
+} // namespace esd

@@ -1,0 +1,295 @@
+#include "ecc/rs.hh"
+
+#include "common/logging.hh"
+#include "ecc/gf256.hh"
+
+namespace esd
+{
+
+namespace
+{
+
+constexpr unsigned kData = 64;
+constexpr unsigned kPar = RsLineEngine::kParitySymbols;
+constexpr unsigned kN = RsLineEngine::kCodeSymbols;
+constexpr unsigned kT = 4;
+
+/** Generator coefficients of g(x) = prod_{j<8} (x + alpha^j);
+ * gen[i] is the coefficient of x^i, gen[8] = 1. */
+struct RsTables
+{
+    std::uint8_t gen[kPar + 1] = {1};
+
+    RsTables()
+    {
+        unsigned deg = 0;
+        for (unsigned j = 0; j < kPar; ++j) {
+            const std::uint8_t root = gf256::exp(j);
+            ++deg;
+            gen[deg] = 0;
+            for (unsigned i = deg; i > 0; --i)
+                gen[i] = gen[i - 1] ^ gf256::mul(gen[i], root);
+            gen[0] = gf256::mul(gen[0], root);
+        }
+        esd_assert(gen[kPar] == 1, "rs generator not monic");
+    }
+};
+
+const RsTables &
+tables()
+{
+    static const RsTables t;
+    return t;
+}
+
+/** Line byte k (k = 0..63) <-> word k/8, lane k%8 — the mapping is its
+ * own inverse, so corrections land back in the right word. */
+void
+lineBytes(const CacheLine &line, std::uint8_t out[kData])
+{
+    for (unsigned k = 0; k < kData; ++k)
+        out[k] = static_cast<std::uint8_t>(
+            line.word(k / 8) >> (8 * (k % 8)));
+}
+
+void
+storeLineBytes(CacheLine &line, const std::uint8_t in[kData])
+{
+    for (unsigned w = 0; w < kWordsPerLine; ++w) {
+        std::uint64_t v = 0;
+        for (unsigned b = 0; b < 8; ++b)
+            v |= static_cast<std::uint64_t>(in[8 * w + b]) << (8 * b);
+        line.setWord(w, v);
+    }
+}
+
+std::uint64_t
+packParity(const std::uint8_t parity[kPar])
+{
+    std::uint64_t ecc = 0;
+    for (unsigned j = 0; j < kPar; ++j)
+        ecc |= static_cast<std::uint64_t>(parity[j]) << (8 * j);
+    return ecc;
+}
+
+} // namespace
+
+void
+RsLineEngine::encodeParity(const std::uint8_t data[64],
+                           std::uint8_t parity[kParitySymbols])
+{
+    const RsTables &t = tables();
+    std::uint8_t reg[kPar] = {};
+    for (unsigned k = 0; k < kData; ++k) {
+        const std::uint8_t fb = data[k] ^ reg[kPar - 1];
+        for (unsigned j = kPar - 1; j > 0; --j)
+            reg[j] = reg[j - 1] ^ gf256::mul(fb, t.gen[j]);
+        reg[0] = gf256::mul(fb, t.gen[0]);
+    }
+    for (unsigned j = 0; j < kPar; ++j)
+        parity[j] = reg[j];
+}
+
+void
+RsLineEngine::encodeParityNaive(const std::uint8_t data[64],
+                                std::uint8_t parity[kParitySymbols])
+{
+    const RsTables &t = tables();
+    // Long division of d(x)·x^8 by g(x); D[p] is the coefficient of
+    // x^p, data byte 0 the highest.
+    std::uint8_t D[kN] = {};
+    for (unsigned k = 0; k < kData; ++k)
+        D[kN - 1 - k] = data[k];
+    for (unsigned p = kN - 1; p >= kPar; --p) {
+        const std::uint8_t q = D[p];
+        if (q == 0)
+            continue;
+        for (unsigned i = 0; i <= kPar; ++i)
+            D[p - kPar + i] ^= gf256::mulNaive(q, t.gen[i]);
+    }
+    for (unsigned j = 0; j < kPar; ++j)
+        parity[j] = D[j];
+}
+
+LineEcc
+RsLineEngine::encodeLine(const CacheLine &line) const
+{
+    std::uint8_t data[kData];
+    std::uint8_t parity[kPar];
+    lineBytes(line, data);
+    encodeParity(data, parity);
+    return packParity(parity);
+}
+
+LineEcc
+RsLineEngine::encodeLineOracle(const CacheLine &line) const
+{
+    std::uint8_t data[kData];
+    std::uint8_t parity[kPar];
+    lineBytes(line, data);
+    encodeParityNaive(data, parity);
+    return packParity(parity);
+}
+
+LineDecodeResult
+RsLineEngine::decodeLine(const CacheLine &line, LineEcc ecc) const
+{
+    LineDecodeResult out;
+    out.line = line;
+    out.ecc = ecc;
+
+    // Received codeword, c[p] = coefficient of x^p.
+    std::uint8_t data[kData];
+    lineBytes(line, data);
+    std::uint8_t c[kN];
+    for (unsigned j = 0; j < kPar; ++j)
+        c[j] = static_cast<std::uint8_t>(ecc >> (8 * j));
+    for (unsigned k = 0; k < kData; ++k)
+        c[kN - 1 - k] = data[k];
+
+    // Horner syndromes S[j] = c(alpha^j).
+    std::uint8_t S[kPar];
+    bool clean = true;
+    for (unsigned j = 0; j < kPar; ++j) {
+        std::uint8_t acc = 0;
+        for (int p = kN - 1; p >= 0; --p)
+            acc = gf256::mulExp(acc, j) ^ c[p];
+        S[j] = acc;
+        clean = clean && acc == 0;
+    }
+    if (clean)
+        return out;
+
+    // Berlekamp-Massey: smallest locator Lambda with the syndrome
+    // recurrence; L ends up as the claimed error count.
+    std::uint8_t lambda[kPar + 1] = {1};
+    std::uint8_t prev[kPar + 1] = {1};
+    unsigned L = 0;
+    unsigned m = 1;
+    std::uint8_t b = 1;
+    for (unsigned n = 0; n < kPar; ++n) {
+        std::uint8_t delta = S[n];
+        for (unsigned i = 1; i <= L && i <= kPar; ++i)
+            delta ^= gf256::mul(lambda[i], S[n - i]);
+        if (delta == 0) {
+            ++m;
+            continue;
+        }
+        std::uint8_t next[kPar + 1];
+        for (unsigned i = 0; i <= kPar; ++i)
+            next[i] = lambda[i];
+        const std::uint8_t coef = gf256::div(delta, b);
+        for (unsigned i = 0; i + m <= kPar; ++i)
+            next[i + m] ^= gf256::mul(coef, prev[i]);
+        if (2 * L <= n) {
+            for (unsigned i = 0; i <= kPar; ++i)
+                prev[i] = lambda[i];
+            L = n + 1 - L;
+            b = delta;
+            m = 1;
+        } else {
+            ++m;
+        }
+        for (unsigned i = 0; i <= kPar; ++i)
+            lambda[i] = next[i];
+    }
+    if (L > kT) {
+        out.status = EccStatus::Uncorrectable;
+        return out;
+    }
+
+    // Chien search over the live positions: Lambda(alpha^-p) == 0
+    // marks an error at position p.
+    unsigned errPos[kT];
+    unsigned nerr = 0;
+    std::uint8_t term[kPar + 1];
+    for (unsigned j = 0; j <= kPar; ++j)
+        term[j] = lambda[j];
+    for (unsigned p = 0; p < kN; ++p) {
+        std::uint8_t val = 0;
+        for (unsigned j = 0; j <= L; ++j)
+            val ^= term[j];
+        if (val == 0) {
+            if (nerr == kT) {
+                out.status = EccStatus::Uncorrectable;
+                return out;
+            }
+            errPos[nerr++] = p;
+        }
+        for (unsigned j = 1; j <= L; ++j)
+            term[j] = gf256::mulExp(term[j], gf256::kGroupOrder - j);
+    }
+    if (nerr != L) {
+        out.status = EccStatus::Uncorrectable;
+        return out;
+    }
+
+    // Forney values: Omega(x) = S(x)·Lambda(x) mod x^8, and the error
+    // magnitude at X_k = alpha^p is X_k·Omega(X_k^-1)/Lambda'(X_k^-1).
+    std::uint8_t omega[kPar] = {};
+    for (unsigned i = 0; i < kPar; ++i) {
+        for (unsigned j = 0; j <= L && i + j < kPar; ++j)
+            omega[i + j] ^= gf256::mul(S[i], lambda[j]);
+    }
+    bool anyData = false;
+    unsigned wordMask = 0;
+    unsigned parityFixed = 0;
+    for (unsigned k = 0; k < nerr; ++k) {
+        const unsigned p = errPos[k];
+        const std::uint8_t xinv = gf256::exp(gf256::kGroupOrder - p);
+        std::uint8_t num = 0;
+        for (int i = kPar - 1; i >= 0; --i)
+            num = gf256::mul(num, xinv) ^ omega[i];
+        std::uint8_t den = 0;
+        for (unsigned j = 1; j <= L; j += 2) {
+            std::uint8_t pw = 1;
+            for (unsigned r = 0; r + 1 < j; ++r)
+                pw = gf256::mul(pw, xinv);
+            den ^= gf256::mul(lambda[j], pw);
+        }
+        if (den == 0) {
+            out.status = EccStatus::Uncorrectable;
+            return out;
+        }
+        const std::uint8_t e =
+            gf256::mulExp(gf256::div(num, den), p);
+        if (e == 0) {
+            out.status = EccStatus::Uncorrectable;
+            return out;
+        }
+        c[p] ^= e;
+        if (p < kPar) {
+            ++parityFixed;
+        } else {
+            anyData = true;
+            wordMask |= 1u << ((kN - 1 - p) / 8);
+        }
+    }
+
+    // Fold corrections back and insist the patched codeword re-encodes
+    // cleanly before trusting it.
+    std::uint8_t fixedData[kData];
+    std::uint8_t fixedParity[kPar];
+    for (unsigned k = 0; k < kData; ++k)
+        fixedData[k] = c[kN - 1 - k];
+    for (unsigned j = 0; j < kPar; ++j)
+        fixedParity[j] = c[j];
+    std::uint8_t reenc[kPar];
+    encodeParity(fixedData, reenc);
+    for (unsigned j = 0; j < kPar; ++j) {
+        if (reenc[j] != fixedParity[j]) {
+            out.status = EccStatus::Uncorrectable;
+            return out;
+        }
+    }
+
+    storeLineBytes(out.line, fixedData);
+    out.ecc = packParity(fixedParity);
+    out.correctedWords =
+        static_cast<unsigned>(__builtin_popcount(wordMask)) + parityFixed;
+    out.status = anyData ? EccStatus::CorrectedData
+                         : EccStatus::CorrectedCheck;
+    return out;
+}
+
+} // namespace esd

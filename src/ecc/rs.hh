@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reed-Solomon line codec: one RS(72,64) codeword over GF(2^8) per
+ * 64-byte line, t=4 symbol (byte) errors correctable.
+ *
+ * The code is RS(255,247) shortened to length 72 with first root
+ * alpha^0: g(x) = prod_{j=0..7} (x + alpha^j). Line byte k maps to the
+ * coefficient of x^(71-k); parity byte j (LineEcc bits [8j, 8j+8)) is
+ * the coefficient of x^j — systematic, so the 8 parity bytes are the
+ * check word and, under ESD, the dedup fingerprint. Minimum distance 9
+ * means any two lines differing in at most 8 bytes are guaranteed to
+ * get different check words.
+ *
+ * encodeParity is the table-driven LFSR division; encodeParityNaive is
+ * a schoolbook polynomial long division built on gf256::mulNaive.
+ * Decode runs Horner syndromes, Berlekamp-Massey, a Chien search over
+ * the 72 live positions, and the Forney value formula, then re-encodes
+ * to verify every correction.
+ */
+
+#ifndef ESD_ECC_RS_HH
+#define ESD_ECC_RS_HH
+
+#include "ecc/ecc_engine.hh"
+
+namespace esd
+{
+
+class RsLineEngine final : public EccEngine
+{
+  public:
+    /** Parity symbols per codeword (= 2t). */
+    static constexpr unsigned kParitySymbols = 8;
+
+    /** Codeword length in symbols: 64 data + 8 parity. */
+    static constexpr unsigned kCodeSymbols = 72;
+
+    /** Table-driven LFSR parity of the 64 data bytes (byte 0 is the
+     * highest coefficient). */
+    static void encodeParity(const std::uint8_t data[64],
+                             std::uint8_t parity[kParitySymbols]);
+
+    /** Schoolbook long-division oracle for encodeParity. */
+    static void encodeParityNaive(const std::uint8_t data[64],
+                                  std::uint8_t parity[kParitySymbols]);
+
+    EccEngineKind kind() const override { return EccEngineKind::Rs; }
+    const char *name() const override { return "rs"; }
+
+    EccCapability
+    capability() const override
+    {
+        return EccCapability{1, 4, 8, 512};
+    }
+
+    LineEcc encodeLine(const CacheLine &line) const override;
+    LineEcc encodeLineOracle(const CacheLine &line) const override;
+    LineDecodeResult decodeLine(const CacheLine &line,
+                                LineEcc ecc) const override;
+};
+
+} // namespace esd
+
+#endif // ESD_ECC_RS_HH

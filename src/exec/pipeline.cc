@@ -448,7 +448,8 @@ ShardedPipeline::checkInjectedCrash() const
     Simulator &sim = *shards_[static_cast<unsigned>(cs)];
     const PersistenceManager *pm = sim.persistence();
     RecoveredState rec = recoverFromImage(pm->image(), pm->config(),
-                                          sim.scheme().crypto());
+                                          sim.scheme().crypto(),
+                                          sim.scheme().ecc());
     PadSafetyReport audit = auditPadSafety(rec, pm->image());
     if (!rec.summary.ok)
         return "crash recovery failed: " +

@@ -55,7 +55,8 @@ checkInjectedCrash(Simulator &sim)
         return "run ended before the injected crash point (write " +
                std::to_string(pm->config().crashAtWrite) + ")";
     RecoveredState rec = recoverFromImage(pm->image(), pm->config(),
-                                          sim.scheme().crypto());
+                                          sim.scheme().crypto(),
+                                          sim.scheme().ecc());
     PadSafetyReport audit = auditPadSafety(rec, pm->image());
     if (!rec.summary.ok)
         return "crash recovery failed: " +

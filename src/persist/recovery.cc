@@ -2,6 +2,7 @@
 
 #include "common/config_io.hh"
 #include "common/json.hh"
+#include "ecc/ecc_engine.hh"
 #include "ecc/line_ecc.hh"
 
 namespace esd
@@ -22,14 +23,14 @@ namespace
  *         probe budget (counters are >= 1 once a line was written).
  */
 std::uint64_t
-probeCounter(const CtrModeEngine &crypto, Addr addr,
+probeCounter(const CtrModeEngine &crypto, const EccEngine &ecc, Addr addr,
              const StoredLine &line, std::uint64_t j, std::uint64_t slack,
              std::uint64_t budget, std::uint64_t &probes_used)
 {
     auto tryCtr = [&](std::uint64_t c) {
         ++probes_used;
         CacheLine plain = crypto.applyPad(addr, c, line.data);
-        return LineEccCodec::encode(plain) == line.ecc;
+        return ecc.encodeLine(plain) == line.ecc;
     };
     std::uint64_t lo = j > slack ? j - slack : 1;
     for (std::uint64_t c = j < 1 ? 1 : j;
@@ -48,7 +49,7 @@ probeCounter(const CtrModeEngine &crypto, Addr addr,
 
 RecoveredState
 recoverFromImage(const CrashImage &img, const PersistenceConfig &cfg,
-                 const CtrModeEngine &crypto)
+                 const CtrModeEngine &crypto, const EccEngine &ecc)
 {
     RecoveredState out;
     RecoverySummary &s = out.summary;
@@ -73,7 +74,7 @@ recoverFromImage(const CrashImage &img, const PersistenceConfig &cfg,
         auto it = st.ctr.find(addr);
         std::uint64_t j = it == st.ctr.end() ? 0 : it->second;
         std::uint64_t probes = 0;
-        std::uint64_t found = probeCounter(crypto, addr, line, j, slack,
+        std::uint64_t found = probeCounter(crypto, ecc, addr, line, j, slack,
                                            cfg.counterProbeMax, probes);
         s.countersProbed += probes;
         std::uint64_t safe = j;

@@ -35,6 +35,7 @@
 
 #include <ostream>
 
+#include "ecc/ecc_engine.hh"
 #include "persist/persistence.hh"
 
 namespace esd
@@ -91,11 +92,13 @@ struct RecoveredState
 /**
  * Run recovery on @p img. @p crypto supplies the surviving AES key
  * (counter probes decrypt with it); @p cfg supplies slack and probe
- * bounds.
+ * bounds; @p ecc must be the engine the crashed run encoded with, or
+ * every counter probe's re-encode comparison is meaningless.
  */
-RecoveredState recoverFromImage(const CrashImage &img,
-                                const PersistenceConfig &cfg,
-                                const CtrModeEngine &crypto);
+RecoveredState recoverFromImage(
+    const CrashImage &img, const PersistenceConfig &cfg,
+    const CtrModeEngine &crypto,
+    const EccEngine &ecc = eccEngine(EccEngineKind::Hamming));
 
 /** Pad-reuse audit against the image's ground-truth counter oracle. */
 struct PadSafetyReport

@@ -10,9 +10,9 @@ namespace esd
 
 RasEngine::RasEngine(const RasConfig &cfg, NvmStore &store,
                      PcmDevice &device, CtrModeEngine &crypto,
-                     std::uint64_t seed)
+                     const EccEngine &ecc, std::uint64_t seed)
     : cfg_(cfg), store_(store), device_(device), crypto_(crypto),
-      faults_(cfg, store, seed)
+      ecc_(ecc), faults_(cfg, store, seed)
 {
     // Spare region: the top of the device, never handed out by normal
     // allocation (LineStore bumps from 0; metadata regions sit at fixed
@@ -105,7 +105,7 @@ RasEngine::storedIntact(Addr phys)
     // flipped ciphertext bit to exactly one plaintext bit, so decoding
     // after decryption sees exactly the injected faults.
     CacheLine plain = crypto_.decrypt(phys, stored->data);
-    return LineEccCodec::decode(plain, stored->ecc).status !=
+    return ecc_.decodeLine(plain, stored->ecc).status !=
            EccStatus::Uncorrectable;
 }
 
@@ -220,7 +220,7 @@ RasEngine::scrubLine(Addr phys, Tick now)
     if (!stored)
         return;
     CacheLine plain = crypto_.decrypt(phys, stored->data);
-    LineDecodeResult dec = LineEccCodec::decode(plain, stored->ecc);
+    LineDecodeResult dec = ecc_.decodeLine(plain, stored->ecc);
     if (dec.status == EccStatus::Uncorrectable) {
         stats_.patrolUncorrectable.inc();
         onUncorrectable(phys, rd.complete);

@@ -39,6 +39,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "crypto/ctr_mode.hh"
+#include "ecc/ecc_engine.hh"
 #include "ecc/line_ecc.hh"
 #include "nvm/nvm_store.hh"
 #include "nvm/pcm_device.hh"
@@ -84,7 +85,8 @@ class RasEngine
     };
 
     RasEngine(const RasConfig &cfg, NvmStore &store, PcmDevice &device,
-              CtrModeEngine &crypto, std::uint64_t seed);
+              CtrModeEngine &crypto, const EccEngine &ecc,
+              std::uint64_t seed);
 
     void setHooks(Hooks hooks) { hooks_ = std::move(hooks); }
 
@@ -198,6 +200,7 @@ class RasEngine
     NvmStore &store_;
     PcmDevice &device_;
     CtrModeEngine &crypto_;
+    const EccEngine &ecc_;
     FaultModel faults_;
     Hooks hooks_;
     PersistenceManager *persist_ = nullptr;

@@ -339,6 +339,45 @@ TEST_F(ConfigFileTest, RasRoundTrips)
     EXPECT_EQ(renderConfig(back), renderConfig(cfg));
 }
 
+TEST(ConfigIo, EccKeysApply)
+{
+    SimConfig cfg;
+    EXPECT_EQ(cfg.ecc.engine, EccEngineKind::Hamming);  // default codec
+    EXPECT_TRUE(applyConfigKey(cfg, "ecc.engine", "bch"));
+    EXPECT_EQ(cfg.ecc.engine, EccEngineKind::Bch);
+    EXPECT_TRUE(applyConfigKey(cfg, "ecc.engine", "rs"));
+    EXPECT_EQ(cfg.ecc.engine, EccEngineKind::Rs);
+    EXPECT_TRUE(applyConfigKey(cfg, "ecc.engine", "hamming"));
+    EXPECT_EQ(cfg.ecc.engine, EccEngineKind::Hamming);
+}
+
+TEST_F(ConfigFileTest, EccRoundTrips)
+{
+    SimConfig cfg;
+    cfg.ecc.engine = EccEngineKind::Rs;
+    {
+        std::ofstream out(path_);
+        out << renderConfig(cfg);
+    }
+    SimConfig back;
+    loadConfigFile(back, path_.string());
+    EXPECT_EQ(back.ecc.engine, EccEngineKind::Rs);
+    EXPECT_EQ(renderConfig(back), renderConfig(cfg));
+}
+
+TEST(ConfigIoDeath, UnknownEccEngineIsFatal)
+{
+    SimConfig cfg;
+    EXPECT_EXIT(applyConfigKey(cfg, "ecc.engine", "banana"),
+                ::testing::ExitedWithCode(1), "not an ecc engine");
+    EXPECT_EXIT(applyConfigKey(cfg, "ecc.engine", "BCH"),
+                ::testing::ExitedWithCode(1),
+                "expected hamming, bch, or rs");
+    // Case-sensitive and whitespace-strict, like every other enum key.
+    EXPECT_EXIT(applyConfigKey(cfg, "ecc.engine", "rs "),
+                ::testing::ExitedWithCode(1), "not an ecc engine");
+}
+
 TEST(ConfigIo, PersistenceKeysApply)
 {
     SimConfig cfg;

@@ -1,0 +1,437 @@
+/**
+ * @file
+ * Conformance wall for the pluggable ECC engines: every engine's
+ * production kernel is swept against its naive oracle over all 2^16
+ * u16-splat patterns plus PCG fuzz, and error injection proves the
+ * claimed correction capability t per codeword — corrects up to t,
+ * detects (or refuses) beyond it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/random.hh"
+#include "ecc/bch.hh"
+#include "ecc/ecc_engine.hh"
+#include "ecc/gf256.hh"
+#include "ecc/rs.hh"
+
+namespace esd
+{
+namespace
+{
+
+const EccEngineKind kAllKinds[] = {
+    EccEngineKind::Hamming, EccEngineKind::Bch, EccEngineKind::Rs};
+
+CacheLine
+randomLine(Pcg32 &rng)
+{
+    CacheLine l;
+    rng.fillLine(l);
+    return l;
+}
+
+/** The pattern line used by the exhaustive sweeps: one u16 value
+ * splatted across all 32 lanes, hitting every byte pair. */
+CacheLine
+splatLine(unsigned pattern)
+{
+    const std::uint64_t lane = pattern & 0xffffu;
+    const std::uint64_t word = lane | lane << 16 | lane << 32 | lane << 48;
+    CacheLine l;
+    for (std::size_t w = 0; w < kWordsPerLine; ++w)
+        l.setWord(w, word);
+    return l;
+}
+
+TEST(EccEngineRegistry, KindsNamesAndCapabilities)
+{
+    for (EccEngineKind k : kAllKinds) {
+        const EccEngine &e = eccEngine(k);
+        EXPECT_EQ(e.kind(), k);
+        const EccCapability cap = e.capability();
+        // Every engine protects the full 512-bit line...
+        EXPECT_EQ(cap.units * cap.dataBitsPerUnit, 512u);
+        EXPECT_GE(cap.tPerUnit, 1u);
+        // ...and packs its check word into the same 64-bit LineEcc, so
+        // EFIT entries and stored-line layout are engine-independent.
+        EXPECT_EQ(e.fingerprintBits(), 64u);
+    }
+    EXPECT_STREQ(eccEngine(EccEngineKind::Hamming).name(), "hamming");
+    EXPECT_STREQ(eccEngine(EccEngineKind::Bch).name(), "bch");
+    EXPECT_STREQ(eccEngine(EccEngineKind::Rs).name(), "rs");
+}
+
+TEST(EccEngineRegistry, HammingEngineIsTheLegacyCodec)
+{
+    Pcg32 rng(7);
+    const EccEngine &e = eccEngine(EccEngineKind::Hamming);
+    for (int i = 0; i < 200; ++i) {
+        CacheLine l = randomLine(rng);
+        EXPECT_EQ(e.encodeLine(l), LineEccCodec::encode(l));
+        EXPECT_EQ(e.fingerprint(l), LineEccCodec::encode(l));
+    }
+}
+
+/** The BCH generator must be the degree-16 product m1·m3: binary, and
+ * annihilating both alpha and alpha^3 (the designed roots). */
+TEST(BchEngine, GeneratorHasDesignedRoots)
+{
+    const std::uint32_t g = BchLineEngine::generatorPoly();
+    EXPECT_EQ(g >> 16, 1u);
+    std::uint8_t atAlpha = 0;
+    std::uint8_t atAlpha3 = 0;
+    for (unsigned i = 0; i <= 16; ++i) {
+        if (g & (1u << i)) {
+            atAlpha ^= gf256::exp(i);
+            atAlpha3 ^= gf256::exp(3 * i);
+        }
+    }
+    EXPECT_EQ(atAlpha, 0u);
+    EXPECT_EQ(atAlpha3, 0u);
+}
+
+/** Table-driven group encoder vs the bitwise long-division oracle on
+ * random word pairs. */
+TEST(BchEngine, GroupEncodeMatchesNaive)
+{
+    Pcg32 rng(11);
+    EXPECT_EQ(BchLineEngine::encodeGroup(0, 0), 0u);
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t lo = rng.next64();
+        const std::uint64_t hi = rng.next64();
+        ASSERT_EQ(BchLineEngine::encodeGroup(lo, hi),
+                  BchLineEngine::encodeGroupNaive(lo, hi));
+    }
+}
+
+/** RS LFSR encoder vs the schoolbook polynomial division oracle. */
+TEST(RsEngine, ParityEncodeMatchesNaive)
+{
+    Pcg32 rng(13);
+    std::uint8_t data[64];
+    std::uint8_t fast[8];
+    std::uint8_t slow[8];
+    std::memset(data, 0, sizeof(data));
+    RsLineEngine::encodeParity(data, fast);
+    RsLineEngine::encodeParityNaive(data, slow);
+    EXPECT_EQ(std::memcmp(fast, slow, 8), 0);
+    for (int i = 0; i < 2000; ++i) {
+        for (auto &byte : data)
+            byte = static_cast<std::uint8_t>(rng.next64());
+        RsLineEngine::encodeParity(data, fast);
+        RsLineEngine::encodeParityNaive(data, slow);
+        ASSERT_EQ(std::memcmp(fast, slow, 8), 0) << "iteration " << i;
+    }
+}
+
+/** Every engine: production encode == naive oracle over all 2^16
+ * u16-splat patterns. */
+TEST(EccEngineConformance, ExhaustiveSplatSweepMatchesOracle)
+{
+    for (EccEngineKind k : kAllKinds) {
+        const EccEngine &e = eccEngine(k);
+        for (unsigned p = 0; p < 0x10000; ++p) {
+            const CacheLine l = splatLine(p);
+            ASSERT_EQ(e.encodeLine(l), e.encodeLineOracle(l))
+                << e.name() << " pattern " << p;
+        }
+    }
+}
+
+/** Every engine: production encode == naive oracle on random lines. */
+TEST(EccEngineConformance, FuzzedEncodeMatchesOracle)
+{
+    Pcg32 rng(17);
+    for (int i = 0; i < 2000; ++i) {
+        const CacheLine l = randomLine(rng);
+        for (EccEngineKind k : kAllKinds) {
+            const EccEngine &e = eccEngine(k);
+            ASSERT_EQ(e.encodeLine(l), e.encodeLineOracle(l))
+                << e.name() << " iteration " << i;
+        }
+    }
+}
+
+/** Clean decode round-trip: decode(line, encode(line)) is Ok and
+ * changes nothing, for every engine. */
+TEST(EccEngineConformance, CleanRoundTrip)
+{
+    Pcg32 rng(19);
+    for (int i = 0; i < 500; ++i) {
+        const CacheLine l = randomLine(rng);
+        for (EccEngineKind k : kAllKinds) {
+            const EccEngine &e = eccEngine(k);
+            const LineEcc ecc = e.encodeLine(l);
+            const LineDecodeResult r = e.decodeLine(l, ecc);
+            ASSERT_EQ(r.status, EccStatus::Ok) << e.name();
+            ASSERT_TRUE(r.line == l) << e.name();
+            ASSERT_EQ(r.ecc, ecc) << e.name();
+            ASSERT_EQ(r.correctedWords, 0u) << e.name();
+        }
+    }
+}
+
+/** Hamming t=1 per word: one flipped bit in every word at once — eight
+ * simultaneous errors — all corrected. */
+TEST(EccCorrection, HammingCorrectsOneBitPerWord)
+{
+    Pcg32 rng(23);
+    const EccEngine &e = eccEngine(EccEngineKind::Hamming);
+    for (int i = 0; i < 200; ++i) {
+        const CacheLine orig = randomLine(rng);
+        const LineEcc ecc = e.encodeLine(orig);
+        CacheLine bad = orig;
+        for (std::size_t w = 0; w < kWordsPerLine; ++w)
+            bad.setWord(w, bad.word(w) ^ (1ull << (rng.next64() % 64)));
+        const LineDecodeResult r = e.decodeLine(bad, ecc);
+        ASSERT_EQ(r.status, EccStatus::CorrectedData);
+        ASSERT_TRUE(r.line == orig);
+        ASSERT_EQ(r.ecc, ecc);
+        ASSERT_EQ(r.correctedWords, kWordsPerLine);
+    }
+}
+
+/** BCH t=2 per group: up to two flipped bits in each of the four
+ * codewords at once (data and/or check bits) — all corrected. */
+TEST(EccCorrection, BchCorrectsTwoBitsPerGroup)
+{
+    Pcg32 rng(29);
+    const EccEngine &e = eccEngine(EccEngineKind::Bch);
+    for (int i = 0; i < 300; ++i) {
+        const CacheLine orig = randomLine(rng);
+        const LineEcc ecc = e.encodeLine(orig);
+        CacheLine bad = orig;
+        LineEcc badEcc = ecc;
+        bool touchedData = false;
+        for (unsigned g = 0; g < BchLineEngine::kGroups; ++g) {
+            const unsigned nerr = rng.next64() % 3;  // 0, 1, or 2
+            unsigned prev = 144;
+            for (unsigned j = 0; j < nerr; ++j) {
+                unsigned pos;
+                do {
+                    pos = rng.next64() % BchLineEngine::kCodeBits;
+                } while (pos == prev);
+                prev = pos;
+                if (pos < BchLineEngine::kCheckBits) {
+                    badEcc ^= 1ull << (16 * g + pos);
+                } else {
+                    const unsigned bit = pos - BchLineEngine::kCheckBits;
+                    const std::size_t w = 2 * g + bit / 64;
+                    bad.setWord(w, bad.word(w) ^ (1ull << (bit % 64)));
+                    touchedData = true;
+                }
+            }
+        }
+        const LineDecodeResult r = e.decodeLine(bad, badEcc);
+        if (bad == orig && badEcc == ecc) {
+            ASSERT_EQ(r.status, EccStatus::Ok);
+        } else {
+            ASSERT_NE(r.status, EccStatus::Uncorrectable) << "iter " << i;
+            ASSERT_TRUE(r.line == orig) << "iter " << i;
+            ASSERT_EQ(r.ecc, ecc) << "iter " << i;
+            if (touchedData) {
+                ASSERT_EQ(r.status, EccStatus::CorrectedData);
+            }
+        }
+    }
+}
+
+/** RS t=4 symbols: up to four corrupted bytes anywhere in the codeword
+ * (data or parity) — all corrected. */
+TEST(EccCorrection, RsCorrectsFourSymbolErrors)
+{
+    Pcg32 rng(31);
+    const EccEngine &e = eccEngine(EccEngineKind::Rs);
+    for (int i = 0; i < 300; ++i) {
+        const CacheLine orig = randomLine(rng);
+        const LineEcc ecc = e.encodeLine(orig);
+        CacheLine bad = orig;
+        LineEcc badEcc = ecc;
+        const unsigned nerr = 1 + rng.next64() % 4;
+        bool used[72] = {};
+        bool touchedData = false;
+        for (unsigned j = 0; j < nerr; ++j) {
+            unsigned sym;
+            do {
+                sym = rng.next64() % RsLineEngine::kCodeSymbols;
+            } while (used[sym]);
+            used[sym] = true;
+            const auto delta = static_cast<std::uint8_t>(
+                1 + rng.next64() % 255);
+            if (sym < RsLineEngine::kParitySymbols) {
+                badEcc ^= static_cast<std::uint64_t>(delta) << (8 * sym);
+            } else {
+                const unsigned k = 71 - sym;  // line byte index
+                const std::size_t w = k / 8;
+                bad.setWord(w, bad.word(w) ^
+                    (static_cast<std::uint64_t>(delta) << (8 * (k % 8))));
+                touchedData = true;
+            }
+        }
+        const LineDecodeResult r = e.decodeLine(bad, badEcc);
+        ASSERT_NE(r.status, EccStatus::Uncorrectable) << "iter " << i;
+        ASSERT_TRUE(r.line == orig) << "iter " << i;
+        ASSERT_EQ(r.ecc, ecc) << "iter " << i;
+        ASSERT_EQ(r.status, touchedData ? EccStatus::CorrectedData
+                                        : EccStatus::CorrectedCheck);
+    }
+}
+
+/** Hamming beyond t: two flipped bits in one word are always detected
+ * as Uncorrectable (the SEC-DED guarantee), never mis-corrected. */
+TEST(EccDetection, HammingDetectsDoubleBitErrors)
+{
+    Pcg32 rng(37);
+    const EccEngine &e = eccEngine(EccEngineKind::Hamming);
+    for (int i = 0; i < 300; ++i) {
+        const CacheLine orig = randomLine(rng);
+        const LineEcc ecc = e.encodeLine(orig);
+        CacheLine bad = orig;
+        const std::size_t w = rng.next64() % kWordsPerLine;
+        const unsigned b1 = rng.next64() % 64;
+        unsigned b2;
+        do {
+            b2 = rng.next64() % 64;
+        } while (b2 == b1);
+        bad.setWord(w, bad.word(w) ^ (1ull << b1) ^ (1ull << b2));
+        const LineDecodeResult r = e.decodeLine(bad, ecc);
+        ASSERT_EQ(r.status, EccStatus::Uncorrectable) << "iter " << i;
+    }
+}
+
+/** BCH beyond t: three flipped bits in one codeword must never be
+ * silently "corrected" back to a state that hides the corruption —
+ * they are either refused outright or land on a different codeword
+ * (which the RAS layer's verify-after-scrub then catches). */
+TEST(EccDetection, BchRefusesTripleBitErrors)
+{
+    Pcg32 rng(41);
+    const EccEngine &e = eccEngine(EccEngineKind::Bch);
+    unsigned refused = 0;
+    const int kTrials = 300;
+    for (int i = 0; i < kTrials; ++i) {
+        const CacheLine orig = randomLine(rng);
+        const LineEcc ecc = e.encodeLine(orig);
+        CacheLine bad = orig;
+        LineEcc badEcc = ecc;
+        const unsigned g = rng.next64() % BchLineEngine::kGroups;
+        bool used[144] = {};
+        for (unsigned j = 0; j < 3; ++j) {
+            unsigned pos;
+            do {
+                pos = rng.next64() % BchLineEngine::kCodeBits;
+            } while (used[pos]);
+            used[pos] = true;
+            if (pos < BchLineEngine::kCheckBits) {
+                badEcc ^= 1ull << (16 * g + pos);
+            } else {
+                const unsigned bit = pos - BchLineEngine::kCheckBits;
+                const std::size_t w = 2 * g + bit / 64;
+                bad.setWord(w, bad.word(w) ^ (1ull << (bit % 64)));
+            }
+        }
+        const LineDecodeResult r = e.decodeLine(bad, badEcc);
+        // Distance 3 from the true codeword, so a "successful" decode
+        // can never return the original data.
+        ASSERT_FALSE(r.status != EccStatus::Uncorrectable &&
+                     r.line == orig && r.ecc == ecc)
+            << "iter " << i;
+        if (r.status == EccStatus::Uncorrectable)
+            ++refused;
+    }
+    // Weight-<=2 patterns fill ~16% of the 2^16 syndrome space, so
+    // ~84% of weight-3 errors fall outside every decoding sphere and
+    // are refused outright; the rest land on a wrong codeword, which
+    // the assertion above pins as never silently-correct.
+    EXPECT_GE(refused, kTrials * 3 / 4);
+}
+
+/** RS beyond t: five corrupted symbols — refused or visibly wrong,
+ * never silently restored. */
+TEST(EccDetection, RsRefusesFiveSymbolErrors)
+{
+    Pcg32 rng(43);
+    const EccEngine &e = eccEngine(EccEngineKind::Rs);
+    unsigned refused = 0;
+    const int kTrials = 300;
+    for (int i = 0; i < kTrials; ++i) {
+        const CacheLine orig = randomLine(rng);
+        const LineEcc ecc = e.encodeLine(orig);
+        CacheLine bad = orig;
+        LineEcc badEcc = ecc;
+        bool used[72] = {};
+        for (unsigned j = 0; j < 5; ++j) {
+            unsigned sym;
+            do {
+                sym = rng.next64() % RsLineEngine::kCodeSymbols;
+            } while (used[sym]);
+            used[sym] = true;
+            const auto delta = static_cast<std::uint8_t>(
+                1 + rng.next64() % 255);
+            if (sym < RsLineEngine::kParitySymbols) {
+                badEcc ^= static_cast<std::uint64_t>(delta) << (8 * sym);
+            } else {
+                const unsigned k = 71 - sym;
+                const std::size_t w = k / 8;
+                bad.setWord(w, bad.word(w) ^
+                    (static_cast<std::uint64_t>(delta) << (8 * (k % 8))));
+            }
+        }
+        const LineDecodeResult r = e.decodeLine(bad, badEcc);
+        ASSERT_FALSE(r.status != EccStatus::Uncorrectable &&
+                     r.line == orig && r.ecc == ecc)
+            << "iter " << i;
+        if (r.status == EccStatus::Uncorrectable)
+            ++refused;
+    }
+    EXPECT_GE(refused, kTrials * 9 / 10);
+}
+
+/** The RS fingerprint's adversarial edge over SEC-DED: minimum
+ * distance 9 guarantees two lines differing in at most 8 bytes can
+ * NEVER collide — the localized-delta corpus of Fig. 8 has a zero
+ * false-positive rate by construction. */
+TEST(EccFingerprint, RsNeverCollidesOnLocalizedDeltas)
+{
+    Pcg32 rng(47);
+    const EccEngine &e = eccEngine(EccEngineKind::Rs);
+    for (int i = 0; i < 2000; ++i) {
+        const CacheLine a = randomLine(rng);
+        CacheLine b = a;
+        const unsigned nbytes = 1 + rng.next64() % 8;
+        bool used[64] = {};
+        for (unsigned j = 0; j < nbytes; ++j) {
+            unsigned k;
+            do {
+                k = rng.next64() % 64;
+            } while (used[k]);
+            used[k] = true;
+            const auto delta = static_cast<std::uint8_t>(
+                1 + rng.next64() % 255);
+            b.setWord(k / 8, b.word(k / 8) ^
+                (static_cast<std::uint64_t>(delta) << (8 * (k % 8))));
+        }
+        ASSERT_NE(e.fingerprint(a), e.fingerprint(b)) << "iter " << i;
+    }
+}
+
+/** Equal lines always fingerprint equal, whatever the engine — the
+ * property the dedup schemes' compare step is built on. */
+TEST(EccFingerprint, EqualLinesFingerprintEqual)
+{
+    Pcg32 rng(53);
+    for (int i = 0; i < 200; ++i) {
+        const CacheLine a = randomLine(rng);
+        const CacheLine b = a;
+        for (EccEngineKind k : kAllKinds) {
+            const EccEngine &e = eccEngine(k);
+            ASSERT_EQ(e.fingerprint(a), e.fingerprint(b));
+        }
+    }
+}
+
+} // namespace
+} // namespace esd

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Exhaustive and property tests for the GF(2^8) arithmetic backing the
+ * BCH and Reed-Solomon engines: every table-driven operation is checked
+ * against its naive polynomial-arithmetic oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "ecc/gf256.hh"
+
+namespace esd
+{
+namespace
+{
+
+/** All 65536 products must match the shift-and-add oracle. */
+TEST(Gf256, MulMatchesNaiveExhaustively)
+{
+    for (unsigned a = 0; a < 256; ++a) {
+        for (unsigned b = 0; b < 256; ++b) {
+            ASSERT_EQ(gf256::mul(static_cast<std::uint8_t>(a),
+                                 static_cast<std::uint8_t>(b)),
+                      gf256::mulNaive(static_cast<std::uint8_t>(a),
+                                      static_cast<std::uint8_t>(b)))
+                << "a=" << a << " b=" << b;
+        }
+    }
+}
+
+/** div is the exact inverse of mul, for every pair. */
+TEST(Gf256, DivInvertsMulExhaustively)
+{
+    for (unsigned a = 0; a < 256; ++a) {
+        for (unsigned b = 1; b < 256; ++b) {
+            const std::uint8_t q = gf256::div(
+                static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b));
+            ASSERT_EQ(gf256::mul(q, static_cast<std::uint8_t>(b)), a)
+                << "a=" << a << " b=" << b;
+        }
+    }
+}
+
+TEST(Gf256, InverseMatchesFermatOracle)
+{
+    for (unsigned a = 1; a < 256; ++a) {
+        const auto av = static_cast<std::uint8_t>(a);
+        EXPECT_EQ(gf256::mul(av, gf256::inv(av)), 1u) << "a=" << a;
+        // a^-1 = a^254 by Fermat; powNaive never touches the tables.
+        EXPECT_EQ(gf256::inv(av), gf256::powNaive(av, 254)) << "a=" << a;
+    }
+}
+
+TEST(Gf256, ExpMatchesPowNaive)
+{
+    for (unsigned e = 0; e < 2 * gf256::kGroupOrder; ++e)
+        ASSERT_EQ(gf256::exp(e), gf256::powNaive(2, e)) << "e=" << e;
+}
+
+TEST(Gf256, LogExpRoundTrip)
+{
+    for (unsigned e = 0; e < gf256::kGroupOrder; ++e)
+        ASSERT_EQ(gf256::log(gf256::exp(e)), e);
+    for (unsigned a = 1; a < 256; ++a)
+        ASSERT_EQ(gf256::exp(gf256::log(static_cast<std::uint8_t>(a))), a);
+}
+
+/** alpha = 2 must generate the full multiplicative group. */
+TEST(Gf256, AlphaIsPrimitive)
+{
+    for (unsigned e = 1; e < gf256::kGroupOrder; ++e)
+        ASSERT_NE(gf256::exp(e), 1u) << "alpha order divides " << e;
+    EXPECT_EQ(gf256::exp(0), 1u);
+    EXPECT_EQ(gf256::exp(gf256::kGroupOrder), 1u);
+}
+
+TEST(Gf256, MulExpMatchesMulOfExp)
+{
+    for (unsigned a = 0; a < 256; ++a) {
+        for (unsigned e = 0; e < gf256::kGroupOrder; e += 7) {
+            ASSERT_EQ(gf256::mulExp(static_cast<std::uint8_t>(a), e),
+                      gf256::mul(static_cast<std::uint8_t>(a),
+                                 gf256::exp(e)))
+                << "a=" << a << " e=" << e;
+        }
+    }
+}
+
+/** Field axioms under fuzz: distributivity and associativity tie the
+ * table path and the naive path together on random operands. */
+TEST(Gf256, FieldAxiomsUnderFuzz)
+{
+    Pcg32 rng(2026);
+    for (int i = 0; i < 20000; ++i) {
+        const auto a = static_cast<std::uint8_t>(rng.next64());
+        const auto b = static_cast<std::uint8_t>(rng.next64());
+        const auto c = static_cast<std::uint8_t>(rng.next64());
+        ASSERT_EQ(gf256::mul(static_cast<std::uint8_t>(a ^ b), c),
+                  gf256::mulNaive(a, c) ^ gf256::mulNaive(b, c));
+        ASSERT_EQ(gf256::mul(gf256::mul(a, b), c),
+                  gf256::mulNaive(a, gf256::mulNaive(b, c)));
+    }
+}
+
+} // namespace
+} // namespace esd

@@ -6,7 +6,8 @@
  *
  *   esd_batch [-records=N] [-warmup=N] [-schemes=0,3] [-apps=a,b,c]
  *             [-jobs=N] [-workers=N] [-ConfigFile=path]
- *             [-trace-in=path] [-out=results.csv]
+ *             [-ecc=hamming|bch|rs] [-trace-in=path]
+ *             [-out=results.csv]
  *
  * Unknown -schemes/-apps values are rejected up front with a non-zero
  * exit. With -jobs=N the grid runs on a thread pool (shared-nothing,
@@ -77,6 +78,7 @@ main(int argc, char **argv)
     std::string out_path = "results.csv";
     std::string config_file;
     std::string trace_in;
+    std::string ecc_engine;
     std::vector<SchemeKind> schemes = allSchemeKinds();
     std::vector<std::string> apps;
 
@@ -114,6 +116,9 @@ main(int argc, char **argv)
                 esd_fatal("-schemes= lists no schemes");
         } else if (arg.rfind("-apps=", 0) == 0) {
             apps = splitCsv(arg.substr(6));
+        } else if (arg.rfind("-ecc=", 0) == 0) {
+            ecc_engine = arg.substr(5);
+            parseEccEngine("-ecc", ecc_engine);  // fail fast
         } else {
             esd_fatal("unknown argument '%s'", arg.c_str());
         }
@@ -163,6 +168,8 @@ main(int argc, char **argv)
     SimConfig cfg;
     if (!config_file.empty())
         loadConfigFile(cfg, config_file);
+    if (!ecc_engine.empty())
+        cfg.ecc.engine = parseEccEngine("-ecc", ecc_engine);
 
     std::ofstream out(out_path);
     if (!out)

@@ -147,6 +147,9 @@ struct Options
     bool profile = false;
     bool histBuckets = false;
 
+    /** ECC engine override; empty means the [ecc] config value. */
+    std::string eccEngine;
+
     // RAS overrides; negative / max mean "not given" (config-file
     // values, applied earlier, then stand).
     double rasReadBer = -1.0;
@@ -259,6 +262,7 @@ usage()
            "[-ras-write-verify=N]\n"
            "               [-channels=N] [-wpq-depth=N] "
            "[-wpq-coalescing=B]\n"
+           "               [-ecc=hamming|bch|rs]\n"
            "               [-persist=B] [-persist-domain=adr|eadr]\n"
            "               [-persist-epoch-writes=N] "
            "[-persist-checkpoint-epochs=N]\n"
@@ -386,6 +390,9 @@ parseArgs(int argc, char **argv)
                                           value("-wpq-coalescing="))
                                     ? 1
                                     : 0;
+        } else if (arg.rfind("-ecc=", 0) == 0) {
+            opt.eccEngine = value("-ecc=");
+            parseEccEngine("-ecc", opt.eccEngine);  // fail fast
         } else if (arg.rfind("-persist=", 0) == 0) {
             opt.persist =
                 parseBool("-persist", value("-persist=")) ? 1 : 0;
@@ -543,7 +550,8 @@ runPipeline(const Options &opt, const SimConfig &cfg,
             const PersistenceManager &pm = *sim.persistence();
             const CrashImage &img = pm.image();
             RecoveredState rec = recoverFromImage(
-                img, pm.config(), sim.scheme().crypto());
+                img, pm.config(), sim.scheme().crypto(),
+                sim.scheme().ecc());
             PadSafetyReport audit = auditPadSafety(rec, img);
             std::cout << "crash: shard=" << cs
                       << " write=" << img.crashWriteIndex
@@ -614,6 +622,10 @@ main(int argc, char **argv)
         cfg.channels.wpqDepth = static_cast<unsigned>(opt.wpqDepth);
     if (opt.wpqCoalescing >= 0)
         cfg.channels.wpqCoalescing = opt.wpqCoalescing != 0;
+
+    // The ECC engine flag layers over the [ecc] config section.
+    if (!opt.eccEngine.empty())
+        cfg.ecc.engine = parseEccEngine("-ecc", opt.eccEngine);
 
     // Persistence flags layer over (and enable) the [persistence]
     // section; -persist=0 force-disables whatever the file set.
@@ -866,7 +878,8 @@ main(int argc, char **argv)
         if (pm.crashed()) {
             const CrashImage &img = pm.image();
             RecoveredState rec =
-                recoverFromImage(img, cfg.persist, sim.scheme().crypto());
+                recoverFromImage(img, cfg.persist, sim.scheme().crypto(),
+                                 sim.scheme().ecc());
             PadSafetyReport audit = auditPadSafety(rec, img);
             std::cout << "crash: write=" << img.crashWriteIndex
                       << " phase=" << crashPhaseName(img.phase)
